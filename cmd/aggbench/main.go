@@ -1,0 +1,84 @@
+// Command aggbench reproduces the paper's experiments.
+//
+// Usage:
+//
+//	aggbench -list
+//	aggbench -exp fig4 -n 4000000
+//	aggbench -exp all -n 1000000 -datasets Rseq,Zipf -cards 1000,1000000
+//
+// Each experiment prints an aligned text table with the same grid of
+// conditions as the corresponding figure or table in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memagg/internal/dataset"
+	"memagg/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig2..fig11, tab6, tab7, all)")
+		n        = flag.Int("n", 1_000_000, "dataset size (paper uses 100M)")
+		seed     = flag.Uint64("seed", 42, "dataset RNG seed")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default 1..min(8,GOMAXPROCS))")
+		datasets = flag.String("datasets", "", "comma-separated distributions (default all of Table 4)")
+		cards    = flag.String("cards", "", "comma-separated group-by cardinalities (default 1e2..1e7 clipped to n)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-6s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{N: *n, Seed: *seed, Out: os.Stdout}
+	var err error
+	if cfg.Threads, err = parseInts(*threads); err != nil {
+		fatalf("bad -threads: %v", err)
+	}
+	if cfg.Cardinalities, err = parseInts(*cards); err != nil {
+		fatalf("bad -cards: %v", err)
+	}
+	if *datasets != "" {
+		for _, name := range strings.Split(*datasets, ",") {
+			kind, err := dataset.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				fatalf("bad -datasets: %v", err)
+			}
+			cfg.Datasets = append(cfg.Datasets, kind)
+		}
+	}
+
+	if err := harness.Run(*exp, cfg); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func parseInts(csv string) ([]int, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aggbench: "+format+"\n", args...)
+	os.Exit(1)
+}

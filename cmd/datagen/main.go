@@ -1,0 +1,117 @@
+// Command datagen emits the paper's synthetic datasets (Section 4) as CSV
+// or raw little-endian binary, for use outside the harness.
+//
+// Usage:
+//
+//	datagen -dist Zipf -n 1000000 -card 10000 > zipf.csv
+//	datagen -dist Rseq-Shf -n 1000000 -card 1000 -values -o data.csv
+//	datagen -dist Hhit -n 1000000 -card 100 -format bin -o keys.bin
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"memagg/internal/dataset"
+)
+
+func main() {
+	var (
+		dist   = flag.String("dist", "Rseq", "distribution: Rseq, Rseq-Shf, Hhit, Hhit-Shf, Zipf, MovC")
+		n      = flag.Int("n", 1_000_000, "number of records")
+		card   = flag.Int("card", 1000, "target group-by cardinality")
+		seed   = flag.Uint64("seed", 42, "RNG seed")
+		values = flag.Bool("values", false, "emit a value column alongside the keys")
+		format = flag.String("format", "csv", "output format: csv or bin")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	kind, err := dataset.ParseKind(*dist)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec := dataset.Spec{Kind: kind, N: *n, Cardinality: *card, Seed: *seed}
+	if err := spec.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("close: %v", err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+
+	keys := spec.Keys()
+	var vals []uint64
+	if *values {
+		vals = dataset.Values(*n, *seed)
+	}
+
+	switch *format {
+	case "csv":
+		if err := writeCSV(bw, keys, vals); err != nil {
+			fatalf("write: %v", err)
+		}
+	case "bin":
+		if err := writeBin(bw, keys, vals); err != nil {
+			fatalf("write: %v", err)
+		}
+	default:
+		fatalf("unknown -format %q (csv or bin)", *format)
+	}
+	if err := bw.Flush(); err != nil {
+		fatalf("flush: %v", err)
+	}
+}
+
+func writeCSV(w *bufio.Writer, keys, vals []uint64) error {
+	buf := make([]byte, 0, 48)
+	for i, k := range keys {
+		buf = strconv.AppendUint(buf[:0], k, 10)
+		if vals != nil {
+			buf = append(buf, ',')
+			buf = strconv.AppendUint(buf, vals[i], 10)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeBin(w *bufio.Writer, keys, vals []uint64) error {
+	var b [16]byte
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(b[:8], k)
+		rec := b[:8]
+		if vals != nil {
+			binary.LittleEndian.PutUint64(b[8:], vals[i])
+			rec = b[:16]
+		}
+		if _, err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

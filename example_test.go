@@ -1,0 +1,85 @@
+package memagg_test
+
+import (
+	"fmt"
+
+	"memagg"
+)
+
+// The basic group-by count: Q1 of the paper.
+func ExampleAggregator_CountByKey() {
+	agg, _ := memagg.New(memagg.Spreadsort, memagg.Options{})
+	keys := []uint64{3, 1, 3, 2, 3, 1}
+	for _, row := range agg.CountByKey(keys) { // sort backend: key-ordered
+		fmt.Println(row.Key, row.Count)
+	}
+	// Output:
+	// 1 2
+	// 2 1
+	// 3 3
+}
+
+// A holistic aggregate: per-group median (Q3).
+func ExampleAggregator_MedianByKey() {
+	agg, _ := memagg.New(memagg.Spreadsort, memagg.Options{})
+	keys := []uint64{1, 1, 1, 2, 2}
+	vals := []uint64{10, 30, 20, 5, 7}
+	for _, row := range agg.MedianByKey(keys, vals) {
+		fmt.Println(row.Key, row.Value)
+	}
+	// Output:
+	// 1 20
+	// 2 6
+}
+
+// Range-restricted counting (Q7) needs an ordered backend.
+func ExampleAggregator_CountRange() {
+	agg, _ := memagg.New(memagg.Btree, memagg.Options{})
+	keys := []uint64{5, 6, 7, 8, 6, 7}
+	rows, _ := agg.CountRange(keys, 6, 7)
+	for _, row := range rows {
+		fmt.Println(row.Key, row.Count)
+	}
+	// Output:
+	// 6 2
+	// 7 2
+}
+
+// The paper's Figure 12 decision flow chart as a function.
+func ExampleRecommend() {
+	advice := memagg.Recommend(memagg.Workload{
+		Output:   memagg.Vector,
+		Function: memagg.Holistic,
+	})
+	fmt.Println(advice.Backend)
+	// Output:
+	// Spreadsort
+}
+
+// A reusable index (write once, read many): build once, query repeatedly.
+func ExampleIndex() {
+	ix, _ := memagg.NewIndex(memagg.Btree)
+	ix.Add([]uint64{10, 20, 20, 30, 30, 30})
+	med, _ := ix.Median()
+	fmt.Println("median:", med)
+	for _, row := range ix.CountRange(20, 30) {
+		fmt.Println(row.Key, row.Count)
+	}
+	// Output:
+	// median: 25
+	// 20 2
+	// 30 3
+}
+
+// String group-by keys with prefix filtering.
+func ExampleStringAggregator() {
+	agg, _ := memagg.NewStrings(memagg.StrART)
+	words := []string{"go", "gopher", "go", "rust", "gopher", "go"}
+	rows, _ := agg.CountByPrefix(words, "go")
+	for _, row := range rows {
+		fmt.Println(row.Key, row.Count)
+	}
+	// Output:
+	// go 3
+	// gopher 2
+}

@@ -1,0 +1,38 @@
+// Advisor: walk the paper's Figure 12 decision flow chart over a catalog
+// of workload shapes and print which algorithm the study recommends for
+// each, with the rationale.
+package main
+
+import (
+	"fmt"
+
+	"memagg"
+)
+
+func main() {
+	scenarios := []struct {
+		name string
+		w    memagg.Workload
+	}{
+		{"one-off scalar median over a log column",
+			memagg.Workload{Output: memagg.Scalar, Function: memagg.Holistic, WriteOnceReadOnce: true}},
+		{"repeated percentile queries over a retained index",
+			memagg.Workload{Output: memagg.Scalar, Function: memagg.Holistic}},
+		{"GROUP BY COUNT for a dashboard tile",
+			memagg.Workload{Output: memagg.Vector, Function: memagg.Distributive}},
+		{"GROUP BY COUNT on a 16-core ingest node",
+			memagg.Workload{Output: memagg.Vector, Function: memagg.Distributive, Multithreaded: true}},
+		{"GROUP BY MEDIAN latency per endpoint",
+			memagg.Workload{Output: memagg.Vector, Function: memagg.Holistic}},
+		{"GROUP BY MEDIAN latency, parallel build",
+			memagg.Workload{Output: memagg.Vector, Function: memagg.Holistic, Multithreaded: true}},
+		{"COUNT over a key range, index built per query",
+			memagg.Workload{Output: memagg.Vector, Function: memagg.Distributive, RangeCondition: true}},
+		{"COUNT over a key range on a resident index",
+			memagg.Workload{Output: memagg.Vector, Function: memagg.Distributive, RangeCondition: true, PrebuiltIndex: true}},
+	}
+	for _, s := range scenarios {
+		a := memagg.Recommend(s.w)
+		fmt.Printf("%-48s → %-11s %s\n", s.name, a.Backend, a.Reason)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: generate a synthetic dataset and run a group-by COUNT with
+// two different backends via the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memagg"
+)
+
+func main() {
+	// One million records whose keys follow a Zipfian distribution over
+	// ten thousand groups — word frequencies, city sizes, site traffic.
+	keys, err := memagg.Generate(memagg.Zipf, 1_000_000, 10_000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SELECT key, COUNT(*) GROUP BY key — with the paper's fastest
+	// distributive backend.
+	hash, err := memagg.New(memagg.HashLP, memagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := hash.CountByKey(keys)
+	fmt.Printf("distinct groups: %d\n", len(rows))
+
+	// The same query on a sort-based backend returns rows already ordered
+	// by key.
+	sorted, err := memagg.New(memagg.Spreadsort, memagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range sorted.CountByKey(keys)[:5] {
+		fmt.Printf("key %-4d count %d\n", r.Key, r.Count)
+	}
+
+	// Not sure which backend fits? Ask the paper's decision flow chart.
+	advice := memagg.Recommend(memagg.Workload{
+		Output:   memagg.Vector,
+		Function: memagg.Distributive,
+	})
+	fmt.Printf("recommended: %s — %s\n", advice.Backend, advice.Reason)
+}

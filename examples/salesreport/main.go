@@ -1,0 +1,73 @@
+// Salesreport: a heavy-hitter retail workload — the paper's Hhit
+// distribution models catalogs where one product dominates sales. The
+// example runs the vector COUNT (Q1), vector AVG (Q2) and ranged COUNT
+// (Q7) queries a reporting dashboard would issue, on the backends the
+// paper's Figure 12 recommends for each.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"memagg"
+)
+
+const (
+	nSales    = 2_000_000
+	nProducts = 5_000
+)
+
+func main() {
+	// product_id column: one hot product takes 50% of all sales.
+	productIDs, err := memagg.Generate(memagg.HhitShf, nSales, nProducts, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// sale amount column in cents.
+	amounts := memagg.GenerateValues(nSales, 2024)
+
+	// Q1 — units sold per product: vector distributive → Hash_LP.
+	counter, err := memagg.New(memagg.Recommend(memagg.Workload{
+		Output: memagg.Vector, Function: memagg.Distributive,
+	}).Backend, memagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := counter.CountByKey(productIDs)
+
+	sort.Slice(counts, func(i, j int) bool { return counts[i].Count > counts[j].Count })
+	fmt.Println("top products by units sold:")
+	for _, r := range counts[:5] {
+		share := 100 * float64(r.Count) / float64(nSales)
+		fmt.Printf("  product %-5d units %-8d share %.1f%%\n", r.Key, r.Count, share)
+	}
+
+	// Q2 — average sale amount per product (algebraic, same backend).
+	avgs := counter.AvgByKey(productIDs, amounts)
+	byKey := make(map[uint64]float64, len(avgs))
+	for _, r := range avgs {
+		byKey[r.Key] = r.Value
+	}
+	fmt.Printf("hot product %d average ticket: %.0f cents\n",
+		counts[0].Key, byKey[counts[0].Key])
+
+	// Q7 — units sold for the premium catalog range (products 500-1000):
+	// a range condition over the group-by key wants a tree backend.
+	ranged, err := memagg.New(memagg.Recommend(memagg.Workload{
+		Output: memagg.Vector, Function: memagg.Distributive, RangeCondition: true,
+	}).Backend, memagg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := ranged.CountRange(productIDs, 500, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var premium uint64
+	for _, r := range rows {
+		premium += r.Count
+	}
+	fmt.Printf("premium range (ids 500-1000): %d products, %d units via %s\n",
+		len(rows), premium, ranged.Backend())
+}

@@ -1,0 +1,76 @@
+// Wordcount: the canonical string group-by — COUNT(*) GROUP BY word —
+// over a synthetic Zipf-distributed vocabulary (word frequencies follow
+// Zipf's law, the distribution the paper's Section 4 uses for exactly this
+// reason). Demonstrates the string-keyed API: hash vs radix-tree vs
+// radix-sort backends, prefix-restricted counting, and the lexicographic
+// median word.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"memagg"
+	"memagg/internal/dataset"
+)
+
+const (
+	nWords = 1_000_000
+	vocab  = 20_000
+)
+
+// corpus synthesizes word tokens with Zipfian frequency over a vocabulary
+// keyed like real tokens ("the-00001" most frequent, long tail after).
+func corpus() []string {
+	rng := dataset.NewRNG(2026)
+	z := dataset.NewZipfSampler(vocab, 1.0) // classic word-frequency exponent
+	words := make([]string, nWords)
+	for i := range words {
+		words[i] = fmt.Sprintf("tok-%05d", z.Sample(rng))
+	}
+	return words
+}
+
+func main() {
+	words := corpus()
+
+	for _, b := range memagg.StringBackends() {
+		a, err := memagg.NewStrings(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		rows := a.CountByKey(words)
+		fmt.Printf("%-17s %6d distinct words in %v\n",
+			b, len(rows), time.Since(start).Round(time.Millisecond))
+	}
+
+	// Top five words via the tree backend (already sorted by key; re-rank
+	// by count for display).
+	art, _ := memagg.NewStrings(memagg.StrART)
+	rows := art.CountByKey(words)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	fmt.Println("top words:")
+	for _, r := range rows[:5] {
+		fmt.Printf("  %-10s %d\n", r.Key, r.Count)
+	}
+
+	// Prefix query: how often does each token starting "tok-0001" occur?
+	prefixRows, err := art.CountByPrefix(words, "tok-0001")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total uint64
+	for _, r := range prefixRows {
+		total += r.Count
+	}
+	fmt.Printf("prefix tok-0001*: %d tokens across %d words\n", total, len(prefixRows))
+
+	median, err := art.MedianKey(words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lexicographic median token: %s\n", median)
+}

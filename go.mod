@@ -1,0 +1,3 @@
+module memagg
+
+go 1.22

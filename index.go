@@ -1,0 +1,161 @@
+package memagg
+
+import (
+	"fmt"
+
+	"memagg/internal/art"
+	"memagg/internal/btree"
+	"memagg/internal/judy"
+)
+
+// Index is a reusable, incrementally built aggregation index over a tree
+// backend — the paper's "write once, read many" (WORM) workload shape.
+// Where Aggregator rebuilds its structure per query (WORO, the paper's
+// default methodology), an Index is built once (or fed incrementally) and
+// then answers many ordered queries from the same structure: repeated
+// range counts (Figure 8's prebuilt-index case, where Btree wins) and
+// repeated medians/quantiles (Figure 9's reusable case, where the paper
+// recommends Judy).
+//
+// An Index is not safe for concurrent mutation; build first, then share
+// for reads.
+type Index struct {
+	backend Backend
+	tree    countTree
+	total   uint64
+}
+
+// countTree is the ordered key → count surface the Index builds on.
+type countTree interface {
+	Upsert(key uint64) *uint64
+	Len() int
+	Iterate(fn func(key uint64, val *uint64) bool)
+	Range(lo, hi uint64, fn func(key uint64, val *uint64) bool)
+}
+
+// NewIndex returns an empty index on a tree backend (ART, Judy, or Btree —
+// the structures with ordered iteration and native range search).
+func NewIndex(b Backend) (*Index, error) {
+	var t countTree
+	switch b {
+	case ART:
+		t = art.New[uint64]()
+	case Judy:
+		t = judy.New[uint64]()
+	case Btree:
+		t = btree.New[uint64]()
+	default:
+		return nil, fmt.Errorf("memagg: Index requires a tree backend (ART, Judy, Btree), got %q", b)
+	}
+	return &Index{backend: b, tree: t}, nil
+}
+
+// Backend returns the tree backend this index is built on.
+func (ix *Index) Backend() Backend { return ix.backend }
+
+// Add folds a batch of keys into the index.
+func (ix *Index) Add(keys []uint64) {
+	for _, k := range keys {
+		*ix.tree.Upsert(k)++
+	}
+	ix.total += uint64(len(keys))
+}
+
+// AddRecord folds a single key into the index.
+func (ix *Index) AddRecord(key uint64) {
+	*ix.tree.Upsert(key)++
+	ix.total++
+}
+
+// Groups returns the number of distinct keys indexed.
+func (ix *Index) Groups() int { return ix.tree.Len() }
+
+// Records returns the total number of records folded in.
+func (ix *Index) Records() uint64 { return ix.total }
+
+// Counts returns the full Q1 result from the prebuilt index, ascending by
+// key.
+func (ix *Index) Counts() []GroupCount {
+	out := make([]GroupCount, 0, ix.tree.Len())
+	ix.tree.Iterate(func(k uint64, v *uint64) bool {
+		out = append(out, GroupCount{Key: k, Count: *v})
+		return true
+	})
+	return out
+}
+
+// CountRange returns the Q7 result for lo <= key <= hi from the prebuilt
+// index — no rebuild, one descent plus an ordered scan.
+func (ix *Index) CountRange(lo, hi uint64) []GroupCount {
+	if lo > hi {
+		return nil
+	}
+	var out []GroupCount
+	ix.tree.Range(lo, hi, func(k uint64, v *uint64) bool {
+		out = append(out, GroupCount{Key: k, Count: *v})
+		return true
+	})
+	return out
+}
+
+// Median returns the Q6 result (median of all indexed keys, averaging the
+// two middles for even record counts) from the prebuilt index.
+func (ix *Index) Median() (float64, bool) {
+	return ix.quantileRanks()
+}
+
+// Quantile returns the q-quantile (nearest rank, 0 <= q <= 1) of the
+// indexed keys. ok is false for an empty index.
+func (ix *Index) Quantile(q float64) (uint64, bool) {
+	if ix.total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(ix.total-1))
+	var seen uint64
+	var result uint64
+	found := false
+	ix.tree.Iterate(func(k uint64, c *uint64) bool {
+		if rank < seen+*c {
+			result = k
+			found = true
+			return false
+		}
+		seen += *c
+		return true
+	})
+	return result, found
+}
+
+func (ix *Index) quantileRanks() (float64, bool) {
+	if ix.total == 0 {
+		return 0, false
+	}
+	r1, r2 := (ix.total-1)/2, ix.total/2
+	var seen uint64
+	var v1, v2 float64
+	got := 0
+	ix.tree.Iterate(func(k uint64, c *uint64) bool {
+		end := seen + *c
+		if r1 >= seen && r1 < end {
+			v1 = float64(k)
+			got++
+		}
+		if r2 >= seen && r2 < end {
+			v2 = float64(k)
+			got++
+			return false
+		}
+		seen = end
+		return true
+	})
+	if got < 2 {
+		return 0, false
+	}
+	return (v1 + v2) / 2, true
+}

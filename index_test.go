@@ -1,0 +1,126 @@
+package memagg
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestIndexBackendsOnly(t *testing.T) {
+	for _, b := range []Backend{ART, Judy, Btree} {
+		if _, err := NewIndex(b); err != nil {
+			t.Fatalf("NewIndex(%s): %v", b, err)
+		}
+	}
+	for _, b := range []Backend{HashLP, Spreadsort, "bogus"} {
+		if _, err := NewIndex(b); err == nil {
+			t.Fatalf("NewIndex(%s) should fail", b)
+		}
+	}
+}
+
+func TestIndexIncrementalMatchesOneShot(t *testing.T) {
+	keys, _ := Generate(Zipf, 30000, 500, 11)
+	oneShot, _ := New(Btree, Options{})
+	want := oneShot.CountByKey(keys)
+
+	for _, b := range []Backend{ART, Judy, Btree} {
+		ix, _ := NewIndex(b)
+		// Feed in three uneven batches plus single records.
+		ix.Add(keys[:10000])
+		ix.Add(keys[10000:29990])
+		for _, k := range keys[29990:] {
+			ix.AddRecord(k)
+		}
+		if ix.Records() != uint64(len(keys)) {
+			t.Fatalf("%s: Records=%d", b, ix.Records())
+		}
+		got := ix.Counts()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d groups want %d", b, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d = %v want %v", b, i, got[i], want[i])
+			}
+		}
+		if ix.Groups() != len(want) {
+			t.Fatalf("%s: Groups=%d", b, ix.Groups())
+		}
+	}
+}
+
+func TestIndexRepeatedRangeQueries(t *testing.T) {
+	keys, _ := Generate(Rseq, 10000, 100, 1)
+	ix, _ := NewIndex(Btree)
+	ix.Add(keys)
+	for _, rg := range [][2]uint64{{1, 100}, {10, 19}, {50, 50}, {101, 200}, {20, 10}} {
+		rows := ix.CountRange(rg[0], rg[1])
+		want := 0
+		if rg[0] <= rg[1] {
+			for k := rg[0]; k <= rg[1] && k <= 100; k++ {
+				if k >= 1 {
+					want++
+				}
+			}
+		}
+		if len(rows) != want {
+			t.Fatalf("range %v: %d rows want %d", rg, len(rows), want)
+		}
+		for _, r := range rows {
+			if r.Count != 100 {
+				t.Fatalf("range %v: key %d count %d", rg, r.Key, r.Count)
+			}
+		}
+	}
+}
+
+func TestIndexMedianAndQuantile(t *testing.T) {
+	keys, _ := Generate(RseqShf, 100001, 1000, 5)
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, b := range []Backend{ART, Judy, Btree} {
+		ix, _ := NewIndex(b)
+		ix.Add(keys)
+		med, ok := ix.Median()
+		if !ok {
+			t.Fatalf("%s: empty median", b)
+		}
+		wantMed := float64(sorted[len(sorted)/2]) // odd count
+		if med != wantMed {
+			t.Fatalf("%s: median %v want %v", b, med, wantMed)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			got, ok := ix.Quantile(q)
+			if !ok {
+				t.Fatalf("%s: quantile not found", b)
+			}
+			want := sorted[int(q*float64(len(sorted)-1))]
+			if got != want {
+				t.Fatalf("%s: q%.2f = %d want %d", b, q, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	ix, _ := NewIndex(Judy)
+	if _, ok := ix.Median(); ok {
+		t.Fatal("median on empty index")
+	}
+	if _, ok := ix.Quantile(0.5); ok {
+		t.Fatal("quantile on empty index")
+	}
+	if rows := ix.Counts(); len(rows) != 0 {
+		t.Fatal("counts on empty index")
+	}
+}
+
+func TestIndexEvenCountMedian(t *testing.T) {
+	ix, _ := NewIndex(Btree)
+	ix.Add([]uint64{1, 2, 3, 4})
+	med, ok := ix.Median()
+	if !ok || med != 2.5 {
+		t.Fatalf("median = %v", med)
+	}
+}

@@ -1,0 +1,333 @@
+package agg
+
+import (
+	"memagg/internal/chash"
+	"memagg/internal/cuckoo"
+)
+
+// This file generalizes the query set beyond Table 1's examples: any
+// distributive fold (SUM, MIN, MAX — and COUNT as a degenerate fold) and
+// any holistic function over a group's value multiset (QUANTILE, MODE, or
+// user-supplied). The build/iterate structure is identical to
+// VectorCount/VectorMedian: distributive folds aggregate early during the
+// build; holistic functions buffer values and aggregate during iterate.
+
+// ReduceOp selects the distributive fold applied by VectorReduce.
+type ReduceOp int
+
+const (
+	// OpCount counts records per group (values ignored).
+	OpCount ReduceOp = iota
+	// OpSum sums values per group.
+	OpSum
+	// OpMin keeps the minimum value per group.
+	OpMin
+	// OpMax keeps the maximum value per group.
+	OpMax
+)
+
+// String returns the SQL-ish name of the fold.
+func (op ReduceOp) String() string {
+	switch op {
+	case OpCount:
+		return "COUNT"
+	case OpSum:
+		return "SUM"
+	case OpMin:
+		return "MIN"
+	case OpMax:
+		return "MAX"
+	default:
+		return "ReduceOp(?)"
+	}
+}
+
+// GroupUint is one row of a generalized distributive vector result.
+type GroupUint struct {
+	Key uint64
+	Val uint64
+}
+
+// HolisticFunc aggregates one group's complete value multiset. The slice
+// may be reordered by the function (Median and Quantile select in place)
+// but must not be retained.
+type HolisticFunc func(values []uint64) float64
+
+// reduceState folds values for one group. The paper's early-aggregation
+// rule: the state is updated in place on every record of the group.
+type reduceState struct {
+	val  uint64
+	seen bool
+}
+
+func (s *reduceState) fold(op ReduceOp, v uint64) {
+	switch op {
+	case OpCount:
+		s.val++
+	case OpSum:
+		s.val += v
+	case OpMin:
+		if !s.seen || v < s.val {
+			s.val = v
+		}
+	case OpMax:
+		if !s.seen || v > s.val {
+			s.val = v
+		}
+	}
+	s.seen = true
+}
+
+// valueAt treats a short values column as zero-extended, matching the
+// other operators.
+func valueAt(vals []uint64, i int) uint64 {
+	if i < len(vals) {
+		return vals[i]
+	}
+	return 0
+}
+
+// Reducer is implemented by every Engine in this package; it is split from
+// Engine so the original paper surface stays recognizable. Use
+// AsReducer to access it.
+type Reducer interface {
+	// VectorReduce executes SELECT key, op(val) ... GROUP BY key for a
+	// distributive op.
+	VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint
+	// VectorHolistic executes SELECT key, fn(vals of group) ... GROUP BY
+	// key for a holistic fn.
+	VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat
+}
+
+// AsReducer exposes the generalized operators of an engine created by this
+// package.
+func AsReducer(e Engine) Reducer { return e.(Reducer) }
+
+// --- sort engine ---------------------------------------------------------------
+
+func (e *sortEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
+	if len(keys) == 0 {
+		return nil
+	}
+	buf := makeKV(keys, vals)
+	e.sortKV(buf)
+	var out []GroupUint
+	var st reduceState
+	cur := buf[0].K
+	for _, r := range buf {
+		if r.K != cur {
+			out = append(out, GroupUint{Key: cur, Val: st.val})
+			cur, st = r.K, reduceState{}
+		}
+		st.fold(op, r.V)
+	}
+	return append(out, GroupUint{Key: cur, Val: st.val})
+}
+
+func (e *sortEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
+	if len(keys) == 0 {
+		return nil
+	}
+	buf := makeKV(keys, vals)
+	e.sortKV(buf)
+	var out []GroupFloat
+	scratch := make([]uint64, 0, 64)
+	start := 0
+	for i := 1; i <= len(buf); i++ {
+		if i == len(buf) || buf[i].K != buf[start].K {
+			scratch = scratch[:0]
+			for _, r := range buf[start:i] {
+				scratch = append(scratch, r.V)
+			}
+			out = append(out, GroupFloat{Key: buf[start].K, Val: fn(scratch)})
+			start = i
+		}
+	}
+	return out
+}
+
+// --- hash engine ---------------------------------------------------------------
+
+// reduceTables gives hashEngine a constructor for the reduceState value
+// type without widening the main constructor set: it reuses newAvg's
+// table family via a parallel constructor map established at creation.
+func (e *hashEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
+	t := e.newReduce(sizeHint(len(keys)))
+	for i, k := range keys {
+		t.Upsert(k).fold(op, valueAt(vals, i))
+	}
+	out := make([]GroupUint, 0, t.Len())
+	t.Iterate(func(k uint64, st *reduceState) bool {
+		out = append(out, GroupUint{Key: k, Val: st.val})
+		return true
+	})
+	return out
+}
+
+func (e *hashEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
+	t := e.newList(sizeHint(len(keys)))
+	for i, k := range keys {
+		lst := t.Upsert(k)
+		*lst = append(*lst, valueAt(vals, i))
+	}
+	out := make([]GroupFloat, 0, t.Len())
+	t.Iterate(func(k uint64, lst *[]uint64) bool {
+		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
+		return true
+	})
+	return out
+}
+
+// --- tree engine ---------------------------------------------------------------
+
+func (e *treeEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
+	t := e.newReduce()
+	for i, k := range keys {
+		t.Upsert(k).fold(op, valueAt(vals, i))
+	}
+	out := make([]GroupUint, 0, t.Len())
+	t.Iterate(func(k uint64, st *reduceState) bool {
+		out = append(out, GroupUint{Key: k, Val: st.val})
+		return true
+	})
+	return out
+}
+
+func (e *treeEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
+	t := e.newList()
+	for i, k := range keys {
+		lst := t.Upsert(k)
+		*lst = append(*lst, valueAt(vals, i))
+	}
+	out := make([]GroupFloat, 0, t.Len())
+	t.Iterate(func(k uint64, lst *[]uint64) bool {
+		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
+		return true
+	})
+	return out
+}
+
+// --- concurrent engines ----------------------------------------------------------
+
+func (e *cuckooEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
+	m := newCuckooReduce(sizeHint(len(keys)))
+	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := valueAt(vals, i)
+			m.Upsert(keys[i], func(st *reduceState, _ bool) { st.fold(op, v) })
+		}
+	})
+	var out []GroupUint
+	m.Iterate(func(k uint64, st *reduceState) bool {
+		out = append(out, GroupUint{Key: k, Val: st.val})
+		return true
+	})
+	return out
+}
+
+func (e *cuckooEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
+	m := newCuckooList(sizeHint(len(keys)))
+	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := valueAt(vals, i)
+			m.Upsert(keys[i], func(lst *[]uint64, _ bool) { *lst = append(*lst, v) })
+		}
+	})
+	var out []GroupFloat
+	m.Iterate(func(k uint64, lst *[]uint64) bool {
+		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
+		return true
+	})
+	return out
+}
+
+func (e *tbbEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
+	m := newTBBReduce(sizeHint(len(keys)))
+	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := valueAt(vals, i)
+			m.Upsert(keys[i], func(st *reduceState) { st.fold(op, v) })
+		}
+	})
+	var out []GroupUint
+	m.Iterate(func(k uint64, st *reduceState) bool {
+		out = append(out, GroupUint{Key: k, Val: st.val})
+		return true
+	})
+	return out
+}
+
+func (e *tbbEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
+	m := newTBBList(sizeHint(len(keys)))
+	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := valueAt(vals, i)
+			m.Upsert(keys[i], func(lst *[]uint64) { *lst = append(*lst, v) })
+		}
+	})
+	var out []GroupFloat
+	m.Iterate(func(k uint64, lst *[]uint64) bool {
+		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
+		return true
+	})
+	return out
+}
+
+// --- scalar generalizations -------------------------------------------------------
+
+// ScalarSum, ScalarMin, ScalarMax, ScalarMode and ScalarQuantile extend the
+// Q4/Q5 scalar family with the remaining kernel functions. They need no
+// grouping structure.
+
+// ScalarSum returns SUM over a column.
+func ScalarSum(vals []uint64) uint64 { return Sum(vals) }
+
+// ScalarMin returns MIN over a column; ok is false for empty input.
+func ScalarMin(vals []uint64) (uint64, bool) { return Min(vals) }
+
+// ScalarMax returns MAX over a column; ok is false for empty input.
+func ScalarMax(vals []uint64) (uint64, bool) { return Max(vals) }
+
+// ScalarMode returns the most frequent value (holistic). It copies the
+// input (Mode reorders its argument).
+func ScalarMode(vals []uint64) (uint64, int, bool) {
+	return Mode(append([]uint64(nil), vals...))
+}
+
+// ScalarQuantile returns the q-quantile by nearest rank (holistic). It
+// copies the input.
+func ScalarQuantile(vals []uint64, q float64) uint64 {
+	return Quantile(append([]uint64(nil), vals...), q)
+}
+
+// QuantileFunc adapts Quantile to a HolisticFunc.
+func QuantileFunc(q float64) HolisticFunc {
+	return func(values []uint64) float64 { return float64(Quantile(values, q)) }
+}
+
+// ModeFunc is the HolisticFunc computing each group's mode.
+func ModeFunc(values []uint64) float64 {
+	v, _, ok := Mode(values)
+	if !ok {
+		return 0
+	}
+	return float64(v)
+}
+
+// MedianFunc is the HolisticFunc computing each group's median; it matches
+// VectorMedian exactly.
+func MedianFunc(values []uint64) float64 { return Median(values) }
+
+// compile-time checks: every engine implements Reducer.
+var (
+	_ Reducer = (*sortEngine)(nil)
+	_ Reducer = (*hashEngine)(nil)
+	_ Reducer = (*treeEngine)(nil)
+	_ Reducer = (*cuckooEngine)(nil)
+	_ Reducer = (*tbbEngine)(nil)
+)
+
+func newCuckooReduce(n int) *cuckoo.Map[reduceState] { return cuckoo.New[reduceState](n) }
+func newCuckooList(n int) *cuckoo.Map[[]uint64]      { return cuckoo.New[[]uint64](n) }
+func newTBBReduce(n int) *chash.Map[reduceState]     { return chash.New[reduceState](n, 0) }
+func newTBBList(n int) *chash.Map[[]uint64]          { return chash.New[[]uint64](n, 0) }

@@ -1,0 +1,201 @@
+// Package agg implements the paper's aggregation operators: every query in
+// Table 1 (vector/scalar × distributive/algebraic/holistic, plus the Q7
+// range variant) executed over every Table 3 algorithm (sort-based,
+// hash-based, and tree-based backends), in serial and multithreaded form.
+//
+// Every operator is split into the two phases of Section 3: a build phase
+// that folds records into the backing structure (with early aggregation for
+// distributive and algebraic functions) and an iterate phase that reads the
+// result out. Holistic functions (median) buffer each group's values during
+// build and aggregate during iterate, because they cannot be computed
+// incrementally.
+package agg
+
+import "sort"
+
+// --- aggregate-function kernel ----------------------------------------------
+//
+// These operate on plain slices and back both the operators and the scalar
+// queries. They are the distributive (Count/Sum/Min/Max), algebraic (Avg),
+// and holistic (Median/Quantile/Mode) functions of Section 2.
+
+// Sum returns the sum of a.
+func Sum(a []uint64) uint64 {
+	var s uint64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Min returns the minimum of a; ok is false for empty input.
+func Min(a []uint64) (min uint64, ok bool) {
+	if len(a) == 0 {
+		return 0, false
+	}
+	min = a[0]
+	for _, v := range a[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min, true
+}
+
+// Max returns the maximum of a; ok is false for empty input.
+func Max(a []uint64) (max uint64, ok bool) {
+	if len(a) == 0 {
+		return 0, false
+	}
+	max = a[0]
+	for _, v := range a[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max, true
+}
+
+// Avg returns the arithmetic mean of a, or 0 for empty input.
+func Avg(a []uint64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return float64(Sum(a)) / float64(len(a))
+}
+
+// Median returns the median of a, averaging the two middle elements for
+// even lengths. It reorders a (in-place selection); pass a copy if the
+// original order matters. Returns 0 for empty input.
+func Median(a []uint64) float64 {
+	switch len(a) {
+	case 0:
+		return 0
+	case 1:
+		return float64(a[0])
+	}
+	n := len(a)
+	if n%2 == 1 {
+		return float64(Select(a, n/2))
+	}
+	hi := Select(a, n/2)
+	lo, _ := Max(a[:n/2]) // after Select, a[:n/2] holds the lower half
+	return (float64(lo) + float64(hi)) / 2
+}
+
+// MedianSorted returns the median of an already ascending slice without
+// modifying it.
+func MedianSorted(a []uint64) float64 {
+	switch len(a) {
+	case 0:
+		return 0
+	case 1:
+		return float64(a[0])
+	}
+	n := len(a)
+	if n%2 == 1 {
+		return float64(a[n/2])
+	}
+	return (float64(a[n/2-1]) + float64(a[n/2])) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a by the nearest-rank
+// method. It reorders a. Returns 0 for empty input.
+func Quantile(a []uint64, q float64) uint64 {
+	if len(a) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(q * float64(len(a)-1))
+	return Select(a, rank)
+}
+
+// Mode returns the most frequent value of a and its multiplicity, breaking
+// ties toward the smaller value. It reorders a. ok is false for empty
+// input.
+func Mode(a []uint64) (val uint64, count int, ok bool) {
+	if len(a) == 0 {
+		return 0, 0, false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	best, bestN := a[0], 1
+	cur, curN := a[0], 1
+	for _, v := range a[1:] {
+		if v == cur {
+			curN++
+		} else {
+			cur, curN = v, 1
+		}
+		if curN > bestN {
+			best, bestN = cur, curN
+		}
+	}
+	return best, bestN, true
+}
+
+// Select places the k-th smallest element (0-based) of a at index k,
+// partitioning a around it (quickselect with median-of-three pivots), and
+// returns it. Average O(n).
+func Select(a []uint64, k int) uint64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			insertionRange(a, lo, hi)
+			return a[k]
+		}
+		p := med3val(a, lo, (lo+hi)/2, hi)
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return a[k]
+		}
+	}
+	return a[k]
+}
+
+func insertionRange(a []uint64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		v := a[i]
+		j := i - 1
+		for j >= lo && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func med3val(a []uint64, i, j, k int) uint64 {
+	x, y, z := a[i], a[j], a[k]
+	if x > y {
+		x, y = y, x
+	}
+	if y > z {
+		y = z
+		if x > y {
+			y = x
+		}
+	}
+	return y
+}

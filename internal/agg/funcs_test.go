@@ -1,0 +1,144 @@
+package agg
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func TestSumMinMaxAvg(t *testing.T) {
+	a := []uint64{5, 1, 9, 3}
+	if Sum(a) != 18 {
+		t.Fatal("Sum")
+	}
+	if v, ok := Min(a); !ok || v != 1 {
+		t.Fatal("Min")
+	}
+	if v, ok := Max(a); !ok || v != 9 {
+		t.Fatal("Max")
+	}
+	if Avg(a) != 4.5 {
+		t.Fatal("Avg")
+	}
+	if _, ok := Min(nil); ok {
+		t.Fatal("Min on empty should report not-ok")
+	}
+	if _, ok := Max(nil); ok {
+		t.Fatal("Max on empty should report not-ok")
+	}
+	if Avg(nil) != 0 || Sum(nil) != 0 {
+		t.Fatal("empty Sum/Avg")
+	}
+}
+
+func TestMedianSmallCases(t *testing.T) {
+	cases := []struct {
+		in   []uint64
+		want float64
+	}{
+		{nil, 0},
+		{[]uint64{7}, 7},
+		{[]uint64{1, 3}, 2},
+		{[]uint64{3, 1, 2}, 2},
+		{[]uint64{4, 1, 3, 2}, 2.5},
+		{[]uint64{5, 5, 5, 5}, 5},
+		{[]uint64{1, 1, 2, 100}, 1.5},
+	}
+	for _, c := range cases {
+		in := append([]uint64(nil), c.in...)
+		if got := Median(in); got != c.want {
+			t.Errorf("Median(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianMatchesSortDefinition(t *testing.T) {
+	f := func(a []uint64) bool {
+		cp := append([]uint64(nil), a...)
+		got := Median(cp)
+		s := append([]uint64(nil), a...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		want := MedianSorted(s)
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianPreservesMultiset(t *testing.T) {
+	a := dataset.Random(1001, 1, 100, 3)
+	before := append([]uint64(nil), a...)
+	sort.Slice(before, func(i, j int) bool { return before[i] < before[j] })
+	Median(a)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	for i := range a {
+		if a[i] != before[i] {
+			t.Fatal("Median changed the multiset")
+		}
+	}
+}
+
+func TestSelectAgainstSort(t *testing.T) {
+	f := func(a []uint64, kr uint16) bool {
+		if len(a) == 0 {
+			return true
+		}
+		k := int(kr) % len(a)
+		cp := append([]uint64(nil), a...)
+		got := Select(cp, k)
+		s := append([]uint64(nil), a...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return got == s[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	a := dataset.Sequential(101) // 1..101
+	if q := Quantile(append([]uint64(nil), a...), 0); q != 1 {
+		t.Fatalf("q0=%d", q)
+	}
+	if q := Quantile(append([]uint64(nil), a...), 1); q != 101 {
+		t.Fatalf("q1=%d", q)
+	}
+	if q := Quantile(append([]uint64(nil), a...), 0.5); q != 51 {
+		t.Fatalf("q.5=%d", q)
+	}
+	// Out-of-range q clamps.
+	if q := Quantile(append([]uint64(nil), a...), -3); q != 1 {
+		t.Fatalf("q<0 = %d", q)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestMode(t *testing.T) {
+	v, c, ok := Mode([]uint64{3, 1, 3, 2, 3, 1})
+	if !ok || v != 3 || c != 3 {
+		t.Fatalf("Mode = %d×%d", v, c)
+	}
+	// Tie breaks toward the smaller value.
+	v, c, ok = Mode([]uint64{2, 2, 1, 1})
+	if !ok || v != 1 || c != 2 {
+		t.Fatalf("tie Mode = %d×%d", v, c)
+	}
+	if _, _, ok := Mode(nil); ok {
+		t.Fatal("Mode on empty")
+	}
+}
+
+func TestMedianSorted(t *testing.T) {
+	if MedianSorted([]uint64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even")
+	}
+	if MedianSorted([]uint64{1, 2, 3}) != 2 {
+		t.Fatal("odd")
+	}
+}

@@ -1,0 +1,60 @@
+package agg
+
+import "fmt"
+
+// Engines returns the ten serial algorithms of the paper's Table 3, in
+// table order, plus Ttree (evaluated only in the Figure 3 microbenchmark).
+// Hash_LC is configured with one thread, as in the serial experiments.
+func Engines() []Engine {
+	return []Engine{
+		ART(),
+		Judy(),
+		Btree(),
+		HashSC(),
+		HashLP(),
+		HashSparse(),
+		HashDense(),
+		HashLC(1),
+		Introsort(),
+		Spreadsort(),
+	}
+}
+
+// ConcurrentEngines returns the four multithreaded algorithms of Table 8,
+// each configured to build with p goroutines.
+func ConcurrentEngines(p int) []Engine {
+	return []Engine{
+		HashTBBSC(p),
+		HashLC(p),
+		SortBI(p),
+		SortQSLB(p),
+	}
+}
+
+// TreeEngines returns the tree-based engines evaluated in the range-search
+// study (Figure 8).
+func TreeEngines() []Engine {
+	return []Engine{ART(), Judy(), Btree()}
+}
+
+// ScalarEngines returns the engines evaluated in the scalar-median study
+// (Figure 9): the trees and the sorts.
+func ScalarEngines() []Engine {
+	return []Engine{ART(), Judy(), Btree(), Introsort(), Spreadsort()}
+}
+
+// ByName returns the serial engine with the given paper label (e.g.
+// "Hash_LP"), or an error listing the known labels.
+func ByName(name string) (Engine, error) {
+	all := append(Engines(), Ttree())
+	for _, e := range all {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	known := make([]string, len(all))
+	for i, e := range all {
+		known[i] = e.Name()
+	}
+	return nil, fmt.Errorf("agg: unknown algorithm %q (known: %v)", name, known)
+}

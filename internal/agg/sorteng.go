@@ -1,0 +1,153 @@
+package agg
+
+import (
+	"sort"
+
+	"memagg/internal/xsort"
+)
+
+// sortEngine implements Engine by sorting a copy of the input so that each
+// group's records become contiguous, then scanning runs of equal keys — the
+// paper's sort-based aggregation. The build phase is the sort; the iterate
+// phase is the run scan. Both distributive and holistic functions use the
+// identical build, which is why sorting wins on holistic queries: the
+// values arrive grouped for free.
+type sortEngine struct {
+	name   string
+	sortU  func([]uint64) // key-only sort
+	sortKV func([]xsort.KV)
+}
+
+// Introsort returns the std::sort-based engine (paper label "Introsort").
+func Introsort() Engine {
+	return &sortEngine{name: "Introsort", sortU: xsort.Introsort, sortKV: xsort.IntrosortKV}
+}
+
+// Spreadsort returns the Boost spreadsort-based engine ("Spreadsort").
+func Spreadsort() Engine {
+	return &sortEngine{name: "Spreadsort", sortU: xsort.Spreadsort, sortKV: xsort.SpreadsortKV}
+}
+
+// SortBI returns the parallel block-sort engine ("Sort_BI") running on p
+// threads (p <= 0 uses GOMAXPROCS).
+func SortBI(p int) Engine {
+	return &sortEngine{
+		name:   "Sort_BI",
+		sortU:  func(a []uint64) { xsort.SortBI(a, p) },
+		sortKV: func(a []xsort.KV) { xsort.SortBIKV(a, p) },
+	}
+}
+
+// SortQSLB returns the parallel load-balanced quicksort engine
+// ("Sort_QSLB") running on p threads (p <= 0 uses GOMAXPROCS).
+func SortQSLB(p int) Engine {
+	return &sortEngine{
+		name:   "Sort_QSLB",
+		sortU:  func(a []uint64) { xsort.SortQSLB(a, p) },
+		sortKV: func(a []xsort.KV) { xsort.SortQSLBKV(a, p) },
+	}
+}
+
+func (e *sortEngine) Name() string       { return e.name }
+func (e *sortEngine) Category() Category { return SortBased }
+
+func (e *sortEngine) VectorCount(keys []uint64) []GroupCount {
+	if len(keys) == 0 {
+		return nil
+	}
+	buf := append([]uint64(nil), keys...)
+	e.sortU(buf)
+	return countRuns(buf)
+}
+
+// countRuns scans an ascending slice and emits one GroupCount per run.
+func countRuns(sorted []uint64) []GroupCount {
+	var out []GroupCount
+	cur, n := sorted[0], uint64(0)
+	for _, k := range sorted {
+		if k != cur {
+			out = append(out, GroupCount{Key: cur, Count: n})
+			cur, n = k, 0
+		}
+		n++
+	}
+	return append(out, GroupCount{Key: cur, Count: n})
+}
+
+func (e *sortEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
+	if len(keys) == 0 {
+		return nil
+	}
+	buf := makeKV(keys, vals)
+	e.sortKV(buf)
+	var out []GroupFloat
+	cur := buf[0].K
+	var st avgState
+	for _, r := range buf {
+		if r.K != cur {
+			out = append(out, GroupFloat{Key: cur, Val: st.avg()})
+			cur, st = r.K, avgState{}
+		}
+		st.sum += r.V
+		st.count++
+	}
+	return append(out, GroupFloat{Key: cur, Val: st.avg()})
+}
+
+func (e *sortEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
+	if len(keys) == 0 {
+		return nil
+	}
+	buf := makeKV(keys, vals)
+	e.sortKV(buf)
+	var out []GroupFloat
+	scratch := make([]uint64, 0, 64)
+	start := 0
+	for i := 1; i <= len(buf); i++ {
+		if i == len(buf) || buf[i].K != buf[start].K {
+			scratch = scratch[:0]
+			for _, r := range buf[start:i] {
+				scratch = append(scratch, r.V)
+			}
+			out = append(out, GroupFloat{Key: buf[start].K, Val: Median(scratch)})
+			start = i
+		}
+	}
+	return out
+}
+
+func (e *sortEngine) ScalarMedian(keys []uint64) (float64, error) {
+	if len(keys) == 0 {
+		return 0, nil
+	}
+	buf := append([]uint64(nil), keys...)
+	e.sortU(buf)
+	return MedianSorted(buf), nil
+}
+
+func (e *sortEngine) VectorCountRange(keys []uint64, lo, hi uint64) ([]GroupCount, error) {
+	if len(keys) == 0 || lo > hi {
+		return nil, nil
+	}
+	buf := append([]uint64(nil), keys...)
+	e.sortU(buf)
+	i := sort.Search(len(buf), func(i int) bool { return buf[i] >= lo })
+	j := sort.Search(len(buf), func(i int) bool { return buf[i] > hi })
+	if i >= j {
+		return nil, nil
+	}
+	return countRuns(buf[i:j]), nil
+}
+
+// makeKV zips keys and vals into records. vals may be shorter (missing
+// values aggregate as zero), which keeps callers that only have keys legal.
+func makeKV(keys, vals []uint64) []xsort.KV {
+	buf := make([]xsort.KV, len(keys))
+	for i, k := range keys {
+		buf[i].K = k
+		if i < len(vals) {
+			buf[i].V = vals[i]
+		}
+	}
+	return buf
+}

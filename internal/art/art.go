@@ -1,0 +1,447 @@
+// Package art implements the Adaptive Radix Tree of Leis, Kemper and
+// Neumann (ICDE 2013) — the paper's ART.
+//
+// Keys are uint64, radix-decomposed into 8 big-endian bytes, so the tree is
+// at most 8 levels deep regardless of how many keys it holds. Inner nodes
+// adapt among four layouts as their fanout grows (Node4 → Node16 → Node48 →
+// Node256), and path compression collapses single-child chains into a
+// per-node prefix, which keeps memory per key low at high cardinality —
+// and, as the paper's Figure 6 observes, makes ART's cache behaviour
+// degrade when unordered high-cardinality input creates many small nodes.
+//
+// The original uses SIMD to search Node16; Go has no stable intrinsics, so
+// Node16 uses a branch-free linear scan (DESIGN.md substitution 3).
+//
+// Iteration yields keys in ascending order — the property that lets a radix
+// tree answer ordered and range queries that hash tables cannot (Q6/Q7).
+package art
+
+// keyLen is the fixed key length in bytes (uint64, big-endian).
+const keyLen = 8
+
+// keyByte extracts byte d (0 = most significant) of key k.
+func keyByte(k uint64, d int) byte {
+	return byte(k >> (8 * (keyLen - 1 - d)))
+}
+
+// header carries the fields shared by all inner node layouts.
+type header struct {
+	numChildren int
+	prefixLen   int
+	prefix      [keyLen]byte // path-compressed bytes preceding this node
+}
+
+type leaf[V any] struct {
+	key uint64
+	val V
+}
+
+type node4[V any] struct {
+	header
+	keys     [4]byte // sorted ascending for in-order iteration
+	children [4]any
+}
+
+type node16[V any] struct {
+	header
+	keys     [16]byte // sorted ascending
+	children [16]any
+}
+
+type node48[V any] struct {
+	header
+	index    [256]uint8 // 0 = absent, else child slot + 1
+	children [48]any
+}
+
+type node256[V any] struct {
+	header
+	children [256]any
+}
+
+// Tree is an adaptive radix tree map from uint64 to V.
+type Tree[V any] struct {
+	root     any
+	size     int
+	pathComp bool
+}
+
+// New returns an empty tree with path compression enabled (the standard
+// ART configuration).
+func New[V any]() *Tree[V] { return &Tree[V]{pathComp: true} }
+
+// NewNoPathCompression returns a tree that materializes every radix level
+// as a chain of Node4s instead of storing compressed prefixes. Only used by
+// the path-compression ablation benchmark.
+func NewNoPathCompression[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+func (t *Tree[V]) hdr(n any) *header {
+	switch n := n.(type) {
+	case *node4[V]:
+		return &n.header
+	case *node16[V]:
+		return &n.header
+	case *node48[V]:
+		return &n.header
+	case *node256[V]:
+		return &n.header
+	}
+	return nil
+}
+
+// findChild returns a pointer to the child slot for byte b, or nil.
+func (t *Tree[V]) findChild(n any, b byte) *any {
+	switch n := n.(type) {
+	case *node4[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if n.keys[i] == b {
+				return &n.children[i]
+			}
+		}
+	case *node16[V]:
+		// Branch-free-ish scan standing in for the original's SIMD compare.
+		for i := 0; i < n.numChildren; i++ {
+			if n.keys[i] == b {
+				return &n.children[i]
+			}
+		}
+	case *node48[V]:
+		if idx := n.index[b]; idx != 0 {
+			return &n.children[idx-1]
+		}
+	case *node256[V]:
+		if n.children[b] != nil {
+			return &n.children[b]
+		}
+	}
+	return nil
+}
+
+// addChild inserts child under byte b, growing the node layout if full.
+// It returns the node that should occupy the parent slot afterwards.
+func (t *Tree[V]) addChild(n any, b byte, child any) any {
+	switch n := n.(type) {
+	case *node4[V]:
+		if n.numChildren < 4 {
+			i := 0
+			for i < n.numChildren && n.keys[i] < b {
+				i++
+			}
+			copy(n.keys[i+1:n.numChildren+1], n.keys[i:n.numChildren])
+			copy(n.children[i+1:n.numChildren+1], n.children[i:n.numChildren])
+			n.keys[i] = b
+			n.children[i] = child
+			n.numChildren++
+			return n
+		}
+		g := &node16[V]{header: n.header}
+		copy(g.keys[:], n.keys[:])
+		copy(g.children[:], n.children[:])
+		return t.addChild(g, b, child)
+	case *node16[V]:
+		if n.numChildren < 16 {
+			i := 0
+			for i < n.numChildren && n.keys[i] < b {
+				i++
+			}
+			copy(n.keys[i+1:n.numChildren+1], n.keys[i:n.numChildren])
+			copy(n.children[i+1:n.numChildren+1], n.children[i:n.numChildren])
+			n.keys[i] = b
+			n.children[i] = child
+			n.numChildren++
+			return n
+		}
+		g := &node48[V]{header: n.header}
+		for i := 0; i < 16; i++ {
+			g.index[n.keys[i]] = uint8(i + 1)
+			g.children[i] = n.children[i]
+		}
+		return t.addChild(g, b, child)
+	case *node48[V]:
+		if n.numChildren < 48 {
+			n.children[n.numChildren] = child
+			n.index[b] = uint8(n.numChildren + 1)
+			n.numChildren++
+			return n
+		}
+		g := &node256[V]{header: n.header}
+		for b2 := 0; b2 < 256; b2++ {
+			if idx := n.index[b2]; idx != 0 {
+				g.children[b2] = n.children[idx-1]
+			}
+		}
+		g.numChildren = 48
+		return t.addChild(g, b, child)
+	case *node256[V]:
+		n.children[b] = child
+		n.numChildren++
+		return n
+	}
+	panic("art: addChild on non-inner node")
+}
+
+// newInner returns a Node4 covering prefix bytes kb[from:to] for key path
+// kb. With path compression the prefix is stored in the node; without it, a
+// chain of empty Node4s is materialized and the innermost node returned
+// along with the outermost (the one to link into the parent).
+func (t *Tree[V]) newInner(kb [keyLen]byte, from, to int) (outer, inner *node4[V]) {
+	n := &node4[V]{}
+	if t.pathComp {
+		n.prefixLen = to - from
+		copy(n.prefix[:], kb[from:to])
+		return n, n
+	}
+	outer = n
+	cur := n
+	for d := from; d < to; d++ {
+		next := &node4[V]{}
+		cur.keys[0] = kb[d]
+		cur.children[0] = next
+		cur.numChildren = 1
+		cur = next
+	}
+	return outer, cur
+}
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. The pointer remains valid for the life of the tree (leaves never
+// move; node growth copies child pointers only).
+func (t *Tree[V]) Upsert(key uint64) *V {
+	var kb [keyLen]byte
+	for i := 0; i < keyLen; i++ {
+		kb[i] = keyByte(key, i)
+	}
+	if t.root == nil {
+		lf := &leaf[V]{key: key}
+		t.root = lf
+		t.size++
+		return &lf.val
+	}
+	slot := &t.root
+	depth := 0
+	for {
+		switch n := (*slot).(type) {
+		case *leaf[V]:
+			if n.key == key {
+				return &n.val
+			}
+			// Lazy expansion: split the leaf at the first differing byte.
+			var ob [keyLen]byte
+			for i := 0; i < keyLen; i++ {
+				ob[i] = keyByte(n.key, i)
+			}
+			d := depth
+			for ob[d] == kb[d] {
+				d++ // keys differ, so d < keyLen is guaranteed
+			}
+			outer, innerN := t.newInner(kb, depth, d)
+			lf := &leaf[V]{key: key}
+			t.addChild(innerN, ob[d], n)
+			t.addChild(innerN, kb[d], lf)
+			*slot = outer
+			t.size++
+			return &lf.val
+		default:
+			h := t.hdr(*slot)
+			// Compare the compressed prefix.
+			mismatch := -1
+			for i := 0; i < h.prefixLen; i++ {
+				if h.prefix[i] != kb[depth+i] {
+					mismatch = i
+					break
+				}
+			}
+			if mismatch >= 0 {
+				// Split the prefix at the mismatch point.
+				outer, innerN := t.newInner(kb, depth, depth+mismatch)
+				old := *slot
+				oldByte := h.prefix[mismatch]
+				// Trim the old node's prefix past the split byte.
+				rem := h.prefixLen - mismatch - 1
+				copy(h.prefix[:], h.prefix[mismatch+1:mismatch+1+rem])
+				h.prefixLen = rem
+				lf := &leaf[V]{key: key}
+				t.addChild(innerN, oldByte, old)
+				t.addChild(innerN, kb[depth+mismatch], lf)
+				*slot = outer
+				t.size++
+				return &lf.val
+			}
+			depth += h.prefixLen
+			b := kb[depth]
+			child := t.findChild(*slot, b)
+			if child == nil {
+				lf := &leaf[V]{key: key}
+				*slot = t.addChild(*slot, b, lf)
+				t.size++
+				return &lf.val
+			}
+			slot = child
+			depth++
+		}
+	}
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Tree[V]) Get(key uint64) *V {
+	n := t.root
+	depth := 0
+	for n != nil {
+		if lf, ok := n.(*leaf[V]); ok {
+			if lf.key == key {
+				return &lf.val
+			}
+			return nil
+		}
+		h := t.hdr(n)
+		for i := 0; i < h.prefixLen; i++ {
+			if h.prefix[i] != keyByte(key, depth+i) {
+				return nil
+			}
+		}
+		depth += h.prefixLen
+		child := t.findChild(n, keyByte(key, depth))
+		if child == nil {
+			return nil
+		}
+		n = *child
+		depth++
+	}
+	return nil
+}
+
+// Iterate calls fn for every key/value pair in ascending key order,
+// stopping early if fn returns false.
+func (t *Tree[V]) Iterate(fn func(key uint64, val *V) bool) {
+	t.iter(t.root, fn)
+}
+
+func (t *Tree[V]) iter(n any, fn func(uint64, *V) bool) bool {
+	switch n := n.(type) {
+	case nil:
+		return true
+	case *leaf[V]:
+		return fn(n.key, &n.val)
+	case *node4[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if !t.iter(n.children[i], fn) {
+				return false
+			}
+		}
+	case *node16[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if !t.iter(n.children[i], fn) {
+				return false
+			}
+		}
+	case *node48[V]:
+		for b := 0; b < 256; b++ {
+			if idx := n.index[b]; idx != 0 {
+				if !t.iter(n.children[idx-1], fn) {
+					return false
+				}
+			}
+		}
+	case *node256[V]:
+		for b := 0; b < 256; b++ {
+			if n.children[b] != nil {
+				if !t.iter(n.children[b], fn) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Range calls fn for every pair with lo <= key <= hi in ascending order,
+// stopping early if fn returns false. Subtrees whose reachable key interval
+// cannot intersect [lo, hi] are pruned using the radix structure.
+func (t *Tree[V]) Range(lo, hi uint64, fn func(key uint64, val *V) bool) {
+	t.rng(t.root, 0, 0, lo, hi, fn)
+}
+
+// rng walks node n whose path so far fixes the top `depth` bytes of every
+// reachable key to the corresponding bytes of acc.
+func (t *Tree[V]) rng(n any, acc uint64, depth int, lo, hi uint64, fn func(uint64, *V) bool) bool {
+	switch n := n.(type) {
+	case nil:
+		return true
+	case *leaf[V]:
+		if n.key < lo {
+			return true
+		}
+		if n.key > hi {
+			return false // keys arrive in order; past hi means done
+		}
+		return fn(n.key, &n.val)
+	}
+	h := t.hdr(n)
+	for i := 0; i < h.prefixLen; i++ {
+		acc |= uint64(h.prefix[i]) << (8 * (keyLen - 1 - depth - i))
+	}
+	depth += h.prefixLen
+	if !subtreeIntersects(acc, depth, lo, hi) {
+		// Entirely below lo → skip but continue siblings; entirely above
+		// hi → stop the whole walk.
+		return subtreeMax(acc, depth) < lo
+	}
+	desc := func(b byte, child any) bool {
+		childAcc := acc | uint64(b)<<(8*(keyLen-1-depth))
+		if !subtreeIntersects(childAcc, depth+1, lo, hi) {
+			return subtreeMax(childAcc, depth+1) < lo
+		}
+		return t.rng(child, childAcc, depth+1, lo, hi, fn)
+	}
+	switch n := n.(type) {
+	case *node4[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if !desc(n.keys[i], n.children[i]) {
+				return false
+			}
+		}
+	case *node16[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if !desc(n.keys[i], n.children[i]) {
+				return false
+			}
+		}
+	case *node48[V]:
+		for b := 0; b < 256; b++ {
+			if idx := n.index[b]; idx != 0 {
+				if !desc(byte(b), n.children[idx-1]) {
+					return false
+				}
+			}
+		}
+	case *node256[V]:
+		for b := 0; b < 256; b++ {
+			if n.children[b] != nil {
+				if !desc(byte(b), n.children[b]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// subtreeMin/Max give the smallest and largest key reachable under a path
+// that fixes the top `depth` bytes of acc.
+func subtreeMin(acc uint64, depth int) uint64 {
+	return acc // remaining bytes zero
+}
+
+func subtreeMax(acc uint64, depth int) uint64 {
+	if depth >= keyLen {
+		return acc
+	}
+	return acc | (uint64(1)<<(8*(keyLen-depth)) - 1)
+}
+
+func subtreeIntersects(acc uint64, depth int, lo, hi uint64) bool {
+	return subtreeMax(acc, depth) >= lo && subtreeMin(acc, depth) <= hi
+}

@@ -1,0 +1,380 @@
+package art
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func trees() map[string]func() *Tree[uint64] {
+	return map[string]func() *Tree[uint64]{
+		"pathComp":   New[uint64],
+		"noPathComp": NewNoPathCompression[uint64],
+	}
+}
+
+func TestUpsertGetBasic(t *testing.T) {
+	for name, mk := range trees() {
+		tr := mk()
+		for k := uint64(0); k < 10000; k++ {
+			*tr.Upsert(k) = k + 1
+		}
+		if tr.Len() != 10000 {
+			t.Errorf("%s: Len=%d", name, tr.Len())
+		}
+		for k := uint64(0); k < 10000; k++ {
+			v := tr.Get(k)
+			if v == nil || *v != k+1 {
+				t.Fatalf("%s: Get(%d) wrong", name, k)
+			}
+		}
+		if tr.Get(99999999) != nil {
+			t.Errorf("%s: found absent key", name)
+		}
+	}
+}
+
+func TestSparseKeysForceAllNodeTypes(t *testing.T) {
+	// Keys spread over the full 64-bit space create deep prefixes; dense
+	// low bytes grow nodes through 4→16→48→256.
+	tr := New[uint64]()
+	var keys []uint64
+	rng := dataset.NewRNG(3)
+	for i := 0; i < 300; i++ {
+		base := rng.Next() &^ 0xffff // random high bits
+		for b := uint64(0); b < 300; b += 7 {
+			keys = append(keys, base|b)
+		}
+	}
+	for i, k := range keys {
+		*tr.Upsert(k) = uint64(i)
+	}
+	for i, k := range keys {
+		v := tr.Get(k)
+		// Later duplicates overwrite earlier; find last index for k.
+		if v == nil {
+			t.Fatalf("key %d missing", k)
+		}
+		_ = i
+	}
+	// Count node types to prove adaptivity actually engaged.
+	var n4, n16, n48, n256 int
+	var walk func(n any)
+	walk = func(n any) {
+		switch n := n.(type) {
+		case *node4[uint64]:
+			n4++
+			for i := 0; i < n.numChildren; i++ {
+				walk(n.children[i])
+			}
+		case *node16[uint64]:
+			n16++
+			for i := 0; i < n.numChildren; i++ {
+				walk(n.children[i])
+			}
+		case *node48[uint64]:
+			n48++
+			for b := 0; b < 256; b++ {
+				if idx := n.index[b]; idx != 0 {
+					walk(n.children[idx-1])
+				}
+			}
+		case *node256[uint64]:
+			n256++
+			for b := 0; b < 256; b++ {
+				if n.children[b] != nil {
+					walk(n.children[b])
+				}
+			}
+		}
+	}
+	walk(tr.root)
+	if n4 == 0 || n16 == 0 || n48 == 0 {
+		t.Fatalf("node mix n4=%d n16=%d n48=%d n256=%d; adaptivity not exercised",
+			n4, n16, n48, n256)
+	}
+}
+
+func TestNode256Reached(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 256; k++ {
+		tr.Upsert(k) // all under one parent at the last byte
+	}
+	found256 := false
+	var walk func(n any)
+	walk = func(n any) {
+		switch n := n.(type) {
+		case *node4[uint64]:
+			for i := 0; i < n.numChildren; i++ {
+				walk(n.children[i])
+			}
+		case *node16[uint64]:
+			for i := 0; i < n.numChildren; i++ {
+				walk(n.children[i])
+			}
+		case *node48[uint64]:
+			for b := 0; b < 256; b++ {
+				if idx := n.index[b]; idx != 0 {
+					walk(n.children[idx-1])
+				}
+			}
+		case *node256[uint64]:
+			found256 = true
+		}
+	}
+	walk(tr.root)
+	if !found256 {
+		t.Fatal("256 dense keys did not produce a Node256")
+	}
+}
+
+func TestIterateSortedAllDistributions(t *testing.T) {
+	for name, mk := range trees() {
+		for _, kind := range dataset.Kinds {
+			tr := mk()
+			spec := dataset.Spec{Kind: kind, N: 20000, Cardinality: 1500, Seed: 7}
+			keys := spec.Keys()
+			uniq := map[uint64]bool{}
+			for _, k := range keys {
+				*tr.Upsert(k)++
+				uniq[k] = true
+			}
+			var got []uint64
+			tr.Iterate(func(k uint64, _ *uint64) bool {
+				got = append(got, k)
+				return true
+			})
+			if len(got) != len(uniq) {
+				t.Fatalf("%s/%v: iterated %d want %d", name, kind, len(got), len(uniq))
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("%s/%v: iteration not sorted", name, kind)
+			}
+		}
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(1); k <= 1000; k++ {
+		tr.Upsert(k)
+	}
+	n := 0
+	tr.Iterate(func(uint64, *uint64) bool { n++; return n < 4 })
+	if n != 4 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestUpsertPointerStability(t *testing.T) {
+	// ART leaves never move, so Upsert pointers stay valid across inserts —
+	// unlike the open-addressing tables.
+	tr := New[uint64]()
+	p := tr.Upsert(42)
+	*p = 7
+	for k := uint64(1000); k < 5000; k++ {
+		tr.Upsert(k)
+	}
+	if *p != 7 || *tr.Get(42) != 7 {
+		t.Fatal("leaf value moved")
+	}
+	*p = 9
+	if *tr.Get(42) != 9 {
+		t.Fatal("stale pointer")
+	}
+}
+
+func TestRange(t *testing.T) {
+	for name, mk := range trees() {
+		tr := mk()
+		for k := uint64(0); k < 100000; k += 5 {
+			*tr.Upsert(k) = k
+		}
+		var got []uint64
+		tr.Range(1001, 2004, func(k uint64, v *uint64) bool {
+			if *v != k {
+				t.Fatalf("%s: value mismatch", name)
+			}
+			got = append(got, k)
+			return true
+		})
+		var want []uint64
+		for k := uint64(1005); k <= 2000; k += 5 {
+			want = append(want, k)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: range %d keys want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: range[%d]=%d want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRangeFullAndEmpty(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Random(5000, 1, 1<<45, 2)
+	uniq := map[uint64]bool{}
+	for _, k := range keys {
+		tr.Upsert(k)
+		uniq[k] = true
+	}
+	n := 0
+	tr.Range(0, ^uint64(0), func(uint64, *uint64) bool { n++; return true })
+	if n != len(uniq) {
+		t.Fatalf("full range visited %d want %d", n, len(uniq))
+	}
+	n = 0
+	tr.Range(1<<50, 1<<51, func(uint64, *uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+}
+
+func TestRangeBoundaryInclusive(t *testing.T) {
+	tr := New[uint64]()
+	for _, k := range []uint64{10, 20, 30} {
+		tr.Upsert(k)
+	}
+	var got []uint64
+	tr.Range(10, 30, func(k uint64, _ *uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Fatalf("inclusive bounds broken: %v", got)
+	}
+}
+
+func TestExtremeDomainKeys(t *testing.T) {
+	tr := New[uint64]()
+	keys := []uint64{0, 1, ^uint64(0), ^uint64(0) - 1, 1 << 63, 1<<63 - 1}
+	for _, k := range keys {
+		*tr.Upsert(k) = k ^ 0xabc
+	}
+	for _, k := range keys {
+		v := tr.Get(k)
+		if v == nil || *v != k^0xabc {
+			t.Fatalf("extreme key %d wrong", k)
+		}
+	}
+}
+
+func TestQuickPropertyMatchesModel(t *testing.T) {
+	for name, mk := range trees() {
+		mk := mk
+		f := func(keys []uint64) bool {
+			tr := mk()
+			model := map[uint64]uint64{}
+			for _, k := range keys {
+				*tr.Upsert(k)++
+				model[k]++
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+			ok := true
+			prev := uint64(0)
+			first := true
+			tr.Iterate(func(k uint64, v *uint64) bool {
+				if model[k] != *v {
+					ok = false
+				}
+				if !first && k <= prev {
+					ok = false
+				}
+				prev, first = k, false
+				return ok
+			})
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestQuickPropertyRangeMatchesFilter(t *testing.T) {
+	f := func(keys []uint64, lo, hi uint64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New[uint64]()
+		uniq := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Upsert(k)
+			uniq[k] = true
+		}
+		want := 0
+		for k := range uniq {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := 0
+		tr.Range(lo, hi, func(k uint64, _ *uint64) bool {
+			if k < lo || k > hi {
+				return false
+			}
+			got++
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathCompressionReducesNodes(t *testing.T) {
+	count := func(tr *Tree[uint64]) int {
+		n := 0
+		var walk func(x any)
+		walk = func(x any) {
+			switch x := x.(type) {
+			case *node4[uint64]:
+				n++
+				for i := 0; i < x.numChildren; i++ {
+					walk(x.children[i])
+				}
+			case *node16[uint64]:
+				n++
+				for i := 0; i < x.numChildren; i++ {
+					walk(x.children[i])
+				}
+			case *node48[uint64]:
+				n++
+				for b := 0; b < 256; b++ {
+					if idx := x.index[b]; idx != 0 {
+						walk(x.children[idx-1])
+					}
+				}
+			case *node256[uint64]:
+				n++
+				for b := 0; b < 256; b++ {
+					if x.children[b] != nil {
+						walk(x.children[b])
+					}
+				}
+			}
+		}
+		walk(tr.root)
+		return n
+	}
+	// Small-range keys share six leading zero bytes, so every leaf split
+	// creates a long common prefix — chains without compression.
+	keys := dataset.Random(2000, 1, 1<<16, 6)
+	a, b := New[uint64](), NewNoPathCompression[uint64]()
+	for _, k := range keys {
+		a.Upsert(k)
+		b.Upsert(k)
+	}
+	ca, cb := count(a), count(b)
+	if ca >= cb {
+		t.Fatalf("path compression did not reduce node count: %d vs %d", ca, cb)
+	}
+}

@@ -1,0 +1,158 @@
+package art
+
+// Delete removes key from the tree, returning whether it was present.
+// Node layouts shrink on the reverse of the growth schedule (Node256 →
+// Node48 → Node16 → Node4), and a Node4 left with a single child collapses
+// into that child, folding its radix byte into the child's compressed
+// prefix — the inverse of the insert path's prefix split. In the
+// no-path-compression configuration single-child chains are legal, so only
+// the leaf-collapse applies.
+func (t *Tree[V]) Delete(key uint64) bool {
+	switch n := t.root.(type) {
+	case nil:
+		return false
+	case *leaf[V]:
+		if n.key != key {
+			return false
+		}
+		t.root = nil
+		t.size--
+		return true
+	}
+	if !t.deleteRec(&t.root, key, 0) {
+		return false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[V]) deleteRec(slot *any, key uint64, depth int) bool {
+	h := t.hdr(*slot)
+	for i := 0; i < h.prefixLen; i++ {
+		if h.prefix[i] != keyByte(key, depth+i) {
+			return false
+		}
+	}
+	depth += h.prefixLen
+	b := keyByte(key, depth)
+	childSlot := t.findChild(*slot, b)
+	if childSlot == nil {
+		return false
+	}
+	if lf, ok := (*childSlot).(*leaf[V]); ok {
+		if lf.key != key {
+			return false
+		}
+		t.removeChild(slot, b)
+		return true
+	}
+	if !t.deleteRec(childSlot, key, depth+1) {
+		return false
+	}
+	// The child may itself have collapsed to a single entry; if it became
+	// a one-child Node4 it has already folded itself (removeChild handles
+	// that inside the child's own frame via the slot pointer).
+	return true
+}
+
+// removeChild deletes the entry for byte b from the inner node at slot,
+// shrinking or collapsing the node as needed.
+func (t *Tree[V]) removeChild(slot *any, b byte) {
+	switch n := (*slot).(type) {
+	case *node4[V]:
+		i := 0
+		for i < n.numChildren && n.keys[i] != b {
+			i++
+		}
+		copy(n.keys[i:n.numChildren-1], n.keys[i+1:n.numChildren])
+		copy(n.children[i:n.numChildren-1], n.children[i+1:n.numChildren])
+		n.numChildren--
+		n.children[n.numChildren] = nil
+		if n.numChildren == 1 {
+			t.collapseNode4(slot, n)
+		}
+	case *node16[V]:
+		i := 0
+		for i < n.numChildren && n.keys[i] != b {
+			i++
+		}
+		copy(n.keys[i:n.numChildren-1], n.keys[i+1:n.numChildren])
+		copy(n.children[i:n.numChildren-1], n.children[i+1:n.numChildren])
+		n.numChildren--
+		n.children[n.numChildren] = nil
+		if n.numChildren <= 3 {
+			s := &node4[V]{header: n.header}
+			copy(s.keys[:], n.keys[:n.numChildren])
+			copy(s.children[:], n.children[:n.numChildren])
+			*slot = s
+		}
+	case *node48[V]:
+		idx := n.index[b] // caller guarantees presence
+		n.index[b] = 0
+		last := uint8(n.numChildren)
+		if idx != last {
+			// Keep the child array packed: move the last child into the
+			// freed slot and rewire its index entry.
+			for bb := 0; bb < 256; bb++ {
+				if n.index[bb] == last {
+					n.index[bb] = idx
+					break
+				}
+			}
+			n.children[idx-1] = n.children[last-1]
+		}
+		n.children[last-1] = nil
+		n.numChildren--
+		if n.numChildren <= 12 {
+			s := &node16[V]{header: n.header}
+			j := 0
+			for bb := 0; bb < 256; bb++ {
+				if ix := n.index[bb]; ix != 0 {
+					s.keys[j] = byte(bb)
+					s.children[j] = n.children[ix-1]
+					j++
+				}
+			}
+			*slot = s
+		}
+	case *node256[V]:
+		n.children[b] = nil
+		n.numChildren--
+		if n.numChildren <= 36 {
+			s := &node48[V]{header: n.header}
+			j := 0
+			for bb := 0; bb < 256; bb++ {
+				if n.children[bb] != nil {
+					s.children[j] = n.children[bb]
+					s.index[bb] = uint8(j + 1)
+					j++
+				}
+			}
+			*slot = s
+		}
+	}
+}
+
+// collapseNode4 replaces a one-child Node4 with its child. A leaf child
+// substitutes directly (it stores the full key); an inner child absorbs
+// the node's prefix plus the linking byte into its own prefix when path
+// compression is on.
+func (t *Tree[V]) collapseNode4(slot *any, n *node4[V]) {
+	child := n.children[0]
+	if _, isLeaf := child.(*leaf[V]); isLeaf {
+		*slot = child
+		return
+	}
+	if !t.pathComp {
+		return // chains are the representation; leave the node in place
+	}
+	ch := t.hdr(child)
+	var merged [keyLen]byte
+	m := copy(merged[:], n.prefix[:n.prefixLen])
+	merged[m] = n.keys[0]
+	m++
+	m += copy(merged[m:], ch.prefix[:ch.prefixLen])
+	ch.prefix = merged
+	ch.prefixLen = m
+	*slot = child
+}

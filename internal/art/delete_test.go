@@ -1,0 +1,154 @@
+package art
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	for name, mk := range trees() {
+		tr := mk()
+		for k := uint64(0); k < 1000; k++ {
+			*tr.Upsert(k) = k
+		}
+		for k := uint64(0); k < 1000; k += 2 {
+			if !tr.Delete(k) {
+				t.Fatalf("%s: Delete(%d) reported absent", name, k)
+			}
+		}
+		if tr.Delete(5000) {
+			t.Fatalf("%s: deleted absent key", name)
+		}
+		if tr.Len() != 500 {
+			t.Fatalf("%s: Len=%d want 500", name, tr.Len())
+		}
+		for k := uint64(0); k < 1000; k++ {
+			want := k%2 == 1
+			if got := tr.Get(k) != nil; got != want {
+				t.Fatalf("%s: Get(%d)=%v want %v", name, k, got, want)
+			}
+		}
+	}
+}
+
+func TestDeleteAllLeavesEmptyTree(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Random(20000, 1, 1<<45, 9)
+	uniq := map[uint64]bool{}
+	for _, k := range keys {
+		tr.Upsert(k)
+		uniq[k] = true
+	}
+	for k := range uniq {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatalf("tree not empty: len=%d root=%v", tr.Len(), tr.root)
+	}
+}
+
+func TestDeleteShrinksNodeForms(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 256; k++ {
+		tr.Upsert(k) // builds a Node256 at the last level
+	}
+	for k := uint64(2); k < 256; k++ {
+		tr.Delete(k) // down to 2 children: must shrink through 48/16 to 4
+	}
+	if _, ok := tr.root.(*node4[uint64]); !ok {
+		t.Fatalf("root is %T, want *node4 after shrink", tr.root)
+	}
+	if tr.Get(0) == nil || tr.Get(1) == nil {
+		t.Fatal("survivors lost during shrink")
+	}
+	tr.Delete(1)
+	if _, ok := tr.root.(*leaf[uint64]); !ok {
+		t.Fatalf("root is %T, want collapsed *leaf", tr.root)
+	}
+}
+
+func TestDeleteCollapseMergesPrefix(t *testing.T) {
+	tr := New[uint64]()
+	// Three keys sharing 6 leading zero bytes; removing one of the two
+	// keys under the deeper split must merge prefixes and keep the other
+	// reachable.
+	tr.Upsert(0x0101)
+	tr.Upsert(0x0102)
+	tr.Upsert(0x0201)
+	if !tr.Delete(0x0102) {
+		t.Fatal("delete failed")
+	}
+	if tr.Get(0x0101) == nil || tr.Get(0x0201) == nil {
+		t.Fatal("prefix merge lost surviving keys")
+	}
+	// Iteration must remain sorted and complete.
+	var got []uint64
+	tr.Iterate(func(k uint64, _ *uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != 0x0101 || got[1] != 0x0201 {
+		t.Fatalf("iteration after collapse = %v", got)
+	}
+}
+
+func TestQuickDeleteMatchesModel(t *testing.T) {
+	for name, mk := range trees() {
+		mk := mk
+		f := func(ops []uint16) bool {
+			tr := mk()
+			model := map[uint64]uint64{}
+			for _, op := range ops {
+				k := uint64(op % 200)
+				if (op/200)%3 == 0 {
+					delete(model, k)
+					tr.Delete(k)
+				} else {
+					*tr.Upsert(k)++
+					model[k]++
+				}
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+			ok := true
+			tr.Iterate(func(k uint64, v *uint64) bool {
+				if model[k] != *v {
+					ok = false
+				}
+				return ok
+			})
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Spec{Kind: dataset.Zipf, N: 20000, Cardinality: 2000, Seed: 3}.Keys()
+	for _, k := range keys {
+		tr.Upsert(k)
+	}
+	before := tr.Len()
+	for _, k := range keys[:5000] {
+		tr.Delete(k)
+	}
+	for _, k := range keys {
+		*tr.Upsert(k) = k
+	}
+	if tr.Len() != before {
+		t.Fatalf("Len=%d want %d after churn", tr.Len(), before)
+	}
+	for _, k := range keys {
+		if v := tr.Get(k); v == nil || *v != k {
+			t.Fatalf("key %d wrong after churn", k)
+		}
+	}
+}

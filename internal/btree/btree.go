@@ -1,0 +1,254 @@
+// Package btree implements a cache-conscious in-memory B+tree keyed by
+// uint64 — the analog of the STX B+tree the paper evaluates (Btree).
+//
+// Characteristics the paper's analysis relies on:
+//
+//   - high fanout (wide, shallow tree) so few node hops per lookup;
+//   - all records in the leaves, with leaves linked left-to-right, which is
+//     what makes full iteration and range scans dramatically faster than on
+//     the other structures (Figures 3 and 8);
+//   - O(log n) insert/search with rebalancing cost paid during the build
+//     phase.
+//
+// Keys are kept in fixed-size arrays inside each node so a node search
+// touches a small number of contiguous cache lines.
+package btree
+
+// nodeCap is the maximum number of keys per node. 32 keys × 8 bytes = 256
+// bytes of key data per node, matching the STX B+tree's target of a few
+// cache lines per node.
+const nodeCap = 32
+
+// minKeys is the minimum occupancy of a non-root node after deletion.
+const minKeys = nodeCap / 2
+
+type node[V any] struct {
+	n    int
+	keys [nodeCap]uint64
+	// Exactly one of kids/vals is non-nil: inner nodes carry n+1 children,
+	// leaves carry n values and the right-sibling link.
+	kids []*node[V] // cap nodeCap+1
+	vals []V        // cap nodeCap
+	next *node[V]
+}
+
+func (nd *node[V]) leaf() bool { return nd.kids == nil }
+
+func newLeaf[V any]() *node[V] {
+	return &node[V]{vals: make([]V, nodeCap)}
+}
+
+func newInner[V any]() *node[V] {
+	return &node[V]{kids: make([]*node[V], nodeCap+1)}
+}
+
+// Tree is a B+tree map from uint64 to V. The zero value is not usable; call
+// New.
+type Tree[V any] struct {
+	root   *node[V]
+	height int // number of levels (1 = root is a leaf)
+	size   int
+	head   *node[V] // leftmost leaf, for iteration
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	l := newLeaf[V]()
+	return &Tree[V]{root: l, height: 1, head: l}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Height returns the number of levels in the tree.
+func (t *Tree[V]) Height() int { return t.height }
+
+// search returns the index of the first key in nd >= key.
+func (nd *node[V]) search(key uint64) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the child slot to descend into for key. Separator
+// semantics: child i holds keys < keys[i]; keys >= keys[i] go right, so an
+// equal separator descends to i+1.
+func (nd *node[V]) childIndex(key uint64) int {
+	i := nd.search(key)
+	if i < nd.n && nd.keys[i] == key {
+		return i + 1
+	}
+	return i
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Tree[V]) Get(key uint64) *V {
+	nd := t.root
+	for !nd.leaf() {
+		nd = nd.kids[nd.childIndex(key)]
+	}
+	i := nd.search(key)
+	if i < nd.n && nd.keys[i] == key {
+		return &nd.vals[i]
+	}
+	return nil
+}
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. The pointer is valid until the next mutating call (splits move
+// entries).
+func (t *Tree[V]) Upsert(key uint64) *V {
+	v, split, sepKey, right := t.insert(t.root, key)
+	if split {
+		// Root split: grow the tree by one level.
+		nr := newInner[V]()
+		nr.n = 1
+		nr.keys[0] = sepKey
+		nr.kids[0] = t.root
+		nr.kids[1] = right
+		t.root = nr
+		t.height++
+	}
+	return v
+}
+
+// insert descends to the leaf, inserting key. If the child had to split,
+// the new right sibling and its separator key bubble up.
+func (t *Tree[V]) insert(nd *node[V], key uint64) (v *V, split bool, sepKey uint64, right *node[V]) {
+	if nd.leaf() {
+		i := nd.search(key)
+		if i < nd.n && nd.keys[i] == key {
+			return &nd.vals[i], false, 0, nil
+		}
+		if nd.n == nodeCap {
+			sepKey, right = t.splitLeaf(nd)
+			if key >= sepKey {
+				nd = right
+				i = nd.search(key)
+			}
+			// Insert below, then report the split upward.
+			v = leafInsertAt(nd, i, key)
+			t.size++
+			return v, true, sepKey, right
+		}
+		v = leafInsertAt(nd, i, key)
+		t.size++
+		return v, false, 0, nil
+	}
+
+	ci := nd.childIndex(key)
+	v, childSplit, childSep, childRight := t.insert(nd.kids[ci], key)
+	if !childSplit {
+		return v, false, 0, nil
+	}
+	// Add childSep/childRight into this inner node.
+	if nd.n == nodeCap {
+		sepKey, right = t.splitInner(nd)
+		target := nd
+		if childSep >= sepKey {
+			target = right
+		}
+		innerInsertAt(target, target.childIndex(childSep), childSep, childRight)
+		return v, true, sepKey, right
+	}
+	innerInsertAt(nd, ci, childSep, childRight)
+	return v, false, 0, nil
+}
+
+// leafInsertAt inserts key at index i of leaf nd and returns the value slot.
+func leafInsertAt[V any](nd *node[V], i int, key uint64) *V {
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	copy(nd.vals[i+1:nd.n+1], nd.vals[i:nd.n])
+	nd.keys[i] = key
+	var zero V
+	nd.vals[i] = zero
+	nd.n++
+	return &nd.vals[i]
+}
+
+// innerInsertAt inserts separator key and right child after child slot i.
+func innerInsertAt[V any](nd *node[V], i int, key uint64, right *node[V]) {
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	copy(nd.kids[i+2:nd.n+2], nd.kids[i+1:nd.n+1])
+	nd.keys[i] = key
+	nd.kids[i+1] = right
+	nd.n++
+}
+
+// splitLeaf moves the upper half of nd into a new right sibling and returns
+// the first right key as separator.
+func (t *Tree[V]) splitLeaf(nd *node[V]) (sepKey uint64, right *node[V]) {
+	right = newLeaf[V]()
+	mid := nd.n / 2
+	copy(right.keys[:], nd.keys[mid:nd.n])
+	copy(right.vals, nd.vals[mid:nd.n])
+	right.n = nd.n - mid
+	var zero V
+	for i := mid; i < nd.n; i++ {
+		nd.vals[i] = zero
+	}
+	nd.n = mid
+	right.next = nd.next
+	nd.next = right
+	return right.keys[0], right
+}
+
+// splitInner moves the upper half of nd into a new right sibling, promoting
+// the middle key as separator.
+func (t *Tree[V]) splitInner(nd *node[V]) (sepKey uint64, right *node[V]) {
+	right = newInner[V]()
+	mid := nd.n / 2
+	sepKey = nd.keys[mid]
+	copy(right.keys[:], nd.keys[mid+1:nd.n])
+	copy(right.kids, nd.kids[mid+1:nd.n+1])
+	right.n = nd.n - mid - 1
+	for i := mid + 1; i <= nd.n; i++ {
+		nd.kids[i] = nil
+	}
+	nd.n = mid
+	return sepKey, right
+}
+
+// Iterate calls fn for every key/value pair in ascending key order,
+// stopping early if fn returns false.
+func (t *Tree[V]) Iterate(fn func(key uint64, val *V) bool) {
+	for l := t.head; l != nil; l = l.next {
+		for i := 0; i < l.n; i++ {
+			if !fn(l.keys[i], &l.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Range calls fn for every pair with lo <= key <= hi in ascending order,
+// stopping early if fn returns false. This is the linked-leaf range scan
+// that dominates the paper's Figure 8: one descent plus sequential leaf
+// hops.
+func (t *Tree[V]) Range(lo, hi uint64, fn func(key uint64, val *V) bool) {
+	nd := t.root
+	for !nd.leaf() {
+		nd = nd.kids[nd.childIndex(lo)]
+	}
+	for l := nd; l != nil; l = l.next {
+		for i := 0; i < l.n; i++ {
+			k := l.keys[i]
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			if !fn(k, &l.vals[i]) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+// checkInvariants walks the tree verifying every structural invariant:
+// uniform leaf depth, sorted keys, separator bounds, minimum occupancy of
+// non-root nodes, and leaf-chain consistency.
+func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
+	t.Helper()
+	leafDepth := -1
+	var walk func(nd *node[V], depth int, lo, hi uint64, hasLo, hasHi bool)
+	count := 0
+	walk = func(nd *node[V], depth int, lo, hi uint64, hasLo, hasHi bool) {
+		// Leaves split into minKeys/minKeys halves; an inner split promotes
+		// one key, so its right half may legally hold minKeys-1 keys
+		// (ceil(m/2) children).
+		min := minKeys
+		if !nd.leaf() {
+			min = minKeys - 1
+		}
+		if nd != tr.root && nd.n < min {
+			t.Fatalf("node at depth %d underflowed: n=%d", depth, nd.n)
+		}
+		for i := 1; i < nd.n; i++ {
+			if nd.keys[i-1] >= nd.keys[i] {
+				t.Fatalf("keys out of order at depth %d", depth)
+			}
+		}
+		for i := 0; i < nd.n; i++ {
+			k := nd.keys[i]
+			if hasLo && k < lo {
+				t.Fatalf("key %d below subtree bound %d", k, lo)
+			}
+			if hasHi && k >= hi {
+				t.Fatalf("key %d at/above subtree bound %d", k, hi)
+			}
+		}
+		if nd.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaf depth %d != %d", depth, leafDepth)
+			}
+			count += nd.n
+			return
+		}
+		for i := 0; i <= nd.n; i++ {
+			clo, chi := lo, hi
+			cHasLo, cHasHi := hasLo, hasHi
+			if i > 0 {
+				clo, cHasLo = nd.keys[i-1], true
+			}
+			if i < nd.n {
+				chi, cHasHi = nd.keys[i], true
+			}
+			if nd.kids[i] == nil {
+				t.Fatalf("nil child %d at depth %d", i, depth)
+			}
+			walk(nd.kids[i], depth+1, clo, chi, cHasLo, cHasHi)
+		}
+	}
+	walk(tr.root, 1, 0, 0, false, false)
+	if leafDepth != tr.height {
+		t.Fatalf("height %d but leaves at depth %d", tr.height, leafDepth)
+	}
+	if count != tr.size {
+		t.Fatalf("size %d but %d keys in leaves", tr.size, count)
+	}
+	// Leaf chain must enumerate the same count, ascending.
+	chainCount := 0
+	var prev uint64
+	first := true
+	for l := tr.head; l != nil; l = l.next {
+		for i := 0; i < l.n; i++ {
+			if !first && l.keys[i] <= prev {
+				t.Fatalf("leaf chain not ascending at %d", l.keys[i])
+			}
+			prev = l.keys[i]
+			first = false
+			chainCount++
+		}
+	}
+	if chainCount != tr.size {
+		t.Fatalf("leaf chain holds %d keys, size %d", chainCount, tr.size)
+	}
+}
+
+func TestUpsertGetAscending(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(1); k <= 10000; k++ {
+		*tr.Upsert(k) = k * 2
+	}
+	checkInvariants(t, tr)
+	for k := uint64(1); k <= 10000; k++ {
+		v := tr.Get(k)
+		if v == nil || *v != k*2 {
+			t.Fatalf("Get(%d) wrong", k)
+		}
+	}
+	if tr.Get(0) != nil || tr.Get(10001) != nil {
+		t.Fatal("absent key found")
+	}
+	if tr.Height() < 2 {
+		t.Fatal("tree did not grow")
+	}
+}
+
+func TestUpsertRandomAndDuplicates(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Spec{Kind: dataset.Zipf, N: 50000, Cardinality: 3000, Seed: 1}.Keys()
+	want := map[uint64]uint64{}
+	for _, k := range keys {
+		*tr.Upsert(k)++
+		want[k]++
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(want))
+	}
+	for k, c := range want {
+		v := tr.Get(k)
+		if v == nil || *v != c {
+			t.Fatalf("key %d count wrong", k)
+		}
+	}
+}
+
+func TestIterateSortedOrder(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Random(20000, 1, 1<<40, 9)
+	for _, k := range keys {
+		*tr.Upsert(k) = k
+	}
+	uniq := map[uint64]bool{}
+	for _, k := range keys {
+		uniq[k] = true
+	}
+	var got []uint64
+	tr.Iterate(func(k uint64, v *uint64) bool {
+		if *v != k {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(uniq) {
+		t.Fatalf("iterated %d keys want %d", len(got), len(uniq))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("iteration not sorted")
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(1); k <= 100; k++ {
+		tr.Upsert(k)
+	}
+	n := 0
+	tr.Iterate(func(uint64, *uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 10000; k += 2 { // even keys only
+		*tr.Upsert(k) = k
+	}
+	var got []uint64
+	tr.Range(101, 999, func(k uint64, _ *uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []uint64
+	for k := uint64(102); k <= 998; k += 2 {
+		want = append(want, k)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range returned %d keys want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	// Degenerate ranges.
+	n := 0
+	tr.Range(5000, 5000, func(uint64, *uint64) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("point range visited %d", n)
+	}
+	n = 0
+	tr.Range(10001, 20000, func(uint64, *uint64) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(1); k <= 1000; k++ {
+		tr.Upsert(k)
+	}
+	n := 0
+	tr.Range(1, 1000, func(uint64, *uint64) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("range early stop visited %d", n)
+	}
+}
+
+func TestDeleteSimple(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(1); k <= 1000; k++ {
+		*tr.Upsert(k) = k
+	}
+	for k := uint64(1); k <= 1000; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != 500 {
+		t.Fatalf("Len=%d want 500", tr.Len())
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		want := k%2 == 0
+		if got := tr.Get(k) != nil; got != want {
+			t.Fatalf("after delete Get(%d)=%v want %v", k, got, want)
+		}
+	}
+	if tr.Delete(9999) {
+		t.Fatal("deleted absent key")
+	}
+}
+
+func TestDeleteAllCollapsesTree(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Random(20000, 1, 1<<32, 4)
+	uniq := map[uint64]bool{}
+	for _, k := range keys {
+		tr.Upsert(k)
+		uniq[k] = true
+	}
+	for k := range uniq {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d want 0", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("Height=%d want 1 after deleting everything", tr.Height())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestDeleteInterleavedWithInsert(t *testing.T) {
+	tr := New[uint64]()
+	model := map[uint64]uint64{}
+	rng := dataset.NewRNG(15)
+	for i := 0; i < 100000; i++ {
+		k := rng.Uint64n(5000)
+		if rng.Uint64n(3) == 0 {
+			delete(model, k)
+			tr.Delete(k)
+		} else {
+			*tr.Upsert(k)++
+			model[k]++
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != len(model) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(model))
+	}
+	for k, c := range model {
+		v := tr.Get(k)
+		if v == nil || *v != c {
+			t.Fatalf("key %d wrong after churn", k)
+		}
+	}
+}
+
+func TestQuickPropertyMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := New[uint64]()
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			k := uint64(op % 128)
+			if (op/128)%4 == 0 {
+				delete(model, k)
+				tr.Delete(k)
+			} else {
+				*tr.Upsert(k)++
+				model[k]++
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		ok := true
+		tr.Iterate(func(k uint64, v *uint64) bool {
+			if model[k] != *v {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New[struct{}]()
+	for k := uint64(0); k < 1_000_000; k++ {
+		tr.Upsert(k)
+	}
+	// With fanout >= 16 effective, a million keys fit in <= 6 levels.
+	if tr.Height() > 6 {
+		t.Fatalf("height %d too tall for 1M keys", tr.Height())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 17, 32, 33, 100, 1000, 12345, 100000} {
+		entries := make([]Entry[uint64], n)
+		for i := range entries {
+			entries[i] = Entry[uint64]{Key: uint64(i*3 + 1), Val: uint64(i)}
+		}
+		tr := BulkLoad(entries)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if n > 0 {
+			checkInvariants(t, tr)
+		}
+		for _, e := range entries {
+			v := tr.Get(e.Key)
+			if v == nil || *v != e.Val {
+				t.Fatalf("n=%d: key %d wrong", n, e.Key)
+			}
+		}
+		// The loaded tree must accept further mutation.
+		*tr.Upsert(0) = 99
+		if n > 10 {
+			tr.Delete(entries[5].Key)
+		}
+		checkInvariants(t, tr)
+	}
+}
+
+func TestBulkLoadPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted BulkLoad did not panic")
+		}
+	}()
+	BulkLoad([]Entry[uint64]{{Key: 2}, {Key: 1}})
+}
+
+func TestBulkLoadRangeScan(t *testing.T) {
+	entries := make([]Entry[uint64], 50000)
+	for i := range entries {
+		entries[i] = Entry[uint64]{Key: uint64(i), Val: uint64(i)}
+	}
+	tr := BulkLoad(entries)
+	n := 0
+	tr.Range(100, 199, func(k uint64, v *uint64) bool {
+		if *v != k {
+			t.Fatal("value mismatch")
+		}
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("range visited %d", n)
+	}
+}

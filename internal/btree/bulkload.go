@@ -1,0 +1,102 @@
+package btree
+
+// BulkLoad builds a tree from key-ascending entries in O(n): leaves are
+// filled left to right at a target occupancy and inner levels are built
+// bottom-up, instead of paying O(n log n) of top-down inserts with splits.
+// This is the classic sorted-build fast path (the STX B+tree ships one),
+// and the tree-side counterpart of the paper's presort-then-build
+// observation (Section 5.5).
+//
+// entries must be strictly ascending by key; BulkLoad panics otherwise
+// (aggregation callers produce deduplicated sorted runs, so a violation is
+// a programming error, not data).
+func BulkLoad[V any](entries []Entry[V]) *Tree[V] {
+	t := New[V]()
+	if len(entries) == 0 {
+		return t
+	}
+	// Fill leaves to capacity. Full leaves mean the next insert into one
+	// splits it, but anything below 2*minKeys could leave the final leaf
+	// unable to reach minimum occupancy; capacity filling plus an even
+	// split of the last two leaves keeps every node legal for any n.
+	const fill = nodeCap
+
+	var leaves []*node[V]
+	var prev uint64
+	for start := 0; start < len(entries); {
+		end := start + fill
+		if end > len(entries) {
+			end = len(entries)
+		}
+		// If the remainder would underflow, split what is left of this
+		// leaf and the remainder evenly (combined is in (fill, fill+min),
+		// so both halves meet minKeys).
+		if rem := len(entries) - end; rem > 0 && rem < minKeys {
+			end = start + (len(entries)-start+1)/2
+		}
+		l := newLeaf[V]()
+		for i, e := range entries[start:end] {
+			if start+i > 0 {
+				if e.Key <= prev {
+					panic("btree: BulkLoad entries not strictly ascending")
+				}
+			}
+			prev = e.Key
+			l.keys[i] = e.Key
+			l.vals[i] = e.Val
+		}
+		l.n = end - start
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = l
+		}
+		leaves = append(leaves, l)
+		start = end
+	}
+
+	t.head = leaves[0]
+	t.size = len(entries)
+	t.height = 1
+
+	// Build inner levels until one root remains. The separator for child
+	// i+1 is its subtree's smallest key.
+	level := leaves
+	firstKey := make([]uint64, len(level))
+	for i, l := range level {
+		firstKey[i] = l.keys[0]
+	}
+	for len(level) > 1 {
+		var parents []*node[V]
+		var parentFirst []uint64
+		for start := 0; start < len(level); {
+			end := start + fill + 1 // children per inner node
+			if end > len(level) {
+				end = len(level)
+			}
+			if rem := len(level) - end; rem > 0 && rem < minKeys+1 {
+				end = start + (len(level)-start+1)/2
+			}
+			p := newInner[V]()
+			for i := start; i < end; i++ {
+				p.kids[i-start] = level[i]
+				if i > start {
+					p.keys[i-start-1] = firstKey[i]
+				}
+			}
+			p.n = end - start - 1
+			parents = append(parents, p)
+			parentFirst = append(parentFirst, firstKey[start])
+			start = end
+		}
+		level = parents
+		firstKey = parentFirst
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// Entry is one key/value pair for BulkLoad.
+type Entry[V any] struct {
+	Key uint64
+	Val V
+}

@@ -1,0 +1,158 @@
+package btree
+
+// Delete removes key from the tree, returning whether it was present.
+// Nodes that underflow below half occupancy are rebalanced by borrowing
+// from or merging with a sibling, so the tree keeps its B+tree invariants
+// (all leaves at one depth, non-root nodes at least half full).
+func (t *Tree[V]) Delete(key uint64) bool {
+	found := t.deleteRec(t.root, key)
+	if found {
+		t.size--
+	}
+	// Collapse a root that lost all separators.
+	if !t.root.leaf() && t.root.n == 0 {
+		t.root = t.root.kids[0]
+		t.height--
+	}
+	return found
+}
+
+func (t *Tree[V]) deleteRec(nd *node[V], key uint64) bool {
+	if nd.leaf() {
+		i := nd.search(key)
+		if i >= nd.n || nd.keys[i] != key {
+			return false
+		}
+		copy(nd.keys[i:], nd.keys[i+1:nd.n])
+		copy(nd.vals[i:], nd.vals[i+1:nd.n])
+		var zero V
+		nd.vals[nd.n-1] = zero
+		nd.n--
+		return true
+	}
+	ci := nd.childIndex(key)
+	child := nd.kids[ci]
+	found := t.deleteRec(child, key)
+	if child.n < minKeys {
+		t.fixUnderflow(nd, ci)
+	}
+	return found
+}
+
+// fixUnderflow restores minimum occupancy of parent.kids[ci] by borrowing
+// an entry from a sibling when possible, and merging with a sibling
+// otherwise. The parent may underflow as a result; its own parent fixes it
+// on the way back up.
+func (t *Tree[V]) fixUnderflow(parent *node[V], ci int) {
+	child := parent.kids[ci]
+	if ci > 0 && parent.kids[ci-1].n > minKeys {
+		t.borrowFromLeft(parent, ci)
+		return
+	}
+	if ci < parent.n && parent.kids[ci+1].n > minKeys {
+		t.borrowFromRight(parent, ci)
+		return
+	}
+	if ci > 0 {
+		t.mergeIntoLeft(parent, ci)
+	} else {
+		t.mergeRightIntoChild(parent, ci)
+	}
+	_ = child
+}
+
+func (t *Tree[V]) borrowFromLeft(parent *node[V], ci int) {
+	child, left := parent.kids[ci], parent.kids[ci-1]
+	if child.leaf() {
+		// Move left's last entry to child's front.
+		copy(child.keys[1:child.n+1], child.keys[:child.n])
+		copy(child.vals[1:child.n+1], child.vals[:child.n])
+		child.keys[0] = left.keys[left.n-1]
+		child.vals[0] = left.vals[left.n-1]
+		var zero V
+		left.vals[left.n-1] = zero
+		child.n++
+		left.n--
+		parent.keys[ci-1] = child.keys[0]
+		return
+	}
+	// Inner: rotate through the parent separator.
+	copy(child.keys[1:child.n+1], child.keys[:child.n])
+	copy(child.kids[1:child.n+2], child.kids[:child.n+1])
+	child.keys[0] = parent.keys[ci-1]
+	child.kids[0] = left.kids[left.n]
+	parent.keys[ci-1] = left.keys[left.n-1]
+	left.kids[left.n] = nil
+	child.n++
+	left.n--
+}
+
+func (t *Tree[V]) borrowFromRight(parent *node[V], ci int) {
+	child, right := parent.kids[ci], parent.kids[ci+1]
+	if child.leaf() {
+		child.keys[child.n] = right.keys[0]
+		child.vals[child.n] = right.vals[0]
+		child.n++
+		copy(right.keys[:right.n-1], right.keys[1:right.n])
+		copy(right.vals[:right.n-1], right.vals[1:right.n])
+		var zero V
+		right.vals[right.n-1] = zero
+		right.n--
+		parent.keys[ci] = right.keys[0]
+		return
+	}
+	child.keys[child.n] = parent.keys[ci]
+	child.kids[child.n+1] = right.kids[0]
+	child.n++
+	parent.keys[ci] = right.keys[0]
+	copy(right.keys[:right.n-1], right.keys[1:right.n])
+	copy(right.kids[:right.n], right.kids[1:right.n+1])
+	right.kids[right.n] = nil
+	right.n--
+}
+
+// mergeIntoLeft merges parent.kids[ci] into its left sibling and removes
+// the separator. Used when ci > 0, so the leftmost leaf (t.head) is never
+// the node being absorbed.
+func (t *Tree[V]) mergeIntoLeft(parent *node[V], ci int) {
+	child, left := parent.kids[ci], parent.kids[ci-1]
+	if child.leaf() {
+		copy(left.keys[left.n:left.n+child.n], child.keys[:child.n])
+		copy(left.vals[left.n:left.n+child.n], child.vals[:child.n])
+		left.n += child.n
+		left.next = child.next
+	} else {
+		left.keys[left.n] = parent.keys[ci-1]
+		left.n++
+		copy(left.keys[left.n:left.n+child.n], child.keys[:child.n])
+		copy(left.kids[left.n:left.n+child.n+1], child.kids[:child.n+1])
+		left.n += child.n
+	}
+	removeSeparator(parent, ci-1)
+}
+
+// mergeRightIntoChild merges the right sibling into parent.kids[ci].
+func (t *Tree[V]) mergeRightIntoChild(parent *node[V], ci int) {
+	child, right := parent.kids[ci], parent.kids[ci+1]
+	if child.leaf() {
+		copy(child.keys[child.n:child.n+right.n], right.keys[:right.n])
+		copy(child.vals[child.n:child.n+right.n], right.vals[:right.n])
+		child.n += right.n
+		child.next = right.next
+	} else {
+		child.keys[child.n] = parent.keys[ci]
+		child.n++
+		copy(child.keys[child.n:child.n+right.n], right.keys[:right.n])
+		copy(child.kids[child.n:child.n+right.n+1], right.kids[:right.n+1])
+		child.n += right.n
+	}
+	removeSeparator(parent, ci)
+}
+
+// removeSeparator deletes parent.keys[si] and parent.kids[si+1].
+func removeSeparator[V any](parent *node[V], si int) {
+	copy(parent.keys[si:], parent.keys[si+1:parent.n])
+	copy(parent.kids[si+1:], parent.kids[si+2:parent.n+1])
+	parent.kids[parent.n] = nil
+	parent.n--
+}

@@ -1,0 +1,51 @@
+package btree
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzInsertDelete drives the B+tree with an arbitrary op stream and
+// validates against a map model plus the structural invariants.
+func FuzzInsertDelete(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		tr := New[uint64]()
+		model := map[uint64]uint64{}
+		for len(data) >= 3 {
+			op := data[0] % 4
+			key := uint64(binary.LittleEndian.Uint16(data[1:3])) % 512
+			data = data[3:]
+			if op == 0 {
+				delete(model, key)
+				tr.Delete(key)
+			} else {
+				*tr.Upsert(key)++
+				model[key]++
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len=%d want %d", tr.Len(), len(model))
+		}
+		prev, first := uint64(0), true
+		count := 0
+		tr.Iterate(func(k uint64, v *uint64) bool {
+			if model[k] != *v {
+				t.Fatalf("key %d count wrong", k)
+			}
+			if !first && k <= prev {
+				t.Fatal("iteration unsorted")
+			}
+			prev, first = k, false
+			count++
+			return true
+		})
+		if count != len(model) {
+			t.Fatalf("iterated %d want %d", count, len(model))
+		}
+	})
+}

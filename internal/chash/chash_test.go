@@ -1,0 +1,151 @@
+package chash
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func TestBasicUpsertGet(t *testing.T) {
+	m := New[uint64](100, 0)
+	for k := uint64(0); k < 500; k++ {
+		m.Upsert(k, func(v *uint64) { *v = k + 1 })
+	}
+	if m.Len() != 500 {
+		t.Fatalf("Len=%d want 500", m.Len())
+	}
+	for k := uint64(0); k < 500; k++ {
+		var got uint64
+		if !m.Get(k, func(v *uint64) { got = *v }) || got != k+1 {
+			t.Fatalf("Get(%d) = %d", k, got)
+		}
+	}
+	if m.Get(9999, nil) {
+		t.Fatal("absent key present")
+	}
+}
+
+func TestShardCountRounding(t *testing.T) {
+	m := New[uint64](10, 5)
+	if len(m.shards) != 8 {
+		t.Fatalf("shards=%d want 8", len(m.shards))
+	}
+	m2 := New[uint64](10, -1)
+	if len(m2.shards) != DefaultShards {
+		t.Fatalf("default shards=%d want %d", len(m2.shards), DefaultShards)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New[uint64](16, 4)
+	for k := uint64(0); k < 100; k++ {
+		m.Upsert(k, func(v *uint64) { *v = k })
+	}
+	for k := uint64(0); k < 100; k += 2 {
+		if !m.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if m.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len=%d want 50", m.Len())
+	}
+}
+
+func TestConcurrentCountAggregation(t *testing.T) {
+	m := New[uint64](1024, 0)
+	const workers, perW, span = 8, 30000, 700
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := dataset.NewRNG(uint64(w))
+			for i := 0; i < perW; i++ {
+				m.Upsert(rng.Uint64n(span), func(v *uint64) { *v++ })
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	m.Iterate(func(_ uint64, v *uint64) bool {
+		total += *v
+		return true
+	})
+	if total != workers*perW {
+		t.Fatalf("lost updates: total=%d want %d", total, workers*perW)
+	}
+}
+
+func TestConcurrentHolisticAppend(t *testing.T) {
+	// The Q3 pattern: values appended to per-group slices under the shard
+	// lock. Verifies no appends are lost.
+	m := New[[]uint64](256, 0)
+	const workers, perW = 8, 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := dataset.NewRNG(uint64(w) * 13)
+			for i := 0; i < perW; i++ {
+				k := rng.Uint64n(97)
+				m.Upsert(k, func(v *[]uint64) { *v = append(*v, uint64(i)) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	m.Iterate(func(_ uint64, v *[]uint64) bool {
+		total += len(*v)
+		return true
+	})
+	if total != workers*perW {
+		t.Fatalf("lost appends: total=%d want %d", total, workers*perW)
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	m := New[uint64](16, 4)
+	for k := uint64(0); k < 100; k++ {
+		m.Upsert(k, func(v *uint64) {})
+	}
+	n := 0
+	m.Iterate(func(uint64, *uint64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestQuickPropertyMatchesModel(t *testing.T) {
+	f := func(keys []uint64) bool {
+		m := New[uint64](4, 8)
+		model := map[uint64]uint64{}
+		for _, k := range keys {
+			k %= 311
+			m.Upsert(k, func(v *uint64) { *v++ })
+			model[k]++
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		ok := true
+		m.Iterate(func(k uint64, v *uint64) bool {
+			if model[k] != *v {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,426 @@
+// Package cuckoo implements a concurrent bucketized cuckoo hash table — the
+// analog of Intel's libcuckoo (the paper's Hash_LC).
+//
+// Layout and algorithm follow the libcuckoo design: 4-slot buckets, two
+// independent hash functions, breadth-first search for the shortest
+// displacement ("cuckoo") path when both candidate buckets are full, and
+// path execution from the far end backwards so that at most one item is in
+// flight per move. Concurrency control substitutes the paper's hardware
+// transactional memory with striped bucket locks plus a table-wide resize
+// guard — the same semantics, software-only (see DESIGN.md substitution 4).
+//
+// Reads touch at most two buckets, preserving cuckoo hashing's constant
+// lookup guarantee. Inserts are slower and less predictable than open
+// addressing — the paper's serial microbenchmark (Figure 3) shows exactly
+// this, and our implementation reproduces the effect because every
+// operation pays the locking protocol even when used from one goroutine.
+package cuckoo
+
+import (
+	"sync"
+
+	"memagg/internal/hashtbl"
+)
+
+const (
+	slotsPerBucket = 4
+	// maxBFSDepth bounds the displacement path length, as libcuckoo's
+	// MAX_BFS_PATH_LEN. Paths longer than this trigger a resize.
+	maxBFSDepth = 5
+	// lockStripes is the number of bucket lock stripes (power of two).
+	lockStripes = 1 << 12
+	// maxInsertRetries bounds validation-failure retries before forcing a
+	// resize, preventing livelock under heavy contention.
+	maxInsertRetries = 16
+)
+
+type bucket[V any] struct {
+	occ  uint8 // bitmask of occupied slots
+	keys [slotsPerBucket]uint64
+	vals [slotsPerBucket]V
+}
+
+// Map is a concurrent cuckoo hash map from uint64 keys to V.
+type Map[V any] struct {
+	resizeMu sync.RWMutex // held shared by ops, exclusively by resize
+	locks    []sync.Mutex // bucket stripe locks
+	buckets  []bucket[V]
+	mask     uint64
+	size     int64 // guarded by sizeMu
+	sizeMu   sync.Mutex
+}
+
+// New returns a map pre-sized for capacity elements.
+func New[V any](capacity int) *Map[V] {
+	nb := hashtbl.NextPow2(maxInt(capacity/slotsPerBucket*5/4, 4))
+	m := &Map[V]{
+		locks:   make([]sync.Mutex, lockStripes),
+		buckets: make([]bucket[V], nb),
+		mask:    uint64(nb - 1),
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// twoBuckets returns the candidate bucket indexes for key under the current
+// mask. They may coincide.
+func (m *Map[V]) twoBuckets(key uint64) (uint64, uint64) {
+	return hashtbl.Mix(key) & m.mask, hashtbl.Mix2(key) & m.mask
+}
+
+// lockPair acquires the stripes of buckets a and b in stripe order and
+// returns an unlock function.
+func (m *Map[V]) lockPair(a, b uint64) func() {
+	sa, sb := a&(lockStripes-1), b&(lockStripes-1)
+	if sa == sb {
+		m.locks[sa].Lock()
+		return m.locks[sa].Unlock
+	}
+	if sa > sb {
+		sa, sb = sb, sa
+	}
+	m.locks[sa].Lock()
+	m.locks[sb].Lock()
+	return func() {
+		m.locks[sb].Unlock()
+		m.locks[sa].Unlock()
+	}
+}
+
+// findInBucket returns the slot of key in bkt, or -1.
+func findInBucket[V any](bkt *bucket[V], key uint64) int {
+	for s := 0; s < slotsPerBucket; s++ {
+		if bkt.occ&(1<<s) != 0 && bkt.keys[s] == key {
+			return s
+		}
+	}
+	return -1
+}
+
+// freeSlot returns the first free slot in bkt, or -1.
+func freeSlot[V any](bkt *bucket[V]) int {
+	for s := 0; s < slotsPerBucket; s++ {
+		if bkt.occ&(1<<s) == 0 {
+			return s
+		}
+	}
+	return -1
+}
+
+// Len returns the number of stored keys.
+func (m *Map[V]) Len() int {
+	m.sizeMu.Lock()
+	defer m.sizeMu.Unlock()
+	return int(m.size)
+}
+
+// Cap returns the total slot count.
+func (m *Map[V]) Cap() int { return len(m.buckets) * slotsPerBucket }
+
+func (m *Map[V]) addSize(d int64) {
+	m.sizeMu.Lock()
+	m.size += d
+	m.sizeMu.Unlock()
+}
+
+// Get calls fn with a pointer to key's value while holding the bucket
+// locks, returning false if the key is absent. The pointer must not escape
+// fn.
+func (m *Map[V]) Get(key uint64, fn func(v *V)) bool {
+	m.resizeMu.RLock()
+	defer m.resizeMu.RUnlock()
+	b1, b2 := m.twoBuckets(key)
+	unlock := m.lockPair(b1, b2)
+	defer unlock()
+	if s := findInBucket(&m.buckets[b1], key); s >= 0 {
+		if fn != nil {
+			fn(&m.buckets[b1].vals[s])
+		}
+		return true
+	}
+	if s := findInBucket(&m.buckets[b2], key); s >= 0 {
+		if fn != nil {
+			fn(&m.buckets[b2].vals[s])
+		}
+		return true
+	}
+	return false
+}
+
+// Upsert invokes fn with a pointer to key's value and fresh=true if the key
+// was just inserted (the value is the zero V), fresh=false if it existed.
+// fn runs under the bucket locks; it must not call back into the map.
+// This is the user-defined-upsert interface the paper credits libcuckoo
+// with, which lets holistic aggregation append values without a second
+// lookup.
+func (m *Map[V]) Upsert(key uint64, fn func(v *V, fresh bool)) {
+	for {
+		ok, seenBuckets := m.tryUpsert(key, fn)
+		if ok {
+			return
+		}
+		m.grow(seenBuckets)
+	}
+}
+
+// tryUpsert performs one optimistic upsert attempt under the shared resize
+// guard. ok is false if the table must grow first; seenBuckets is the
+// bucket count observed, letting grow detect a concurrent resize.
+func (m *Map[V]) tryUpsert(key uint64, fn func(v *V, fresh bool)) (ok bool, seenBuckets int) {
+	m.resizeMu.RLock()
+	defer m.resizeMu.RUnlock()
+	seenBuckets = len(m.buckets)
+
+	for retry := 0; retry < maxInsertRetries; retry++ {
+		b1, b2 := m.twoBuckets(key)
+		unlock := m.lockPair(b1, b2)
+		// Existing key?
+		for _, b := range [2]uint64{b1, b2} {
+			if s := findInBucket(&m.buckets[b], key); s >= 0 {
+				fn(&m.buckets[b].vals[s], false)
+				unlock()
+				return true, seenBuckets
+			}
+		}
+		// Free slot in either candidate bucket?
+		for _, b := range [2]uint64{b1, b2} {
+			if s := freeSlot(&m.buckets[b]); s >= 0 {
+				bkt := &m.buckets[b]
+				bkt.keys[s] = key
+				var zero V
+				bkt.vals[s] = zero
+				bkt.occ |= 1 << s
+				fn(&bkt.vals[s], true)
+				unlock()
+				m.addSize(1)
+				return true, seenBuckets
+			}
+		}
+		unlock()
+		// Both buckets full: find and execute a displacement path.
+		path, found := m.bfsPath(b1, b2)
+		if !found {
+			return false, seenBuckets // no path within depth: resize
+		}
+		if m.executePath(path) {
+			continue // root now has space (usually); revalidate from top
+		}
+		// Path validation failed (concurrent mutation): retry.
+	}
+	return false, seenBuckets // excessive contention: make the table bigger
+}
+
+// pathNode describes one displacement step discovered by BFS.
+type pathNode struct {
+	bucket uint64 // bucket to displace from
+	slot   int    // slot within bucket
+	key    uint64 // expected key occupying that slot (for validation)
+}
+
+// bfsPath searches breadth-first from the two root buckets for the shortest
+// sequence of displacements ending at a bucket with a free slot. It returns
+// the path root-first. Buckets are examined under their stripe locks, but
+// the path is validated again during execution since locks are dropped
+// between discovery and execution.
+func (m *Map[V]) bfsPath(b1, b2 uint64) ([]pathNode, bool) {
+	type qent struct {
+		bucket uint64
+		parent int32
+		slot   int8 // slot displaced in parent to reach here
+		key    uint64
+		depth  int8
+	}
+	queue := make([]qent, 0, 2+2*slotsPerBucket*slotsPerBucket*slotsPerBucket)
+	queue = append(queue, qent{bucket: b1, parent: -1}, qent{bucket: b2, parent: -1})
+	for qi := 0; qi < len(queue); qi++ {
+		e := queue[qi]
+		// Snapshot the bucket under its lock.
+		stripe := e.bucket & (lockStripes - 1)
+		m.locks[stripe].Lock()
+		bkt := m.buckets[e.bucket] // copy
+		m.locks[stripe].Unlock()
+
+		if freeSlot(&bkt) >= 0 && e.parent >= 0 {
+			// Reconstruct path root-first, excluding the terminal bucket
+			// (which only receives).
+			var rev []pathNode
+			for i := int32(qi); queue[i].parent >= 0; i = queue[i].parent {
+				p := queue[queue[i].parent]
+				rev = append(rev, pathNode{
+					bucket: p.bucket,
+					slot:   int(queue[i].slot),
+					key:    queue[i].key,
+				})
+			}
+			path := make([]pathNode, 0, len(rev)+1)
+			for i := len(rev) - 1; i >= 0; i-- {
+				path = append(path, rev[i])
+			}
+			// Append terminal receiving bucket as a sentinel node.
+			path = append(path, pathNode{bucket: e.bucket, slot: -1})
+			return path, true
+		}
+		if e.depth >= maxBFSDepth {
+			continue
+		}
+		for s := 0; s < slotsPerBucket; s++ {
+			if bkt.occ&(1<<s) == 0 {
+				continue
+			}
+			k := bkt.keys[s]
+			h1, h2 := hashtbl.Mix(k)&m.mask, hashtbl.Mix2(k)&m.mask
+			alt := h1 ^ h2 ^ e.bucket
+			if alt == e.bucket {
+				continue // both hashes collide; displacement is a no-op
+			}
+			queue = append(queue, qent{
+				bucket: alt,
+				parent: int32(qi),
+				slot:   int8(s),
+				key:    k,
+				depth:  e.depth + 1,
+			})
+		}
+	}
+	return nil, false
+}
+
+// executePath performs the displacements in path from the far end backward,
+// validating each move under the corresponding bucket locks. It returns
+// false if any validation fails (concurrent mutation invalidated the path).
+func (m *Map[V]) executePath(path []pathNode) bool {
+	// path[len-1] is the receiving sentinel; moves happen between
+	// consecutive nodes, last first.
+	for i := len(path) - 2; i >= 0; i-- {
+		from, to := path[i], path[i+1]
+		unlock := m.lockPair(from.bucket, to.bucket)
+		fb, tb := &m.buckets[from.bucket], &m.buckets[to.bucket]
+		ts := freeSlot(tb)
+		ok := ts >= 0 &&
+			fb.occ&(1<<from.slot) != 0 &&
+			fb.keys[from.slot] == from.key
+		if ok {
+			tb.keys[ts] = fb.keys[from.slot]
+			tb.vals[ts] = fb.vals[from.slot]
+			tb.occ |= 1 << ts
+			var zero V
+			fb.vals[from.slot] = zero
+			fb.occ &^= 1 << from.slot
+		}
+		unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// grow doubles the bucket array under the exclusive resize lock and
+// reinserts every entry. seenBuckets is the bucket count the caller
+// observed; if another goroutine already resized, grow is a no-op.
+func (m *Map[V]) grow(seenBuckets int) {
+	m.resizeMu.Lock()
+	defer m.resizeMu.Unlock()
+	if len(m.buckets) != seenBuckets {
+		return
+	}
+	for {
+		old := m.buckets
+		nb := len(old) * 2
+		m.buckets = make([]bucket[V], nb)
+		m.mask = uint64(nb - 1)
+		if m.reinsertAll(old) {
+			return
+		}
+		// Extremely unlikely: even the doubled table could not place some
+		// key within the displacement budget. Double again.
+	}
+}
+
+// reinsertAll moves all entries of old into m.buckets (exclusive access
+// assumed). Returns false if any entry cannot be placed.
+func (m *Map[V]) reinsertAll(old []bucket[V]) bool {
+	for bi := range old {
+		ob := &old[bi]
+		for s := 0; s < slotsPerBucket; s++ {
+			if ob.occ&(1<<s) == 0 {
+				continue
+			}
+			if !m.placeSerial(ob.keys[s], ob.vals[s]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// placeSerial inserts key/val assuming exclusive table access, using greedy
+// random-walk displacement with a generous bound.
+func (m *Map[V]) placeSerial(key uint64, val V) bool {
+	k, v := key, val
+	for hop := 0; hop < 512; hop++ {
+		b1 := hashtbl.Mix(k) & m.mask
+		b2 := hashtbl.Mix2(k) & m.mask
+		for _, b := range [2]uint64{b1, b2} {
+			if s := freeSlot(&m.buckets[b]); s >= 0 {
+				m.buckets[b].keys[s] = k
+				m.buckets[b].vals[s] = v
+				m.buckets[b].occ |= 1 << s
+				return true
+			}
+		}
+		// Evict the slot chosen by the hop counter from b1's side.
+		victim := hop % slotsPerBucket
+		tgt := b1
+		if hop%2 == 1 {
+			tgt = b2
+		}
+		bkt := &m.buckets[tgt]
+		bkt.keys[victim], k = k, bkt.keys[victim]
+		bkt.vals[victim], v = v, bkt.vals[victim]
+	}
+	return false
+}
+
+// Iterate calls fn for every key/value pair. It must not run concurrently
+// with writers (the aggregation pipeline iterates strictly after the build
+// phase, matching the paper's methodology). fn may mutate the value.
+func (m *Map[V]) Iterate(fn func(key uint64, val *V) bool) {
+	for bi := range m.buckets {
+		bkt := &m.buckets[bi]
+		for s := 0; s < slotsPerBucket; s++ {
+			if bkt.occ&(1<<s) != 0 {
+				if !fn(bkt.keys[s], &bkt.vals[s]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Delete removes key, returning whether it was present.
+func (m *Map[V]) Delete(key uint64) bool {
+	m.resizeMu.RLock()
+	defer m.resizeMu.RUnlock()
+	b1, b2 := m.twoBuckets(key)
+	unlock := m.lockPair(b1, b2)
+	defer unlock()
+	for _, b := range [2]uint64{b1, b2} {
+		if s := findInBucket(&m.buckets[b], key); s >= 0 {
+			bkt := &m.buckets[b]
+			var zero V
+			bkt.vals[s] = zero
+			bkt.keys[s] = 0
+			bkt.occ &^= 1 << s
+			m.addSize(-1) // its own lock; safe under bucket locks
+			return true
+		}
+	}
+	return false
+}

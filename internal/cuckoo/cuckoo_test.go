@@ -1,0 +1,316 @@
+package cuckoo
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func TestUpsertAndGetBasic(t *testing.T) {
+	m := New[uint64](16)
+	for k := uint64(0); k < 100; k++ {
+		m.Upsert(k, func(v *uint64, fresh bool) {
+			if !fresh {
+				t.Errorf("key %d reported as existing on first insert", k)
+			}
+			*v = k * 3
+		})
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len=%d want 100", m.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		var got uint64
+		if !m.Get(k, func(v *uint64) { got = *v }) {
+			t.Fatalf("key %d missing", k)
+		}
+		if got != k*3 {
+			t.Fatalf("key %d value %d want %d", k, got, k*3)
+		}
+	}
+	if m.Get(1000, nil) {
+		t.Fatal("absent key reported present")
+	}
+}
+
+func TestUpsertCountsAggregation(t *testing.T) {
+	m := New[uint64](8)
+	keys := dataset.Spec{Kind: dataset.Zipf, N: 50000, Cardinality: 500, Seed: 3}.Keys()
+	want := map[uint64]uint64{}
+	for _, k := range keys {
+		m.Upsert(k, func(v *uint64, _ bool) { *v++ })
+		want[k]++
+	}
+	if m.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(want))
+	}
+	got := map[uint64]uint64{}
+	m.Iterate(func(k uint64, v *uint64) bool {
+		got[k] = *v
+		return true
+	})
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("key %d count %d want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestGrowthFromTinyTable(t *testing.T) {
+	m := New[uint64](1) // force displacement paths and resizes
+	const n = 100000
+	rng := dataset.NewRNG(11)
+	want := map[uint64]uint64{}
+	for i := 0; i < n; i++ {
+		k := rng.Uint64n(1 << 40)
+		m.Upsert(k, func(v *uint64, _ bool) { *v++ })
+		want[k]++
+	}
+	if m.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(want))
+	}
+	for k, c := range want {
+		var got uint64
+		if !m.Get(k, func(v *uint64) { got = *v }) || got != c {
+			t.Fatalf("key %d: got %d want %d", k, got, c)
+		}
+	}
+}
+
+func TestLookupTouchesAtMostTwoBuckets(t *testing.T) {
+	// Structural invariant of cuckoo hashing: every stored key must reside
+	// in one of its two candidate buckets.
+	m := New[uint64](64)
+	keys := dataset.Random(20000, 1, 1<<50, 5)
+	for _, k := range keys {
+		m.Upsert(k, func(v *uint64, _ bool) { *v = k })
+	}
+	checked := 0
+	m.Iterate(func(k uint64, _ *uint64) bool {
+		b1, b2 := m.twoBuckets(k)
+		if findInBucket(&m.buckets[b1], k) < 0 && findInBucket(&m.buckets[b2], k) < 0 {
+			t.Fatalf("key %d stored outside its two candidate buckets", k)
+		}
+		checked++
+		return true
+	})
+	if checked != m.Len() {
+		t.Fatalf("iterated %d keys, Len=%d", checked, m.Len())
+	}
+}
+
+func TestIterateVisitsEachOnce(t *testing.T) {
+	m := New[uint64](16)
+	for k := uint64(1); k <= 5000; k++ {
+		m.Upsert(k, func(v *uint64, _ bool) { *v = k })
+	}
+	seen := map[uint64]bool{}
+	m.Iterate(func(k uint64, _ *uint64) bool {
+		if seen[k] {
+			t.Fatalf("key %d visited twice", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 5000 {
+		t.Fatalf("visited %d keys want 5000", len(seen))
+	}
+}
+
+func TestConcurrentUpserts(t *testing.T) {
+	m := New[uint64](64)
+	const (
+		workers = 8
+		perW    = 20000
+		keySpan = 1000 // heavy contention
+	)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := dataset.NewRNG(uint64(w))
+			for i := 0; i < perW; i++ {
+				k := rng.Uint64n(keySpan)
+				m.Upsert(k, func(v *uint64, _ bool) { *v++ })
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	m.Iterate(func(_ uint64, v *uint64) bool {
+		total += *v
+		return true
+	})
+	if total != workers*perW {
+		t.Fatalf("total count %d want %d (lost updates)", total, workers*perW)
+	}
+}
+
+func TestConcurrentUpsertsWithGrowth(t *testing.T) {
+	m := New[uint64](1)
+	const workers = 8
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := dataset.NewRNG(uint64(w) * 7)
+			for i := 0; i < 30000; i++ {
+				k := rng.Uint64n(1 << 30) // mostly distinct: forces resizes
+				m.Upsert(k, func(v *uint64, _ bool) { *v++ })
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	distinct := 0
+	m.Iterate(func(_ uint64, v *uint64) bool {
+		total += *v
+		distinct++
+		return true
+	})
+	if total != 8*30000 {
+		t.Fatalf("total %d want %d", total, 8*30000)
+	}
+	if distinct != m.Len() {
+		t.Fatalf("iterate count %d != Len %d", distinct, m.Len())
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	m := New[uint64](1024)
+	for k := uint64(0); k < 1000; k++ {
+		m.Upsert(k, func(v *uint64, _ bool) { *v = 1 })
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := dataset.NewRNG(uint64(r))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Uint64n(2000)
+				m.Get(k, func(v *uint64) {
+					if *v == 0 {
+						t.Error("observed zero value for present key")
+					}
+				})
+			}
+		}(r)
+	}
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := dataset.NewRNG(uint64(w) + 100)
+			for i := 0; i < 50000; i++ {
+				k := rng.Uint64n(2000)
+				m.Upsert(k, func(v *uint64, _ bool) { *v++ })
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+func TestQuickPropertyMatchesModel(t *testing.T) {
+	f := func(keys []uint64) bool {
+		m := New[uint64](2)
+		model := map[uint64]uint64{}
+		for _, k := range keys {
+			k %= 257
+			m.Upsert(k, func(v *uint64, _ bool) { *v++ })
+			model[k]++
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		ok := true
+		m.Iterate(func(k uint64, v *uint64) bool {
+			if model[k] != *v {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapAndSizing(t *testing.T) {
+	m := New[uint64](10000)
+	if m.Cap() < 10000 {
+		t.Fatalf("Cap=%d below requested capacity", m.Cap())
+	}
+	if m.Len() != 0 {
+		t.Fatalf("fresh map Len=%d", m.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New[uint64](64)
+	for k := uint64(1); k <= 500; k++ {
+		m.Upsert(k, func(v *uint64, _ bool) { *v = k })
+	}
+	for k := uint64(1); k <= 500; k += 2 {
+		if !m.Delete(k) {
+			t.Fatalf("Delete(%d) reported absent", k)
+		}
+	}
+	if m.Delete(1) || m.Delete(9999) {
+		t.Fatal("deleted absent key")
+	}
+	if m.Len() != 250 {
+		t.Fatalf("Len=%d want 250", m.Len())
+	}
+	for k := uint64(1); k <= 500; k++ {
+		want := k%2 == 0
+		if got := m.Get(k, nil); got != want {
+			t.Fatalf("Get(%d)=%v want %v", k, got, want)
+		}
+	}
+	// Reinsert into freed slots.
+	for k := uint64(1); k <= 500; k += 2 {
+		m.Upsert(k, func(v *uint64, fresh bool) {
+			if !fresh {
+				t.Fatalf("key %d not fresh after delete", k)
+			}
+		})
+	}
+	if m.Len() != 500 {
+		t.Fatalf("Len=%d want 500 after reinsert", m.Len())
+	}
+}
+
+func TestConcurrentDeletes(t *testing.T) {
+	m := New[uint64](1024)
+	for k := uint64(0); k < 2000; k++ {
+		m.Upsert(k, func(v *uint64, _ bool) { *v = 1 })
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := uint64(w); k < 2000; k += 4 {
+				m.Delete(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 0 {
+		t.Fatalf("Len=%d want 0", m.Len())
+	}
+}

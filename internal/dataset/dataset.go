@@ -1,0 +1,266 @@
+package dataset
+
+import "fmt"
+
+// Kind identifies one of the key distributions from Table 4 of the paper.
+type Kind int
+
+const (
+	// Rseq is the repeating sequential dataset: the key sequence
+	// 1..Cardinality repeated until N records are produced. Deterministic
+	// cardinality. Mimics transactional data where the key incrementally
+	// increases.
+	Rseq Kind = iota
+	// RseqShf is Rseq uniformly shuffled. Deterministic cardinality.
+	RseqShf
+	// Hhit is the heavy-hitter dataset: one random key from the key range
+	// accounts for 50% of all records; every other key in 1..Cardinality
+	// appears at least once to enforce the cardinality, and the remainder
+	// are chosen at random. The heavy hitters occupy the first half of the
+	// dataset. Deterministic cardinality.
+	Hhit
+	// HhitShf is Hhit uniformly shuffled, so the heavy hitters are spread
+	// across the whole dataset. Deterministic cardinality.
+	HhitShf
+	// Zipf draws N samples from a Zipfian distribution over ranks
+	// 1..Cardinality with exponent e = 0.5 (frequency inversely
+	// proportional to rank^e). Probabilistic cardinality: the realized
+	// number of distinct keys may drift below the target as Cardinality
+	// approaches N.
+	Zipf
+	// MovC is the moving-cluster dataset: the i-th key is drawn uniformly
+	// from a window of size W = 64 that slides from the bottom to the top
+	// of the key range as i goes from 0 to N. Probabilistic cardinality.
+	// Models streaming and spatial workloads with gradually shifting
+	// locality.
+	MovC
+)
+
+// Kinds lists every distribution in Table 4 order.
+var Kinds = []Kind{Rseq, RseqShf, Hhit, HhitShf, Zipf, MovC}
+
+// String returns the abbreviation used in the paper's tables and figures.
+func (k Kind) String() string {
+	switch k {
+	case Rseq:
+		return "Rseq"
+	case RseqShf:
+		return "Rseq-Shf"
+	case Hhit:
+		return "Hhit"
+	case HhitShf:
+		return "Hhit-Shf"
+	case Zipf:
+		return "Zipf"
+	case MovC:
+		return "MovC"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a paper abbreviation (case-sensitive, as printed by
+// String) back into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown distribution %q", s)
+}
+
+// MovCWindow is the sliding-window size W used by the MovC generator,
+// matching the paper's W = 64.
+const MovCWindow = 64
+
+// ZipfExponent is the Zipf skew parameter e used by the Zipf generator,
+// matching the paper's e = 0.5.
+const ZipfExponent = 0.5
+
+// Spec fully describes a synthetic dataset. Two equal Specs always generate
+// identical records.
+type Spec struct {
+	Kind        Kind
+	N           int    // number of records
+	Cardinality int    // target group-by cardinality c
+	Seed        uint64 // RNG seed; 0 is a valid seed
+}
+
+// Validate reports whether the Spec parameters are usable.
+func (s Spec) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("dataset: N must be positive, got %d", s.N)
+	}
+	if s.Cardinality <= 0 {
+		return fmt.Errorf("dataset: Cardinality must be positive, got %d", s.Cardinality)
+	}
+	if s.Cardinality > s.N {
+		return fmt.Errorf("dataset: Cardinality %d exceeds N %d", s.Cardinality, s.N)
+	}
+	if s.Kind == MovC && s.Cardinality < MovCWindow {
+		return fmt.Errorf("dataset: MovC requires Cardinality >= window size %d, got %d",
+			MovCWindow, s.Cardinality)
+	}
+	return nil
+}
+
+// String renders the spec in a compact, log-friendly form.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s[n=%d c=%d seed=%d]", s.Kind, s.N, s.Cardinality, s.Seed)
+}
+
+// Keys generates the key column for the spec. Keys are in [1, Cardinality]
+// for all distributions. It panics if the spec is invalid; callers that take
+// user input should call Validate first.
+func (s Spec) Keys() []uint64 {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	switch s.Kind {
+	case Rseq:
+		return genRseq(s.N, s.Cardinality)
+	case RseqShf:
+		keys := genRseq(s.N, s.Cardinality)
+		NewRNG(s.Seed ^ 0x5eed5eed5eed5eed).Shuffle(keys)
+		return keys
+	case Hhit:
+		return genHhit(s.N, s.Cardinality, s.Seed)
+	case HhitShf:
+		keys := genHhit(s.N, s.Cardinality, s.Seed)
+		NewRNG(s.Seed ^ 0x5eed5eed5eed5eed).Shuffle(keys)
+		return keys
+	case Zipf:
+		return genZipf(s.N, s.Cardinality, s.Seed)
+	case MovC:
+		return genMovC(s.N, s.Cardinality, s.Seed)
+	default:
+		panic(fmt.Sprintf("dataset: unknown kind %d", int(s.Kind)))
+	}
+}
+
+// genRseq emits the sequence 1..c repeated until n records exist. The paper
+// describes Rseq as segments of incrementally increasing keys whose count is
+// tied to the cardinality; repeating the full 1..c run is the standard
+// "repeating sequential" construction (Gray et al.) and yields exactly the
+// deterministic cardinality Table 4 requires.
+func genRseq(n, c int) []uint64 {
+	keys := make([]uint64, n)
+	k := uint64(1)
+	for i := range keys {
+		keys[i] = k
+		k++
+		if k > uint64(c) {
+			k = 1
+		}
+	}
+	return keys
+}
+
+// genHhit builds the heavy-hitter dataset: a random hot key fills the first
+// half of the records; the second half starts with one occurrence of every
+// other key (guaranteeing cardinality c) and is topped up with uniform
+// random picks over the full key range.
+func genHhit(n, c int, seed uint64) []uint64 {
+	rng := NewRNG(seed)
+	hot := rng.Range(1, uint64(c))
+	keys := make([]uint64, n)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		keys[i] = hot
+	}
+	i := half
+	// One occurrence of every non-hot key. When c-1 exceeds the remaining
+	// space this would break cardinality determinism; Validate guarantees
+	// c <= n, and c-1 <= n-half only fails for c > n/2+1, where the paper's
+	// construction itself cannot hold. We fill as many as fit.
+	for k := uint64(1); k <= uint64(c) && i < n; k++ {
+		if k == hot {
+			continue
+		}
+		keys[i] = k
+		i++
+	}
+	for ; i < n; i++ {
+		keys[i] = rng.Range(1, uint64(c))
+	}
+	return keys
+}
+
+// genZipf samples n keys from a Zipf(e=0.5) distribution over ranks 1..c
+// using inverse-CDF sampling with binary search over the cumulative
+// generalized harmonic weights.
+func genZipf(n, c int, seed uint64) []uint64 {
+	rng := NewRNG(seed)
+	z := NewZipfSampler(uint64(c), ZipfExponent)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = z.Sample(rng)
+	}
+	return keys
+}
+
+// genMovC draws the i-th key uniformly from the window
+// [(c-W)*i/n, (c-W)*i/n + W], then shifts into the 1-based key space.
+func genMovC(n, c int, seed uint64) []uint64 {
+	rng := NewRNG(seed)
+	keys := make([]uint64, n)
+	span := uint64(c - MovCWindow)
+	for i := range keys {
+		lo := span * uint64(i) / uint64(n)
+		keys[i] = 1 + rng.Range(lo, lo+MovCWindow)
+	}
+	return keys
+}
+
+// Values generates a value column of n uniform values in [0, 1e6), for use
+// as the aggregated measure in Q2/Q3-style queries (grades, amounts, ...).
+func Values(n int, seed uint64) []uint64 {
+	rng := NewRNG(seed ^ 0x76616c) // "val": distinct stream from the key seed
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64n(1_000_000)
+	}
+	return vals
+}
+
+// DistinctCount returns the number of distinct keys in keys. Intended for
+// tests and for reporting the realized cardinality of probabilistic
+// datasets.
+func DistinctCount(keys []uint64) int {
+	seen := make(map[uint64]struct{}, 1024)
+	for _, k := range keys {
+		seen[k] = struct{}{}
+	}
+	return len(seen)
+}
+
+// --- Figure 2 sorting-microbenchmark distributions -------------------------
+
+// Random returns n uniform keys in [lo, hi] inclusive.
+func Random(n int, lo, hi uint64, seed uint64) []uint64 {
+	rng := NewRNG(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Range(lo, hi)
+	}
+	return keys
+}
+
+// Sequential returns the presorted keys 1..n.
+func Sequential(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	return keys
+}
+
+// Reversed returns the reverse-sorted keys n..1.
+func Reversed(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(n - i)
+	}
+	return keys
+}

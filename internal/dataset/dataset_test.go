@@ -1,0 +1,321 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, x, y)
+		}
+	}
+	c, d := NewRNG(42), NewRNG(43)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if c.Next() != d.Next() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGUint64nBounds(t *testing.T) {
+	rng := NewRNG(7)
+	for _, n := range []uint64{1, 2, 3, 5, 16, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := rng.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGUint64nUniformity(t *testing.T) {
+	// Chi-squared sanity check over 10 buckets.
+	rng := NewRNG(11)
+	const buckets, samples = 10, 100000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[rng.Uint64n(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; p=0.001 critical value is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("Uint64n looks non-uniform: chi2=%.2f counts=%v", chi2, counts)
+	}
+}
+
+func TestRNGRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(5, 4) did not panic")
+		}
+	}()
+	NewRNG(1).Range(5, 4)
+}
+
+func TestShufflePermutes(t *testing.T) {
+	orig := Sequential(1000)
+	shuf := Sequential(1000)
+	NewRNG(3).Shuffle(shuf)
+	if equalU64(orig, shuf) {
+		t.Fatal("shuffle left slice unchanged")
+	}
+	s := append([]uint64(nil), shuf...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if !equalU64(orig, s) {
+		t.Fatal("shuffle is not a permutation")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Kind: Rseq, N: 100, Cardinality: 10}, true},
+		{Spec{Kind: Rseq, N: 0, Cardinality: 10}, false},
+		{Spec{Kind: Rseq, N: 100, Cardinality: 0}, false},
+		{Spec{Kind: Rseq, N: 10, Cardinality: 100}, false},
+		{Spec{Kind: MovC, N: 100, Cardinality: 10}, false}, // below window
+		{Spec{Kind: MovC, N: 100, Cardinality: 64}, true},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%v: Validate() = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestDeterministicCardinality(t *testing.T) {
+	// Rseq, Rseq-Shf, Hhit, Hhit-Shf must realize the target cardinality
+	// exactly (Table 4: "Deterministic").
+	for _, kind := range []Kind{Rseq, RseqShf, Hhit, HhitShf} {
+		for _, c := range []int{1, 7, 100, 1000} {
+			spec := Spec{Kind: kind, N: 10000, Cardinality: c, Seed: 5}
+			got := DistinctCount(spec.Keys())
+			if got != c {
+				t.Errorf("%v: distinct=%d want %d", spec, got, c)
+			}
+		}
+	}
+}
+
+func TestKeysWithinRange(t *testing.T) {
+	for _, kind := range Kinds {
+		spec := Spec{Kind: kind, N: 5000, Cardinality: 256, Seed: 9}
+		for i, k := range spec.Keys() {
+			if k < 1 || k > uint64(spec.Cardinality)+MovCWindow {
+				t.Fatalf("%v: key[%d]=%d out of range", spec, i, k)
+			}
+		}
+	}
+}
+
+func TestKeysReproducible(t *testing.T) {
+	for _, kind := range Kinds {
+		spec := Spec{Kind: kind, N: 2000, Cardinality: 128, Seed: 77}
+		if !equalU64(spec.Keys(), spec.Keys()) {
+			t.Errorf("%v: two generations differ", spec)
+		}
+	}
+}
+
+func TestRseqShape(t *testing.T) {
+	keys := Spec{Kind: Rseq, N: 10, Cardinality: 3}.Keys()
+	want := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3, 1}
+	if !equalU64(keys, want) {
+		t.Fatalf("Rseq = %v, want %v", keys, want)
+	}
+}
+
+func TestHhitHeavyHitterShare(t *testing.T) {
+	spec := Spec{Kind: Hhit, N: 100000, Cardinality: 1000, Seed: 123}
+	keys := spec.Keys()
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(keys)/2 {
+		t.Fatalf("heaviest key covers %d records, want >= %d", max, len(keys)/2)
+	}
+	// Unshuffled variant: the first half must be a single constant key.
+	hot := keys[0]
+	for i := 0; i < len(keys)/2; i++ {
+		if keys[i] != hot {
+			t.Fatalf("record %d = %d, want hot key %d in first half", i, keys[i], hot)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	spec := Spec{Kind: Zipf, N: 200000, Cardinality: 10000, Seed: 321}
+	keys := spec.Keys()
+	counts := map[uint64]int{}
+	for _, k := range keys {
+		counts[k]++
+	}
+	// Rank-1 frequency must dominate a mid-rank frequency roughly by
+	// (mid)^0.5. Allow generous slack for sampling noise.
+	ratio := float64(counts[1]) / math.Max(1, float64(counts[100]))
+	if ratio < 3 { // ideal is 10 for rank 100 at e=0.5
+		t.Fatalf("rank-1/rank-100 frequency ratio %.2f too flat for Zipf(0.5)", ratio)
+	}
+	if counts[1] < counts[5000] {
+		t.Fatal("rank 1 rarer than rank 5000; skew direction wrong")
+	}
+}
+
+func TestZipfSamplerFullSupport(t *testing.T) {
+	z := NewZipfSampler(8, ZipfExponent)
+	rng := NewRNG(2)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(rng)
+		if v < 1 || v > 8 {
+			t.Fatalf("sample %d out of [1,8]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d of 8 ranks sampled", len(seen))
+	}
+}
+
+func TestMovCWindowProperty(t *testing.T) {
+	spec := Spec{Kind: MovC, N: 50000, Cardinality: 1000, Seed: 44}
+	keys := spec.Keys()
+	span := uint64(spec.Cardinality - MovCWindow)
+	for i, k := range keys {
+		lo := span*uint64(i)/uint64(spec.N) + 1
+		hi := lo + MovCWindow
+		if k < lo || k > hi {
+			t.Fatalf("key[%d]=%d outside window [%d,%d]", i, k, lo, hi)
+		}
+	}
+	// Early keys must be small, late keys large: check window actually moves.
+	if keys[0] > MovCWindow+1 {
+		t.Fatalf("first key %d not in initial window", keys[0])
+	}
+	last := keys[len(keys)-1]
+	if last < span-MovCWindow {
+		t.Fatalf("last key %d did not slide to top of range", last)
+	}
+}
+
+func TestShuffledVariantsArePermutations(t *testing.T) {
+	pairs := [][2]Kind{{Rseq, RseqShf}, {Hhit, HhitShf}}
+	for _, p := range pairs {
+		base := Spec{Kind: p[0], N: 4096, Cardinality: 64, Seed: 6}.Keys()
+		shuf := Spec{Kind: p[1], N: 4096, Cardinality: 64, Seed: 6}.Keys()
+		sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+		sort.Slice(shuf, func(i, j int) bool { return shuf[i] < shuf[j] })
+		if !equalU64(base, shuf) {
+			t.Errorf("%v is not a permutation of %v", p[1], p[0])
+		}
+	}
+}
+
+func TestValuesRangeAndDeterminism(t *testing.T) {
+	v1 := Values(10000, 5)
+	v2 := Values(10000, 5)
+	if !equalU64(v1, v2) {
+		t.Fatal("Values not deterministic")
+	}
+	for i, v := range v1 {
+		if v >= 1_000_000 {
+			t.Fatalf("value[%d]=%d out of range", i, v)
+		}
+	}
+}
+
+func TestFig2Distributions(t *testing.T) {
+	r := Random(1000, 1, 5, 3)
+	for _, v := range r {
+		if v < 1 || v > 5 {
+			t.Fatalf("Random(1,5) produced %d", v)
+		}
+	}
+	s := Sequential(100)
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1]+1 {
+			t.Fatal("Sequential not ascending by 1")
+		}
+	}
+	rev := Reversed(100)
+	for i := 1; i < len(rev); i++ {
+		if rev[i] != rev[i-1]-1 {
+			t.Fatal("Reversed not descending by 1")
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+func TestQuickRangeWithinBounds(t *testing.T) {
+	f := func(seed uint64, a, b uint64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := NewRNG(seed).Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRseqCardinality(t *testing.T) {
+	f := func(seed uint64, nRaw, cRaw uint16) bool {
+		n := int(nRaw)%5000 + 1
+		c := int(cRaw)%n + 1
+		spec := Spec{Kind: RseqShf, N: n, Cardinality: c, Seed: seed}
+		return DistinctCount(spec.Keys()) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+// Package dataset generates the synthetic aggregation datasets described in
+// Section 4 of "A Six-dimensional Analysis of In-memory Aggregation"
+// (Memarzia, Ray, Bhavsar — EDBT 2019), plus the five distributions used by
+// the paper's sorting microbenchmark (Figure 2).
+//
+// All generators are deterministic: the same Spec always yields the same
+// records, across runs and platforms. The datasets marked "deterministic
+// cardinality" in the paper (Rseq, Rseq-Shf, Hhit, Hhit-Shf) produce exactly
+// Spec.Cardinality distinct keys whenever N >= Cardinality; Zipf and MovC
+// are probabilistic, as in the paper.
+package dataset
+
+import "math/bits"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). It is used instead of math/rand so that datasets are
+// bit-for-bit reproducible regardless of the Go release, which matters when
+// comparing experiment outputs across machines.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Distinct seeds yield
+// statistically independent streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Next returns the next 64 uniformly distributed bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+//
+// It uses Lemire's multiply-shift reduction with a rejection step, so the
+// result is exactly uniform, not merely approximately so.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("dataset: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Next() & (n - 1)
+	}
+	threshold := -n % n // (2^64 - n) mod n
+	for {
+		v := r.Next()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Range returns a uniform value in [lo, hi] inclusive. Requires lo <= hi.
+func (r *RNG) Range(lo, hi uint64) uint64 {
+	if hi < lo {
+		panic("dataset: Range called with hi < lo")
+	}
+	span := hi - lo + 1
+	if span == 0 { // full 64-bit range
+		return r.Next()
+	}
+	return lo + r.Uint64n(span)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Shuffle performs an in-place Fisher–Yates shuffle of a.
+func (r *RNG) Shuffle(a []uint64) {
+	for i := len(a) - 1; i > 0; i-- {
+		j := int(r.Uint64n(uint64(i + 1)))
+		a[i], a[j] = a[j], a[i]
+	}
+}

@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+)
+
+// ZipfSampler draws ranks 1..n from a Zipfian distribution with exponent s,
+// i.e. P(rank = k) ∝ 1 / k^s.
+//
+// math/rand's Zipf requires s > 1; the paper uses e = 0.5, so we implement
+// inverse-CDF sampling over the cumulative generalized harmonic weights. The
+// table costs 8 bytes per rank, which is fine for the paper's cardinalities
+// (up to 10^7), and sampling is one binary search (O(log n)).
+type ZipfSampler struct {
+	cdf []float64 // cdf[k-1] = sum_{i=1..k} i^-s, normalized to [0,1]
+}
+
+// NewZipfSampler builds a sampler over ranks 1..n with exponent s.
+// It panics if n == 0.
+func NewZipfSampler(n uint64, s float64) *ZipfSampler {
+	if n == 0 {
+		panic("dataset: ZipfSampler requires n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := uint64(1); k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the last entry below 1
+	return &ZipfSampler{cdf: cdf}
+}
+
+// Sample returns one rank in [1, n].
+func (z *ZipfSampler) Sample(rng *RNG) uint64 {
+	u := rng.Float64()
+	// First index with cdf >= u.
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i == len(z.cdf) { // u landed exactly on 1.0 boundary rounding
+		i = len(z.cdf) - 1
+	}
+	return uint64(i + 1)
+}

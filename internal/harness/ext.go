@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+
+	"memagg/internal/agg"
+	"memagg/internal/dataset"
+	"memagg/internal/stragg"
+)
+
+// ExtQ2 runs the Q2 (vector AVG) grid the paper measured but omitted for
+// space ("due to space constraints and the similarity between Algebraic
+// and Distributive functions, we do not show results for Q2"): the same
+// conditions as Figure 4, completing the record.
+func ExtQ2(cfg Config) error {
+	warm()
+	vals := dataset.Values(cfg.N, cfg.Seed)
+	tw := newTable(cfg.Out, "dataset", "cardinality", "algorithm", "q2_ms")
+	for _, kind := range cfg.Datasets {
+		for _, card := range cfg.Cardinalities {
+			keys := keysFor(cfg, kind, card)
+			for _, e := range agg.Engines() {
+				el := timeIt(func() { e.VectorAvg(keys, vals) })
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", kind, card, e.Name(), ms(el))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// ExtEngines compares the extension engines with their paper counterparts:
+// Hash_PLAT (independent thread-local tables + partitioned merge) against
+// the shared-structure concurrent engines on Q1/Q3, and Adaptive against
+// its two fixed routes across the cardinality sweep.
+func ExtEngines(cfg Config) error {
+	warm()
+	low, high := cfg.lowHighCards()
+	vals := dataset.Values(cfg.N, cfg.Seed)
+
+	// Part 1: PLAT vs shared-structure engines across threads.
+	tw := newTable(cfg.Out, "query", "cardinality", "threads", "algorithm", "time_ms")
+	for _, card := range []int{low, high} {
+		keys := keysFor(cfg, dataset.Rseq, card)
+		for _, p := range cfg.Threads {
+			engines := append(agg.ConcurrentEngines(p), agg.HashPLAT(p))
+			for _, e := range engines {
+				el := timeIt(func() { e.VectorCount(keys) })
+				fmt.Fprintf(tw, "Q1\t%d\t%d\t%s\t%s\n", card, p, e.Name(), ms(el))
+			}
+			for _, e := range engines {
+				el := timeIt(func() { e.VectorMedian(keys, vals) })
+				fmt.Fprintf(tw, "Q3\t%d\t%d\t%s\t%s\n", card, p, e.Name(), ms(el))
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Part 2: Adaptive routing against its fixed endpoints.
+	tw2 := newTable(cfg.Out, "dataset", "cardinality", "algorithm", "q1_ms")
+	for _, kind := range []dataset.Kind{dataset.RseqShf, dataset.Zipf} {
+		for _, card := range cfg.Cardinalities {
+			keys := keysFor(cfg, kind, card)
+			for _, e := range []agg.Engine{agg.HashLP(), agg.Spreadsort(), agg.Adaptive()} {
+				el := timeIt(func() { e.VectorCount(keys) })
+				fmt.Fprintf(tw2, "%s\t%d\t%s\t%s\n", kind, card, e.Name(), ms(el))
+			}
+		}
+	}
+	return tw2.Flush()
+}
+
+// ExtStrings compares the string-key backends on the word-count workload
+// (Zipf word frequencies, as Section 4 motivates): Q1 plus the ordered
+// queries on the ordered engines.
+func ExtStrings(cfg Config) error {
+	warm()
+	rng := dataset.NewRNG(cfg.Seed)
+	card := 1 << 14
+	if card > cfg.N {
+		card = cfg.N
+	}
+	z := dataset.NewZipfSampler(uint64(card), dataset.ZipfExponent)
+	keys := make([]string, cfg.N)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tok-%06d", z.Sample(rng))
+	}
+	vals := dataset.Values(cfg.N, cfg.Seed)
+
+	tw := newTable(cfg.Out, "query", "algorithm", "time_ms", "groups")
+	for _, e := range stragg.Engines() {
+		groups := 0
+		el := timeIt(func() { groups = len(e.VectorCount(keys)) })
+		fmt.Fprintf(tw, "Q1\t%s\t%s\t%d\n", e.Name(), ms(el), groups)
+	}
+	for _, e := range stragg.Engines() {
+		groups := 0
+		el := timeIt(func() { groups = len(e.VectorMedian(keys, vals)) })
+		fmt.Fprintf(tw, "Q3\t%s\t%s\t%d\n", e.Name(), ms(el), groups)
+	}
+	for _, e := range stragg.Engines() {
+		var err error
+		el := timeIt(func() { _, err = e.ScalarMedianKey(keys) })
+		if err != nil {
+			continue // hash engines: unsupported
+		}
+		fmt.Fprintf(tw, "Q6\t%s\t%s\t-\n", e.Name(), ms(el))
+	}
+	for _, e := range stragg.Engines() {
+		groups := 0
+		var err error
+		el := timeIt(func() {
+			rows, perr := e.PrefixCount(keys, "tok-0001")
+			groups, err = len(rows), perr
+		})
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(tw, "Q7\t%s\t%s\t%d\n", e.Name(), ms(el), groups)
+	}
+	return tw.Flush()
+}

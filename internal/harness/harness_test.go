@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"memagg/internal/dataset"
+)
+
+// tinyConfig keeps experiment runs fast enough for the unit-test suite.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		N:             20000,
+		Seed:          7,
+		Out:           buf,
+		Threads:       []int{1, 2},
+		Datasets:      []dataset.Kind{dataset.Rseq, dataset.Zipf},
+		Cardinalities: []int{100, 1000},
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(e.Name, tinyConfig(&buf)); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.Name) {
+				t.Fatalf("%s: missing banner in output", e.Name)
+			}
+			if len(strings.Split(out, "\n")) < 5 {
+				t.Fatalf("%s: suspiciously short output:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig99", tinyConfig(&buf)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := Run("all", cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments() {
+		if !strings.Contains(buf.String(), e.Title) {
+			t.Fatalf("suite output missing %s", e.Name)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.N != 1_000_000 || c.Seed != 42 || c.Out == nil {
+		t.Fatal("defaults not applied")
+	}
+	if len(c.Threads) == 0 || c.Threads[0] != 1 {
+		t.Fatal("thread defaults wrong")
+	}
+	if len(c.Datasets) != len(dataset.Kinds) {
+		t.Fatal("dataset defaults wrong")
+	}
+	for _, card := range c.Cardinalities {
+		if card > c.N {
+			t.Fatal("cardinality exceeds N")
+		}
+	}
+	low, high := c.lowHighCards()
+	if low != 1000 || high != 100_000 {
+		t.Fatalf("lowHighCards = %d, %d", low, high)
+	}
+}
+
+func TestCheckGroups(t *testing.T) {
+	if err := checkGroups(dataset.Rseq, 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkGroups(dataset.Rseq, 9, 10); err == nil {
+		t.Fatal("missed wrong deterministic cardinality")
+	}
+	if err := checkGroups(dataset.Zipf, 8, 10); err != nil {
+		t.Fatal("probabilistic undershoot should pass")
+	}
+	if err := checkGroups(dataset.Zipf, 11, 10); err == nil {
+		t.Fatal("probabilistic overshoot should fail")
+	}
+}

@@ -1,0 +1,258 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"memagg/internal/art"
+	"memagg/internal/btree"
+	"memagg/internal/cuckoo"
+	"memagg/internal/dataset"
+	"memagg/internal/hashtbl"
+	"memagg/internal/judy"
+	"memagg/internal/ttree"
+	"memagg/internal/xsort"
+)
+
+// Fig2SortMicro reproduces the sorting microbenchmark: five algorithms ×
+// five input distributions, time to sort N keys (paper: 10M).
+func Fig2SortMicro(cfg Config) error {
+	sorts := []struct {
+		name string
+		fn   func([]uint64)
+	}{
+		{"MSB Radix Sort", xsort.RadixSortMSB},
+		{"LSB Radix Sort", xsort.RadixSortLSB},
+		{"Introsort", xsort.Introsort},
+		{"Spreadsort", xsort.Spreadsort},
+		{"Quicksort", xsort.Quicksort},
+	}
+	dists := []struct {
+		name string
+		gen  func() []uint64
+	}{
+		{"Random(1-5)", func() []uint64 { return dataset.Random(cfg.N, 1, 5, cfg.Seed) }},
+		{"Random(1-1M)", func() []uint64 { return dataset.Random(cfg.N, 1, 1_000_000, cfg.Seed) }},
+		{"Random(1k-1M)", func() []uint64 { return dataset.Random(cfg.N, 1_000, 1_000_000, cfg.Seed) }},
+		{"Presorted Seq", func() []uint64 { return dataset.Sequential(cfg.N) }},
+		{"Reversed Seq", func() []uint64 { return dataset.Reversed(cfg.N) }},
+	}
+	tw := newTable(cfg.Out, "distribution", "algorithm", "sort_ms")
+	for _, d := range dists {
+		base := d.gen()
+		for _, s := range sorts {
+			buf := append([]uint64(nil), base...)
+			el := timeIt(func() { s.fn(buf) })
+			if !xsort.IsSorted(buf) {
+				return fmt.Errorf("fig2: %s failed to sort %s", s.name, d.name)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", d.name, s.name, ms(el))
+		}
+	}
+	return tw.Flush()
+}
+
+// buildIter is the store-and-lookup surface of Figure 3's microbenchmark.
+type buildIter interface {
+	Upsert(uint64) *uint64
+	Iterate(func(uint64, *uint64) bool)
+}
+
+// cuckooAdapter maps the callback-based cuckoo API onto buildIter for the
+// microbenchmark.
+type cuckooAdapter struct{ m *cuckoo.Map[uint64] }
+
+func (c cuckooAdapter) Upsert(k uint64) *uint64 {
+	var p *uint64
+	c.m.Upsert(k, func(v *uint64, _ bool) { *v++; p = v })
+	return p
+}
+
+func (c cuckooAdapter) Iterate(fn func(uint64, *uint64) bool) { c.m.Iterate(fn) }
+
+// fig3Structs enumerates every candidate structure of the Figure 3
+// microbenchmark (count-valued), including the Ttree the paper eliminates
+// there. Shared with the Table 6 memory study.
+func fig3Structs() []struct {
+	name string
+	mk   func(n int) buildIter
+} {
+	return []struct {
+		name string
+		mk   func(n int) buildIter
+	}{
+		{"ART", func(int) buildIter { return art.New[uint64]() }},
+		{"Judy", func(int) buildIter { return judy.New[uint64]() }},
+		{"Btree", func(int) buildIter { return btree.New[uint64]() }},
+		{"Ttree", func(int) buildIter { return ttree.New[uint64]() }},
+		{"Hash_SC", func(n int) buildIter { return hashtbl.NewChained[uint64](n) }},
+		{"Hash_LP", func(n int) buildIter { return hashtbl.NewLinearProbe[uint64](n) }},
+		{"Hash_Sparse", func(n int) buildIter { return hashtbl.NewSparse[uint64](n) }},
+		{"Hash_Dense", func(n int) buildIter { return hashtbl.NewDense[uint64](n) }},
+		{"Hash_LC", func(n int) buildIter { return cuckooAdapter{cuckoo.New[uint64](n)} }},
+	}
+}
+
+// listBuild is one algorithm's Q3-shaped build (per-group value lists),
+// used by the Table 7 memory study.
+type listBuild struct {
+	name  string
+	build func(keys, vals []uint64) any
+}
+
+// fig3ListStructs returns the hash/tree structures building key → value
+// list maps (the Q3 storage shape).
+func fig3ListStructs() []listBuild {
+	appendAll := func(upsert func(uint64) *[]uint64, keys, vals []uint64) {
+		for i, k := range keys {
+			lst := upsert(k)
+			var v uint64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			*lst = append(*lst, v)
+		}
+	}
+	return []listBuild{
+		{"ART", func(keys, vals []uint64) any {
+			t := art.New[[]uint64]()
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Judy", func(keys, vals []uint64) any {
+			t := judy.New[[]uint64]()
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Btree", func(keys, vals []uint64) any {
+			t := btree.New[[]uint64]()
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Ttree", func(keys, vals []uint64) any {
+			t := ttree.New[[]uint64]()
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Hash_SC", func(keys, vals []uint64) any {
+			t := hashtbl.NewChained[[]uint64](len(keys))
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Hash_LP", func(keys, vals []uint64) any {
+			t := hashtbl.NewLinearProbe[[]uint64](len(keys))
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Hash_Sparse", func(keys, vals []uint64) any {
+			t := hashtbl.NewSparse[[]uint64](len(keys))
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Hash_Dense", func(keys, vals []uint64) any {
+			t := hashtbl.NewDense[[]uint64](len(keys))
+			appendAll(t.Upsert, keys, vals)
+			return t
+		}},
+		{"Hash_LC", func(keys, vals []uint64) any {
+			t := cuckoo.New[[]uint64](len(keys))
+			for i, k := range keys {
+				var v uint64
+				if i < len(vals) {
+					v = vals[i]
+				}
+				t.Upsert(k, func(lst *[]uint64, _ bool) { *lst = append(*lst, v) })
+			}
+			return t
+		}},
+	}
+}
+
+// Aliases shared with the memory study.
+var (
+	xsortIntro    = xsort.Introsort
+	xsortSpread   = xsort.Spreadsort
+	xsortIntroKV  = xsort.IntrosortKV
+	xsortSpreadKV = xsort.SpreadsortKV
+)
+
+// makeKVPairs zips keys and vals into sortable records.
+func makeKVPairs(keys, vals []uint64) []xsort.KV {
+	buf := make([]xsort.KV, len(keys))
+	for i, k := range keys {
+		buf[i].K = k
+		if i < len(vals) {
+			buf[i].V = vals[i]
+		}
+	}
+	return buf
+}
+
+// Fig3StructMicro reproduces the build/iterate microbenchmark over every
+// candidate structure, including the Ttree the paper eliminates here.
+func Fig3StructMicro(cfg Config) error {
+	structs := fig3Structs()
+	keys := dataset.Random(cfg.N, 1, 1_000_000, cfg.Seed)
+	tw := newTable(cfg.Out, "structure", "build_ms", "iterate_ms")
+	for _, s := range structs {
+		t := s.mk(len(keys))
+		build := timeIt(func() {
+			for _, k := range keys {
+				if p := t.Upsert(k); p != nil {
+					*p++
+				}
+			}
+		})
+		var total uint64
+		iterate := timeIt(func() {
+			t.Iterate(func(_ uint64, v *uint64) bool {
+				total += *v
+				return true
+			})
+		})
+		_ = total
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", s.name, ms(build), ms(iterate))
+	}
+	return tw.Flush()
+}
+
+// Fig10ParSort reproduces the parallel sorting microbenchmark: six
+// algorithms × 1..8 threads on Random(1-1M) keys. The serial Introsort and
+// Spreadsort rows repeat across thread counts, as in the paper's chart.
+func Fig10ParSort(cfg Config) error {
+	algos := []struct {
+		name string
+		fn   func([]uint64, int)
+	}{
+		{"Introsort", func(a []uint64, _ int) { xsort.Introsort(a) }},
+		{"Spreadsort", func(a []uint64, _ int) { xsort.Spreadsort(a) }},
+		{"Sort_SS", xsort.SortSS},
+		{"Sort_TBB", xsort.SortTBB},
+		{"Sort_QSLB", xsort.SortQSLB},
+		{"Sort_BI", xsort.SortBI},
+	}
+	base := dataset.Random(cfg.N, 1, 1_000_000, cfg.Seed)
+	tw := newTable(cfg.Out, "threads", "algorithm", "sort_ms")
+	for _, p := range cfg.Threads {
+		for _, alg := range algos {
+			buf := append([]uint64(nil), base...)
+			el := timeIt(func() { alg.fn(buf, p) })
+			if !xsort.IsSorted(buf) {
+				return fmt.Errorf("fig10: %s(p=%d) failed to sort", alg.name, p)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\n", p, alg.name, ms(el))
+		}
+	}
+	return tw.Flush()
+}
+
+// warm discourages lazy-allocation effects from polluting the first
+// measured cell of a grid experiment.
+func warm() {
+	buf := make([]uint64, 1<<16)
+	for i := range buf {
+		buf[i] = uint64(i)
+	}
+	xsort.Introsort(buf)
+	_ = time.Now()
+}

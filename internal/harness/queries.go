@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+
+	"memagg/internal/agg"
+	"memagg/internal/dataset"
+)
+
+// Fig4Q1 reproduces the Q1 (vector COUNT) grid: every Table 4 distribution
+// × the cardinality sweep × the ten serial algorithms.
+func Fig4Q1(cfg Config) error {
+	warm()
+	tw := newTable(cfg.Out, "dataset", "cardinality", "algorithm", "q1_ms")
+	for _, kind := range cfg.Datasets {
+		for _, card := range cfg.Cardinalities {
+			keys := keysFor(cfg, kind, card)
+			for _, e := range agg.Engines() {
+				var groups int
+				el := timeIt(func() { groups = len(e.VectorCount(keys)) })
+				if err := checkGroups(kind, groups, card); err != nil {
+					return fmt.Errorf("fig4 %s/%s: %w", kind, e.Name(), err)
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", kind, card, e.Name(), ms(el))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig5Q3 reproduces the Q3 (vector MEDIAN) grid over the same conditions.
+func Fig5Q3(cfg Config) error {
+	warm()
+	vals := dataset.Values(cfg.N, cfg.Seed)
+	tw := newTable(cfg.Out, "dataset", "cardinality", "algorithm", "q3_ms")
+	for _, kind := range cfg.Datasets {
+		for _, card := range cfg.Cardinalities {
+			keys := keysFor(cfg, kind, card)
+			for _, e := range agg.Engines() {
+				var groups int
+				el := timeIt(func() { groups = len(e.VectorMedian(keys, vals)) })
+				if err := checkGroups(kind, groups, card); err != nil {
+					return fmt.Errorf("fig5 %s/%s: %w", kind, e.Name(), err)
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", kind, card, e.Name(), ms(el))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig7Distrib reproduces the distribution-sensitivity study: Q1 across all
+// six distributions at the paper's low (10^3) and high (10^6) group
+// cardinalities.
+func Fig7Distrib(cfg Config) error {
+	warm()
+	low, high := cfg.lowHighCards()
+	tw := newTable(cfg.Out, "cardinality", "dataset", "algorithm", "q1_ms")
+	for _, card := range []int{low, high} {
+		for _, kind := range cfg.Datasets {
+			keys := keysFor(cfg, kind, card)
+			for _, e := range agg.Engines() {
+				el := timeIt(func() { e.VectorCount(keys) })
+				fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", card, kind, e.Name(), ms(el))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig9Q6 reproduces the scalar-median study: Q6 across distributions and
+// cardinalities for the tree- and sort-based algorithms.
+func Fig9Q6(cfg Config) error {
+	warm()
+	tw := newTable(cfg.Out, "dataset", "cardinality", "algorithm", "q6_ms")
+	for _, kind := range cfg.Datasets {
+		for _, card := range cfg.Cardinalities {
+			keys := keysFor(cfg, kind, card)
+			want := -1.0
+			for _, e := range agg.ScalarEngines() {
+				var got float64
+				el := timeIt(func() {
+					var err error
+					got, err = e.ScalarMedian(keys)
+					if err != nil {
+						panic(err)
+					}
+				})
+				if want < 0 {
+					want = got
+				} else if got != want {
+					return fmt.Errorf("fig9 %s/%s: median %v disagrees with %v",
+						kind, e.Name(), got, want)
+				}
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", kind, card, e.Name(), ms(el))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig11Scaling reproduces the multithreaded study: Q1 and Q3 on Rseq at
+// low and high cardinality, sweeping thread counts over the four
+// concurrent algorithms.
+func Fig11Scaling(cfg Config) error {
+	warm()
+	low, high := cfg.lowHighCards()
+	vals := dataset.Values(cfg.N, cfg.Seed)
+	tw := newTable(cfg.Out, "query", "cardinality", "threads", "algorithm", "time_ms")
+	for _, card := range []int{low, high} {
+		keys := keysFor(cfg, dataset.Rseq, card)
+		for _, p := range cfg.Threads {
+			for _, e := range agg.ConcurrentEngines(p) {
+				el := timeIt(func() { e.VectorCount(keys) })
+				fmt.Fprintf(tw, "Q1\t%d\t%d\t%s\t%s\n", card, p, e.Name(), ms(el))
+			}
+		}
+		for _, p := range cfg.Threads {
+			for _, e := range agg.ConcurrentEngines(p) {
+				el := timeIt(func() { e.VectorMedian(keys, vals) })
+				fmt.Fprintf(tw, "Q3\t%d\t%d\t%s\t%s\n", card, p, e.Name(), ms(el))
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// checkGroups sanity-checks a vector result's group count: deterministic
+// distributions must realize the target cardinality exactly; probabilistic
+// ones must not exceed it.
+func checkGroups(kind dataset.Kind, groups, card int) error {
+	switch kind {
+	case dataset.Rseq, dataset.RseqShf, dataset.Hhit, dataset.HhitShf:
+		if groups != card {
+			return fmt.Errorf("got %d groups, want %d", groups, card)
+		}
+	case dataset.MovC:
+		if groups > card+dataset.MovCWindow {
+			return fmt.Errorf("got %d groups, cap %d", groups, card+dataset.MovCWindow)
+		}
+	default:
+		if groups > card {
+			return fmt.Errorf("got %d groups, cap %d", groups, card)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"fmt"
+	"memagg/internal/art"
+	"memagg/internal/btree"
+	"memagg/internal/dataset"
+	"memagg/internal/judy"
+	"memagg/internal/memsim"
+	"memagg/internal/memuse"
+)
+
+// Fig6MemSim reproduces the cache/TLB study on the simulated Skylake
+// hierarchy: every algorithm model runs Q1 and Q3 over the Rseq dataset at
+// low and high cardinality, reporting last-level cache misses and D-TLB
+// (second-level) misses.
+func Fig6MemSim(cfg Config) error {
+	low, high := cfg.lowHighCards()
+	// Two paging regimes: 4 KB pages, and transparent huge pages as on the
+	// paper's Ubuntu 16.04 testbed (which backs the large tables with 2 MB
+	// pages — without it the hash tables' n-sized arrays dominate the TLB).
+	tw := newTable(cfg.Out, "query", "algorithm", "cardinality", "paging",
+		"cache_misses", "dtlb_misses")
+	for _, q := range []struct {
+		name string
+		run  func(m memsim.Model, h *memsim.Hierarchy, keys []uint64)
+	}{
+		{"Q1", func(m memsim.Model, h *memsim.Hierarchy, keys []uint64) { m.RunQ1(h, keys) }},
+		{"Q3", func(m memsim.Model, h *memsim.Hierarchy, keys []uint64) { m.RunQ3(h, keys) }},
+	} {
+		for _, card := range []int{low, high} {
+			keys := keysFor(cfg, dataset.Rseq, card)
+			for _, thp := range []bool{false, true} {
+				paging := "4k"
+				if thp {
+					paging = "thp"
+				}
+				for _, m := range memsim.Models() {
+					h := memsim.NewSkylakeHierarchy()
+					h.THP = thp
+					q.run(m, h, keys)
+					fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%d\n",
+						q.name, m.Name(), card, paging, h.CacheMisses(), h.TLBMisses())
+				}
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// memSizes returns the Table 6/7 dataset-size sweep (10^5..10^8) clipped to
+// the configured N.
+func memSizes(cfg Config) []int {
+	var out []int
+	for _, n := range []int{100_000, 1_000_000, 10_000_000, 100_000_000} {
+		if n <= cfg.N {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{cfg.N}
+	}
+	return out
+}
+
+// Tab6MemQ1 reproduces the Q1 peak-memory table: Rseq at 10^3 groups,
+// sweeping the dataset size. "retained" is the live footprint of the built
+// aggregation structure (the paper's steady-state ordering); "allocated"
+// is total build-phase allocation including transient resize copies (the
+// peak-RSS spikes the paper attributes to Hash_Dense).
+func Tab6MemQ1(cfg Config) error {
+	return memTable(cfg, memBuildsQ1())
+}
+
+// Tab7MemQ3 reproduces the Q3 peak-memory table over the same sweep. Q3
+// stores every value, so footprints exceed Table 6's — most dramatically
+// for the hash tables, as the paper reports.
+func Tab7MemQ3(cfg Config) error {
+	return memTable(cfg, memBuildsQ3())
+}
+
+// memBuild builds one algorithm's aggregation structure and returns it so
+// memuse can observe its live footprint.
+type memBuild struct {
+	name  string
+	build func(keys, vals []uint64) any
+}
+
+func memBuildsQ1() []memBuild {
+	countStruct := func(mk func(n int) buildIter) func(keys, _ []uint64) any {
+		return func(keys, _ []uint64) any {
+			t := mk(len(keys))
+			for _, k := range keys {
+				if p := t.Upsert(k); p != nil {
+					*p++
+				}
+			}
+			return t
+		}
+	}
+	sortStruct := func(fn func([]uint64)) func(keys, _ []uint64) any {
+		return func(keys, _ []uint64) any {
+			buf := append([]uint64(nil), keys...)
+			fn(buf)
+			return buf
+		}
+	}
+	var out []memBuild
+	for _, s := range fig3Structs() {
+		out = append(out, memBuild{s.name, countStruct(s.mk)})
+	}
+	out = append(out,
+		memBuild{"Introsort", sortStruct(xsortIntro)},
+		memBuild{"Spreadsort", sortStruct(xsortSpread)},
+	)
+	return out
+}
+
+func memBuildsQ3() []memBuild {
+	listStruct := func(build func(keys, vals []uint64) any) func(keys, vals []uint64) any {
+		return build
+	}
+	var out []memBuild
+	for _, s := range fig3ListStructs() {
+		out = append(out, memBuild{s.name, listStruct(s.build)})
+	}
+	out = append(out,
+		memBuild{"Introsort", func(keys, vals []uint64) any {
+			buf := makeKVPairs(keys, vals)
+			xsortIntroKV(buf)
+			return buf
+		}},
+		memBuild{"Spreadsort", func(keys, vals []uint64) any {
+			buf := makeKVPairs(keys, vals)
+			xsortSpreadKV(buf)
+			return buf
+		}},
+	)
+	return out
+}
+
+func memTable(cfg Config, builds []memBuild) error {
+	tw := newTable(cfg.Out, "n", "algorithm", "retained_mb", "allocated_mb")
+	card := 1000
+	for _, n := range memSizes(cfg) {
+		sub := cfg
+		sub.N = n
+		if card > n {
+			card = n
+		}
+		keys := keysFor(sub, dataset.Rseq, card)
+		vals := dataset.Values(n, cfg.Seed)
+		for _, b := range builds {
+			u := memuse.Measure(func() any { return b.build(keys, vals) })
+			fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.2f\n",
+				n, b.name, memuse.MB(u.Retained), memuse.MB(u.Allocated))
+		}
+	}
+	return tw.Flush()
+}
+
+// rangeTree is the prebuilt-index surface Figure 8 measures.
+type rangeTree interface {
+	Upsert(uint64) *uint64
+	Range(lo, hi uint64, fn func(uint64, *uint64) bool)
+}
+
+// Fig8Range reproduces the range-search study on the tree structures:
+// build time at low and high cardinality, then search time for ranges
+// covering 25%, 50% and 75% of the key space on the prebuilt tree
+// (smaller ranges first, as in the paper).
+func Fig8Range(cfg Config) error {
+	trees := []struct {
+		name string
+		mk   func() rangeTree
+	}{
+		{"ART", func() rangeTree { return art.New[uint64]() }},
+		{"Judy", func() rangeTree { return judy.New[uint64]() }},
+		{"Btree", func() rangeTree { return btree.New[uint64]() }},
+	}
+	low, high := cfg.lowHighCards()
+	btw := newTable(cfg.Out, "tree", "cardinality", "build_ms")
+	type built struct {
+		name string
+		card int
+		t    rangeTree
+	}
+	var prebuilt []built
+	for _, card := range []int{low, high} {
+		keys := keysFor(cfg, dataset.Rseq, card)
+		for _, tr := range trees {
+			t := tr.mk()
+			el := timeIt(func() {
+				for _, k := range keys {
+					*t.Upsert(k)++
+				}
+			})
+			fmt.Fprintf(btw, "%s\t%d\t%s\n", tr.name, card, ms(el))
+			prebuilt = append(prebuilt, built{tr.name, card, t})
+		}
+	}
+	if err := btw.Flush(); err != nil {
+		return err
+	}
+
+	stw := newTable(cfg.Out, "tree", "cardinality", "range_pct", "search_us", "groups")
+	for _, b := range prebuilt {
+		for _, pct := range []int{25, 50, 75} {
+			hi := uint64(b.card * pct / 100)
+			if hi < 1 {
+				hi = 1
+			}
+			groups := 0
+			var total uint64
+			el := timeIt(func() {
+				b.t.Range(1, hi, func(_ uint64, v *uint64) bool {
+					groups++
+					total += *v
+					return true
+				})
+			})
+			_ = total
+			fmt.Fprintf(stw, "%s\t%d\t%d%%\t%.2f\t%d\n",
+				b.name, b.card, pct, float64(el.Nanoseconds())/1e3, groups)
+		}
+	}
+	return stw.Flush()
+}

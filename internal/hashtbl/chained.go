@@ -1,0 +1,145 @@
+package hashtbl
+
+// Chained is the std::unordered_map analog (Hash_SC): separate chaining
+// with singly linked bucket chains. Insert is fast and growth only relinks
+// chains (nodes are never moved), but every chain hop is a dependent
+// pointer load — the data-locality cost the paper highlights for separate
+// chaining.
+//
+// Two allocation modes exist:
+//
+//   - per-node allocation (NewChained), matching the C++ container's one
+//     heap node per element, and
+//   - pooled arena allocation (NewChainedPooled), which block-allocates
+//     nodes to amortize allocator pressure. The allocation ablation
+//     benchmark contrasts the two.
+type Chained[V any] struct {
+	buckets []*chainNode[V]
+	mask    uint64
+	size    int
+	grow    int
+
+	pooled bool
+	pool   []chainNode[V] // current allocation block (pooled mode)
+}
+
+type chainNode[V any] struct {
+	key  uint64
+	next *chainNode[V]
+	val  V
+}
+
+// chainPoolBlock is the arena block size in nodes for pooled mode.
+const chainPoolBlock = 1024
+
+// NewChained returns a separate-chaining table pre-sized for capacity
+// elements, one heap allocation per inserted node.
+func NewChained[V any](capacity int) *Chained[V] {
+	t := &Chained[V]{}
+	t.alloc(NextPow2(maxInt(capacity, 16)))
+	return t
+}
+
+// NewChainedPooled returns a table that allocates nodes from arena blocks.
+func NewChainedPooled[V any](capacity int) *Chained[V] {
+	t := &Chained[V]{pooled: true}
+	t.alloc(NextPow2(maxInt(capacity, 16)))
+	return t
+}
+
+func (t *Chained[V]) alloc(buckets int) {
+	t.buckets = make([]*chainNode[V], buckets)
+	t.mask = uint64(buckets - 1)
+	t.grow = buckets // max load factor 1.0, as libstdc++
+}
+
+// Len returns the number of stored keys.
+func (t *Chained[V]) Len() int { return t.size }
+
+// Cap returns the bucket count.
+func (t *Chained[V]) Cap() int { return len(t.buckets) }
+
+func (t *Chained[V]) newNode(key uint64, next *chainNode[V]) *chainNode[V] {
+	if !t.pooled {
+		return &chainNode[V]{key: key, next: next}
+	}
+	if len(t.pool) == 0 {
+		t.pool = make([]chainNode[V], chainPoolBlock)
+	}
+	n := &t.pool[0]
+	t.pool = t.pool[1:]
+	n.key = key
+	n.next = next
+	return n
+}
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. Unlike the open-addressing tables, the pointer remains valid for
+// the life of the table (nodes never move), matching std::unordered_map's
+// reference stability.
+func (t *Chained[V]) Upsert(key uint64) *V {
+	b := Mix(key) & t.mask
+	for n := t.buckets[b]; n != nil; n = n.next {
+		if n.key == key {
+			return &n.val
+		}
+	}
+	if t.size >= t.grow {
+		t.rehash(len(t.buckets) * 2)
+		b = Mix(key) & t.mask
+	}
+	n := t.newNode(key, t.buckets[b])
+	t.buckets[b] = n
+	t.size++
+	return &n.val
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Chained[V]) Get(key uint64) *V {
+	for n := t.buckets[Mix(key)&t.mask]; n != nil; n = n.next {
+		if n.key == key {
+			return &n.val
+		}
+	}
+	return nil
+}
+
+// Delete removes key, returning whether it was present.
+func (t *Chained[V]) Delete(key uint64) bool {
+	b := Mix(key) & t.mask
+	for pp := &t.buckets[b]; *pp != nil; pp = &(*pp).next {
+		if (*pp).key == key {
+			*pp = (*pp).next
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Iterate calls fn for every key/value pair, stopping early on false.
+func (t *Chained[V]) Iterate(fn func(key uint64, val *V) bool) {
+	for _, n := range t.buckets {
+		for ; n != nil; n = n.next {
+			if !fn(n.key, &n.val) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Chained[V]) rehash(buckets int) {
+	old := t.buckets
+	t.buckets = make([]*chainNode[V], buckets)
+	t.mask = uint64(buckets - 1)
+	t.grow = buckets
+	for _, n := range old {
+		for n != nil {
+			next := n.next
+			b := Mix(n.key) & t.mask
+			n.next = t.buckets[b]
+			t.buckets[b] = n
+			n = next
+		}
+	}
+}

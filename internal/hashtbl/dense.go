@@ -1,0 +1,159 @@
+package hashtbl
+
+// Dense is the Google dense_hash_map analog (Hash_Dense): open addressing
+// with triangular quadratic probing over a flat power-of-two array, growing
+// at a 0.5 maximum load factor. It prioritizes probe speed over memory:
+// the table always holds at least 2x the slots its contents need, and a
+// resize transiently holds both the old and new arrays — the source of the
+// outsized peak-memory numbers the paper reports for this table.
+//
+// Deletion uses tombstones, mirroring dense_hash_map's deleted-key scheme
+// (realized here as a per-slot state byte instead of a reserved key value,
+// so the full uint64 key domain remains usable).
+type Dense[V any] struct {
+	keys   []uint64
+	vals   []V
+	states []uint8 // slotEmpty, slotFull, slotDeleted
+	mask   uint64
+	size   int // full slots
+	used   int // full + deleted slots (drives growth)
+	grow   int
+}
+
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotDeleted
+)
+
+// denseMaxLoad is dense_hash_map's default: grow when half full.
+const (
+	denseMaxLoadNum = 1
+	denseMaxLoadDen = 2
+)
+
+// NewDense returns a table pre-sized for capacity elements.
+func NewDense[V any](capacity int) *Dense[V] {
+	slots := NextPow2(maxInt(capacity*denseMaxLoadDen/denseMaxLoadNum, 32))
+	t := &Dense[V]{}
+	t.alloc(slots)
+	return t
+}
+
+func (t *Dense[V]) alloc(slots int) {
+	t.keys = make([]uint64, slots)
+	t.vals = make([]V, slots)
+	t.states = make([]uint8, slots)
+	t.mask = uint64(slots - 1)
+	t.grow = slots * denseMaxLoadNum / denseMaxLoadDen
+	t.size = 0
+	t.used = 0
+}
+
+// Len returns the number of stored keys.
+func (t *Dense[V]) Len() int { return t.size }
+
+// Cap returns the number of slots.
+func (t *Dense[V]) Cap() int { return len(t.keys) }
+
+// probe visits slots h, h+1, h+3, h+6, ... (triangular numbers), which
+// covers every slot of a power-of-two table exactly once.
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. The pointer is valid until the next mutating call.
+func (t *Dense[V]) Upsert(key uint64) *V {
+	if t.used >= t.grow {
+		t.rehash(len(t.keys) * 2)
+	}
+	i := Mix(key) & t.mask
+	insertAt := -1
+	for step := uint64(1); ; step++ {
+		switch t.states[i] {
+		case slotFull:
+			if t.keys[i] == key {
+				return &t.vals[i]
+			}
+		case slotDeleted:
+			if insertAt < 0 {
+				insertAt = int(i)
+			}
+		case slotEmpty:
+			if insertAt < 0 {
+				insertAt = int(i)
+				t.used++ // consuming a virgin slot
+			}
+			t.keys[insertAt] = key
+			t.states[insertAt] = slotFull
+			t.size++
+			return &t.vals[insertAt]
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Dense[V]) Get(key uint64) *V {
+	i := Mix(key) & t.mask
+	for step := uint64(1); ; step++ {
+		switch t.states[i] {
+		case slotFull:
+			if t.keys[i] == key {
+				return &t.vals[i]
+			}
+		case slotEmpty:
+			return nil
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// Delete removes key, returning whether it was present.
+func (t *Dense[V]) Delete(key uint64) bool {
+	i := Mix(key) & t.mask
+	for step := uint64(1); ; step++ {
+		switch t.states[i] {
+		case slotFull:
+			if t.keys[i] == key {
+				var zero V
+				t.states[i] = slotDeleted
+				t.keys[i] = 0
+				t.vals[i] = zero
+				t.size--
+				return true
+			}
+		case slotEmpty:
+			return false
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// Iterate calls fn for every key/value pair, stopping early on false.
+func (t *Dense[V]) Iterate(fn func(key uint64, val *V) bool) {
+	for i, s := range t.states {
+		if s == slotFull {
+			if !fn(t.keys[i], &t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Dense[V]) rehash(slots int) {
+	oldKeys, oldVals, oldStates := t.keys, t.vals, t.states
+	t.alloc(slots)
+	for i, s := range oldStates {
+		if s != slotFull {
+			continue
+		}
+		j := Mix(oldKeys[i]) & t.mask
+		for step := uint64(1); t.states[j] == slotFull; step++ {
+			j = (j + step) & t.mask
+		}
+		t.keys[j] = oldKeys[i]
+		t.vals[j] = oldVals[i]
+		t.states[j] = slotFull
+		t.size++
+		t.used++
+	}
+}

@@ -1,0 +1,86 @@
+// Package hashtbl implements the serial hash tables the paper evaluates as
+// aggregation backends:
+//
+//   - LinearProbe  — the paper's custom "Hash_LP": open addressing, linear
+//     probing, power-of-two capacity with AND masking (plus the documented
+//     modulo fallback mode).
+//   - Dense        — Google dense_hash_map analog ("Hash_Dense"): open
+//     addressing with triangular quadratic probing and a low maximum load
+//     factor, trading memory for speed.
+//   - Sparse       — Google sparse_hash_map analog ("Hash_Sparse"):
+//     quadratic probing over bitmap-compressed groups storing only occupied
+//     slots, trading speed for memory.
+//   - Chained      — std::unordered_map analog ("Hash_SC"): separate
+//     chaining with pointer-linked nodes (with an optional pooled-arena
+//     allocation mode used by the allocation ablation study).
+//
+// All tables map uint64 keys to a generic value type V and expose the same
+// core surface: Upsert (insert-or-find returning a value pointer, the
+// primitive aggregation builds on), Get, Delete, Len, and Iterate.
+//
+// Value pointers returned by Upsert/Get are invalidated by the next
+// mutating call (the table may grow); aggregation uses them immediately.
+package hashtbl
+
+import "math/bits"
+
+// Mix is the shared 64-bit hash finalizer (the splitmix64/Murmur3 mixer).
+// It is exported so that other packages (cuckoo, chash, memsim) hash keys
+// identically, making probe-sequence comparisons across tables meaningful.
+func Mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Mix2 is a second, independent finalizer used where two hash functions are
+// required (cuckoo hashing).
+func Mix2(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(uint64(n-1))
+}
+
+// nextPrime returns a prime >= n, used by the modulo-fallback table sizing
+// the paper describes for its custom linear-probing table.
+func nextPrime(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !isPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,202 @@
+package hashtbl
+
+import "math/bits"
+
+// Sparse is the Google sparse_hash_map analog (Hash_Sparse): logically an
+// open-addressing table with the same triangular quadratic probing as
+// Dense, but physically organized as bitmap-compressed groups of 64 slots
+// that store only their occupied entries. Memory overhead is ~2 bits per
+// empty slot instead of a full entry, which is why the paper measures it
+// close to the trees and sorts — at the cost of a popcount-indexed indirect
+// access and a memmove per insert.
+type Sparse[V any] struct {
+	groups []sparseGroup[V]
+	mask   uint64 // logical capacity - 1
+	size   int
+	used   int // full + tombstoned logical slots
+	grow   int
+}
+
+type sparseGroup[V any] struct {
+	occupied uint64 // bit b set: logical slot b holds entries[rank(b)]
+	deleted  uint64 // bit b set: logical slot b is a tombstone (no entry)
+	keys     []uint64
+	vals     []V
+}
+
+// sparseMaxLoad is sparse_hash_map's default 0.8 maximum occupancy.
+const (
+	sparseMaxLoadNum = 4
+	sparseMaxLoadDen = 5
+)
+
+// NewSparse returns a table pre-sized for capacity elements.
+func NewSparse[V any](capacity int) *Sparse[V] {
+	slots := NextPow2(maxInt(capacity*sparseMaxLoadDen/sparseMaxLoadNum, 64))
+	t := &Sparse[V]{}
+	t.alloc(slots)
+	return t
+}
+
+func (t *Sparse[V]) alloc(slots int) {
+	t.groups = make([]sparseGroup[V], slots/64)
+	t.mask = uint64(slots - 1)
+	t.grow = slots * sparseMaxLoadNum / sparseMaxLoadDen
+	t.size = 0
+	t.used = 0
+}
+
+// Len returns the number of stored keys.
+func (t *Sparse[V]) Len() int { return t.size }
+
+// Cap returns the logical slot count.
+func (t *Sparse[V]) Cap() int { return len(t.groups) * 64 }
+
+// rank returns the packed index of logical bit b within the group bitmap.
+func rank(bitmap uint64, b uint) int {
+	return bits.OnesCount64(bitmap & (1<<b - 1))
+}
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. The pointer is valid until the next mutating call.
+func (t *Sparse[V]) Upsert(key uint64) *V {
+	if t.used >= t.grow {
+		t.rehash(len(t.groups) * 64 * 2)
+	}
+	i := Mix(key) & t.mask
+	insertAt := int64(-1)
+	for step := uint64(1); ; step++ {
+		g := &t.groups[i>>6]
+		b := uint(i & 63)
+		switch {
+		case g.occupied>>b&1 == 1:
+			if r := rank(g.occupied, b); g.keys[r] == key {
+				return &g.vals[r]
+			}
+		case g.deleted>>b&1 == 1:
+			if insertAt < 0 {
+				insertAt = int64(i)
+			}
+		default: // truly empty: key is absent, insert now
+			if insertAt < 0 {
+				insertAt = int64(i)
+				t.used++
+			}
+			return t.insertAtSlot(uint64(insertAt), key)
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// insertAtSlot places key into logical slot i, which must be empty or a
+// tombstone, and returns the value pointer.
+func (t *Sparse[V]) insertAtSlot(i, key uint64) *V {
+	g := &t.groups[i>>6]
+	b := uint(i & 63)
+	g.deleted &^= 1 << b
+	r := rank(g.occupied, b)
+	g.occupied |= 1 << b
+	g.keys = append(g.keys, 0)
+	copy(g.keys[r+1:], g.keys[r:])
+	g.keys[r] = key
+	var zero V
+	g.vals = append(g.vals, zero)
+	copy(g.vals[r+1:], g.vals[r:])
+	g.vals[r] = zero
+	t.size++
+	return &g.vals[r]
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Sparse[V]) Get(key uint64) *V {
+	i := Mix(key) & t.mask
+	for step := uint64(1); ; step++ {
+		g := &t.groups[i>>6]
+		b := uint(i & 63)
+		switch {
+		case g.occupied>>b&1 == 1:
+			if r := rank(g.occupied, b); g.keys[r] == key {
+				return &g.vals[r]
+			}
+		case g.deleted>>b&1 == 1:
+			// tombstone: keep probing
+		default:
+			return nil
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// Delete removes key, returning whether it was present. The slot becomes a
+// tombstone and its entry storage is released.
+func (t *Sparse[V]) Delete(key uint64) bool {
+	i := Mix(key) & t.mask
+	for step := uint64(1); ; step++ {
+		g := &t.groups[i>>6]
+		b := uint(i & 63)
+		switch {
+		case g.occupied>>b&1 == 1:
+			r := rank(g.occupied, b)
+			if g.keys[r] != key {
+				break
+			}
+			copy(g.keys[r:], g.keys[r+1:])
+			g.keys = g.keys[:len(g.keys)-1]
+			copy(g.vals[r:], g.vals[r+1:])
+			var zero V
+			g.vals[len(g.vals)-1] = zero
+			g.vals = g.vals[:len(g.vals)-1]
+			g.occupied &^= 1 << b
+			g.deleted |= 1 << b
+			t.size--
+			return true
+		case g.deleted>>b&1 == 1:
+			// keep probing
+		default:
+			return false
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+// Iterate calls fn for every key/value pair, stopping early on false.
+func (t *Sparse[V]) Iterate(fn func(key uint64, val *V) bool) {
+	for gi := range t.groups {
+		g := &t.groups[gi]
+		for r := range g.keys {
+			if !fn(g.keys[r], &g.vals[r]) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Sparse[V]) rehash(slots int) {
+	old := t.groups
+	t.alloc(slots)
+	for gi := range old {
+		g := &old[gi]
+		for r, k := range g.keys {
+			i := Mix(k) & t.mask
+			for step := uint64(1); ; step++ {
+				ng := &t.groups[i>>6]
+				b := uint(i & 63)
+				if ng.occupied>>b&1 == 0 {
+					t.used++
+					nr := rank(ng.occupied, b)
+					ng.occupied |= 1 << b
+					ng.keys = append(ng.keys, 0)
+					copy(ng.keys[nr+1:], ng.keys[nr:])
+					ng.keys[nr] = k
+					var zero V
+					ng.vals = append(ng.vals, zero)
+					copy(ng.vals[nr+1:], ng.vals[nr:])
+					ng.vals[nr] = g.vals[r]
+					t.size++
+					break
+				}
+				i = (i + step) & t.mask
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package judy
+
+// Delete removes key from the tree, returning whether it was present.
+// Node forms demote on the reverse of the promotion schedule (full →
+// bitmap → linear), and a linear node left with a single child collapses
+// into that child with the radix byte folded into the child's prefix.
+func (t *Tree[V]) Delete(key uint64) bool {
+	switch n := t.root.(type) {
+	case nil:
+		return false
+	case *leaf[V]:
+		if n.key != key {
+			return false
+		}
+		t.root = nil
+		t.size--
+		return true
+	}
+	if !t.deleteRec(&t.root, key, 0) {
+		return false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[V]) deleteRec(slot *any, key uint64, depth int) bool {
+	h := t.hdr(*slot)
+	for i := 0; i < h.prefixLen; i++ {
+		if h.prefix[i] != keyByte(key, depth+i) {
+			return false
+		}
+	}
+	depth += h.prefixLen
+	b := keyByte(key, depth)
+	childSlot := t.findChild(*slot, b)
+	if childSlot == nil {
+		return false
+	}
+	if lf, ok := (*childSlot).(*leaf[V]); ok {
+		if lf.key != key {
+			return false
+		}
+		t.removeChild(slot, b)
+		return true
+	}
+	return t.deleteRec(childSlot, key, depth+1)
+}
+
+func (t *Tree[V]) removeChild(slot *any, b byte) {
+	switch n := (*slot).(type) {
+	case *linear[V]:
+		i := 0
+		for i < n.n && n.keys[i] != b {
+			i++
+		}
+		copy(n.keys[i:n.n-1], n.keys[i+1:n.n])
+		copy(n.children[i:n.n-1], n.children[i+1:n.n])
+		n.n--
+		n.children[n.n] = nil
+		if n.n == 1 {
+			t.collapseLinear(slot, n)
+		}
+	case *bitmapN[V]:
+		r := n.bmRank(b)
+		n.bits[b>>6] &^= 1 << (b & 63)
+		copy(n.children[r:], n.children[r+1:])
+		n.children[len(n.children)-1] = nil
+		n.children = n.children[:len(n.children)-1]
+		if len(n.children) <= linearCap {
+			s := &linear[V]{header: n.header}
+			j := 0
+			for bb := 0; bb < 256 && j < len(n.children); bb++ {
+				if n.bmHas(byte(bb)) {
+					s.keys[j] = byte(bb)
+					s.children[j] = n.children[j]
+					j++
+				}
+			}
+			s.n = j
+			*slot = s
+			if s.n == 1 {
+				t.collapseLinear(slot, s)
+			}
+		}
+	case *fullN[V]:
+		n.children[b] = nil
+		n.n--
+		if n.n <= bitmapToFull-8 {
+			s := &bitmapN[V]{header: n.header}
+			s.children = make([]any, 0, n.n)
+			for bb := 0; bb < 256; bb++ {
+				if n.children[bb] != nil {
+					s.bits[bb>>6] |= 1 << (bb & 63)
+					s.children = append(s.children, n.children[bb])
+				}
+			}
+			*slot = s
+		}
+	}
+}
+
+// collapseLinear replaces a one-child linear node with its child, merging
+// prefixes (Judy always path-compresses).
+func (t *Tree[V]) collapseLinear(slot *any, n *linear[V]) {
+	child := n.children[0]
+	if _, isLeaf := child.(*leaf[V]); isLeaf {
+		*slot = child
+		return
+	}
+	ch := t.hdr(child)
+	var merged [keyLen]byte
+	m := copy(merged[:], n.prefix[:n.prefixLen])
+	merged[m] = n.keys[0]
+	m++
+	m += copy(merged[m:], ch.prefix[:ch.prefixLen])
+	ch.prefix = merged
+	ch.prefixLen = m
+	*slot = child
+}

@@ -1,0 +1,140 @@
+package judy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 1000; k++ {
+		*tr.Upsert(k) = k
+	}
+	for k := uint64(0); k < 1000; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) reported absent", k)
+		}
+	}
+	if tr.Delete(5000) {
+		t.Fatal("deleted absent key")
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len=%d want 500", tr.Len())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		want := k%2 == 1
+		if got := tr.Get(k) != nil; got != want {
+			t.Fatalf("Get(%d)=%v want %v", k, got, want)
+		}
+	}
+}
+
+func TestDeleteAllEmptiesTree(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Random(20000, 1, 1<<40, 5)
+	uniq := map[uint64]bool{}
+	for _, k := range keys {
+		tr.Upsert(k)
+		uniq[k] = true
+	}
+	for k := range uniq {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatal("tree not empty after deleting all keys")
+	}
+}
+
+func TestDeleteDemotesNodeForms(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 256; k++ {
+		tr.Upsert(k) // full node at the last level
+	}
+	for k := uint64(3); k < 256; k++ {
+		tr.Delete(k)
+	}
+	// Three survivors: must have demoted full → bitmap → linear.
+	if _, ok := tr.root.(*linear[uint64]); !ok {
+		t.Fatalf("root is %T, want *linear after demotion", tr.root)
+	}
+	for k := uint64(0); k < 3; k++ {
+		if tr.Get(k) == nil {
+			t.Fatalf("survivor %d lost", k)
+		}
+	}
+	tr.Delete(0)
+	tr.Delete(1)
+	if _, ok := tr.root.(*leaf[uint64]); !ok {
+		t.Fatalf("root is %T, want collapsed *leaf", tr.root)
+	}
+}
+
+func TestDeletePreservesSortedIteration(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Spec{Kind: dataset.Zipf, N: 30000, Cardinality: 3000, Seed: 8}.Keys()
+	model := map[uint64]bool{}
+	for _, k := range keys {
+		tr.Upsert(k)
+		model[k] = true
+	}
+	i := 0
+	for k := range model {
+		if i%2 == 0 {
+			tr.Delete(k)
+			delete(model, k)
+		}
+		i++
+	}
+	var prev uint64
+	first := true
+	count := 0
+	tr.Iterate(func(k uint64, _ *uint64) bool {
+		if !model[k] {
+			t.Fatalf("deleted key %d still iterated", k)
+		}
+		if !first && k <= prev {
+			t.Fatal("iteration order broken after deletes")
+		}
+		prev, first = k, false
+		count++
+		return true
+	})
+	if count != len(model) {
+		t.Fatalf("iterated %d keys want %d", count, len(model))
+	}
+}
+
+func TestQuickDeleteMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := New[uint64]()
+		model := map[uint64]uint64{}
+		for _, op := range ops {
+			k := uint64(op % 300)
+			if (op/300)%3 == 0 {
+				delete(model, k)
+				tr.Delete(k)
+			} else {
+				*tr.Upsert(k)++
+				model[k]++
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		ok := true
+		tr.Iterate(func(k uint64, v *uint64) bool {
+			if model[k] != *v {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package judy implements a Judy-array-like structure (the paper's Judy):
+// a 256-way radix trie over big-endian uint64 bytes whose nodes adapt among
+// three forms — a small sorted linear node (≤ 7 children, one cache line of
+// keys), a bitmap node (256-bit occupancy bitmap plus a packed child
+// array), and an uncompressed full node (256 child pointers) — together
+// with path compression of single-descendant runs.
+//
+// Doug Baskins' original Judy applies ~20 compression techniques tuned to
+// 64-byte cache lines; the three node forms plus path compression here are
+// the load-bearing ones for the paper's workloads: they reproduce Judy's
+// memory frugality relative to hash tables (Tables 6-7) and its ordered
+// iteration (the property that makes it the paper's pick for reusable
+// scalar-median indexes, Figure 9/12).
+package judy
+
+import "math/bits"
+
+const keyLen = 8
+
+func keyByte(k uint64, d int) byte {
+	return byte(k >> (8 * (keyLen - 1 - d)))
+}
+
+// linearCap is the maximum fanout of the linear node form. Seven children
+// keeps the byte array plus count within a single cache line.
+const linearCap = 7
+
+// bitmapToFull is the fanout at which a bitmap node is promoted to an
+// uncompressed full node: past this density the packed array's shifting
+// costs outweigh the pointer savings.
+const bitmapToFull = 48
+
+type header struct {
+	prefixLen int
+	prefix    [keyLen]byte
+}
+
+type leaf[V any] struct {
+	key uint64
+	val V
+}
+
+type linear[V any] struct {
+	header
+	n        int
+	keys     [linearCap]byte // sorted
+	children [linearCap]any
+}
+
+type bitmapN[V any] struct {
+	header
+	bits     [4]uint64 // 256-bit occupancy
+	children []any     // packed, ordered by byte value
+}
+
+type fullN[V any] struct {
+	header
+	n        int
+	children [256]any
+}
+
+// Tree is a Judy-style radix map from uint64 to V.
+type Tree[V any] struct {
+	root any
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+func (t *Tree[V]) hdr(n any) *header {
+	switch n := n.(type) {
+	case *linear[V]:
+		return &n.header
+	case *bitmapN[V]:
+		return &n.header
+	case *fullN[V]:
+		return &n.header
+	}
+	return nil
+}
+
+// bmRank returns the packed index for byte b, i.e. the number of set bits
+// below b.
+func (n *bitmapN[V]) bmRank(b byte) int {
+	w, bit := int(b>>6), uint(b&63)
+	r := bits.OnesCount64(n.bits[w] & (1<<bit - 1))
+	for i := 0; i < w; i++ {
+		r += bits.OnesCount64(n.bits[i])
+	}
+	return r
+}
+
+func (n *bitmapN[V]) bmHas(b byte) bool {
+	return n.bits[b>>6]>>(b&63)&1 == 1
+}
+
+// findChild returns a pointer to the child slot for byte b, or nil.
+func (t *Tree[V]) findChild(n any, b byte) *any {
+	switch n := n.(type) {
+	case *linear[V]:
+		for i := 0; i < n.n; i++ {
+			if n.keys[i] == b {
+				return &n.children[i]
+			}
+		}
+	case *bitmapN[V]:
+		if n.bmHas(b) {
+			return &n.children[n.bmRank(b)]
+		}
+	case *fullN[V]:
+		if n.children[b] != nil {
+			return &n.children[b]
+		}
+	}
+	return nil
+}
+
+// addChild inserts child under byte b, promoting the node form when full,
+// and returns the node that should occupy the parent slot.
+func (t *Tree[V]) addChild(n any, b byte, child any) any {
+	switch n := n.(type) {
+	case *linear[V]:
+		if n.n < linearCap {
+			i := 0
+			for i < n.n && n.keys[i] < b {
+				i++
+			}
+			copy(n.keys[i+1:n.n+1], n.keys[i:n.n])
+			copy(n.children[i+1:n.n+1], n.children[i:n.n])
+			n.keys[i] = b
+			n.children[i] = child
+			n.n++
+			return n
+		}
+		g := &bitmapN[V]{header: n.header}
+		g.children = make([]any, 0, linearCap+1)
+		for i := 0; i < n.n; i++ {
+			g.bits[n.keys[i]>>6] |= 1 << (n.keys[i] & 63)
+			g.children = append(g.children, n.children[i])
+		}
+		return t.addChild(g, b, child)
+	case *bitmapN[V]:
+		if len(n.children) >= bitmapToFull {
+			g := &fullN[V]{header: n.header, n: len(n.children)}
+			i := 0
+			for bb := 0; bb < 256; bb++ {
+				if n.bmHas(byte(bb)) {
+					g.children[bb] = n.children[i]
+					i++
+				}
+			}
+			return t.addChild(g, b, child)
+		}
+		r := n.bmRank(b)
+		n.bits[b>>6] |= 1 << (b & 63)
+		n.children = append(n.children, nil)
+		copy(n.children[r+1:], n.children[r:])
+		n.children[r] = child
+		return n
+	case *fullN[V]:
+		n.children[b] = child
+		n.n++
+		return n
+	}
+	panic("judy: addChild on non-inner node")
+}
+
+// newInner returns a linear node covering prefix bytes kb[from:to].
+func newInner[V any](kb [keyLen]byte, from, to int) *linear[V] {
+	n := &linear[V]{}
+	n.prefixLen = to - from
+	copy(n.prefix[:], kb[from:to])
+	return n
+}
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. Pointers remain valid for the life of the tree.
+func (t *Tree[V]) Upsert(key uint64) *V {
+	var kb [keyLen]byte
+	for i := range kb {
+		kb[i] = keyByte(key, i)
+	}
+	if t.root == nil {
+		lf := &leaf[V]{key: key}
+		t.root = lf
+		t.size++
+		return &lf.val
+	}
+	slot := &t.root
+	depth := 0
+	for {
+		if lf, ok := (*slot).(*leaf[V]); ok {
+			if lf.key == key {
+				return &lf.val
+			}
+			var ob [keyLen]byte
+			for i := range ob {
+				ob[i] = keyByte(lf.key, i)
+			}
+			d := depth
+			for ob[d] == kb[d] {
+				d++
+			}
+			nn := newInner[V](kb, depth, d)
+			newLf := &leaf[V]{key: key}
+			t.addChild(nn, ob[d], lf)
+			t.addChild(nn, kb[d], newLf)
+			*slot = nn
+			t.size++
+			return &newLf.val
+		}
+		h := t.hdr(*slot)
+		mismatch := -1
+		for i := 0; i < h.prefixLen; i++ {
+			if h.prefix[i] != kb[depth+i] {
+				mismatch = i
+				break
+			}
+		}
+		if mismatch >= 0 {
+			nn := newInner[V](kb, depth, depth+mismatch)
+			old := *slot
+			oldByte := h.prefix[mismatch]
+			rem := h.prefixLen - mismatch - 1
+			copy(h.prefix[:], h.prefix[mismatch+1:mismatch+1+rem])
+			h.prefixLen = rem
+			lf := &leaf[V]{key: key}
+			t.addChild(nn, oldByte, old)
+			t.addChild(nn, kb[depth+mismatch], lf)
+			*slot = nn
+			t.size++
+			return &lf.val
+		}
+		depth += h.prefixLen
+		b := kb[depth]
+		child := t.findChild(*slot, b)
+		if child == nil {
+			lf := &leaf[V]{key: key}
+			*slot = t.addChild(*slot, b, lf)
+			t.size++
+			return &lf.val
+		}
+		slot = child
+		depth++
+	}
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Tree[V]) Get(key uint64) *V {
+	n := t.root
+	depth := 0
+	for n != nil {
+		if lf, ok := n.(*leaf[V]); ok {
+			if lf.key == key {
+				return &lf.val
+			}
+			return nil
+		}
+		h := t.hdr(n)
+		for i := 0; i < h.prefixLen; i++ {
+			if h.prefix[i] != keyByte(key, depth+i) {
+				return nil
+			}
+		}
+		depth += h.prefixLen
+		child := t.findChild(n, keyByte(key, depth))
+		if child == nil {
+			return nil
+		}
+		n = *child
+		depth++
+	}
+	return nil
+}
+
+// Iterate calls fn for every key/value pair in ascending key order,
+// stopping early if fn returns false.
+func (t *Tree[V]) Iterate(fn func(key uint64, val *V) bool) {
+	t.iter(t.root, fn)
+}
+
+func (t *Tree[V]) iter(n any, fn func(uint64, *V) bool) bool {
+	switch n := n.(type) {
+	case nil:
+		return true
+	case *leaf[V]:
+		return fn(n.key, &n.val)
+	case *linear[V]:
+		for i := 0; i < n.n; i++ {
+			if !t.iter(n.children[i], fn) {
+				return false
+			}
+		}
+	case *bitmapN[V]:
+		for _, c := range n.children {
+			if !t.iter(c, fn) {
+				return false
+			}
+		}
+	case *fullN[V]:
+		for b := 0; b < 256; b++ {
+			if n.children[b] != nil {
+				if !t.iter(n.children[b], fn) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Range calls fn for every pair with lo <= key <= hi in ascending order,
+// pruning subtrees outside the interval via the radix structure.
+func (t *Tree[V]) Range(lo, hi uint64, fn func(key uint64, val *V) bool) {
+	t.rng(t.root, 0, 0, lo, hi, fn)
+}
+
+func (t *Tree[V]) rng(n any, acc uint64, depth int, lo, hi uint64, fn func(uint64, *V) bool) bool {
+	switch n := n.(type) {
+	case nil:
+		return true
+	case *leaf[V]:
+		if n.key < lo {
+			return true
+		}
+		if n.key > hi {
+			return false
+		}
+		return fn(n.key, &n.val)
+	}
+	h := t.hdr(n)
+	for i := 0; i < h.prefixLen; i++ {
+		acc |= uint64(h.prefix[i]) << (8 * (keyLen - 1 - depth - i))
+	}
+	depth += h.prefixLen
+	if !intersects(acc, depth, lo, hi) {
+		return treeMax(acc, depth) < lo
+	}
+	desc := func(b byte, child any) bool {
+		ca := acc | uint64(b)<<(8*(keyLen-1-depth))
+		if !intersects(ca, depth+1, lo, hi) {
+			return treeMax(ca, depth+1) < lo
+		}
+		return t.rng(child, ca, depth+1, lo, hi, fn)
+	}
+	switch n := n.(type) {
+	case *linear[V]:
+		for i := 0; i < n.n; i++ {
+			if !desc(n.keys[i], n.children[i]) {
+				return false
+			}
+		}
+	case *bitmapN[V]:
+		i := 0
+		for bb := 0; bb < 256; bb++ {
+			if n.bmHas(byte(bb)) {
+				if !desc(byte(bb), n.children[i]) {
+					return false
+				}
+				i++
+			}
+		}
+	case *fullN[V]:
+		for bb := 0; bb < 256; bb++ {
+			if n.children[bb] != nil {
+				if !desc(byte(bb), n.children[bb]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func treeMax(acc uint64, depth int) uint64 {
+	if depth >= keyLen {
+		return acc
+	}
+	return acc | (uint64(1)<<(8*(keyLen-depth)) - 1)
+}
+
+func intersects(acc uint64, depth int, lo, hi uint64) bool {
+	return treeMax(acc, depth) >= lo && acc <= hi
+}

@@ -1,0 +1,203 @@
+package judy
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func TestUpsertGetBasic(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 10000; k++ {
+		*tr.Upsert(k) = k * 3
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for k := uint64(0); k < 10000; k++ {
+		v := tr.Get(k)
+		if v == nil || *v != k*3 {
+			t.Fatalf("Get(%d) wrong", k)
+		}
+	}
+	if tr.Get(1<<40) != nil {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestNodeFormPromotion(t *testing.T) {
+	tr := New[uint64]()
+	// 256 dense final bytes force linear → bitmap → full promotions.
+	for k := uint64(0); k < 256; k++ {
+		tr.Upsert(k)
+	}
+	var sawLinear, sawBitmap, sawFull bool
+	var walk func(n any)
+	walk = func(n any) {
+		switch n := n.(type) {
+		case *linear[uint64]:
+			sawLinear = true
+			for i := 0; i < n.n; i++ {
+				walk(n.children[i])
+			}
+		case *bitmapN[uint64]:
+			sawBitmap = true
+			for _, c := range n.children {
+				walk(c)
+			}
+		case *fullN[uint64]:
+			sawFull = true
+			for b := 0; b < 256; b++ {
+				if n.children[b] != nil {
+					walk(n.children[b])
+				}
+			}
+		}
+	}
+	walk(tr.root)
+	if !sawFull {
+		t.Fatal("256 dense children did not reach the full node form")
+	}
+	// Build a second tree exercising the smaller forms: two groups of five
+	// keys give a linear root (2 children) over linear leaf parents, and a
+	// third group of 20 keys forms one bitmap node.
+	tr2 := New[uint64]()
+	for k := uint64(0); k < 5; k++ {
+		tr2.Upsert(k)
+		tr2.Upsert(256 + k)
+	}
+	for k := uint64(512); k < 532; k++ {
+		tr2.Upsert(k)
+	}
+	walk(tr2.root)
+	if !sawLinear || !sawBitmap {
+		t.Fatalf("node forms missed: linear=%v bitmap=%v", sawLinear, sawBitmap)
+	}
+}
+
+func TestBitmapRank(t *testing.T) {
+	n := &bitmapN[uint64]{}
+	for _, b := range []byte{3, 64, 65, 130, 255} {
+		n.bits[b>>6] |= 1 << (b & 63)
+	}
+	cases := map[byte]int{0: 0, 3: 0, 4: 1, 64: 1, 65: 2, 66: 3, 130: 3, 131: 4, 255: 4}
+	for b, want := range cases {
+		if got := n.bmRank(b); got != want {
+			t.Errorf("bmRank(%d)=%d want %d", b, got, want)
+		}
+	}
+}
+
+func TestIterateSortedAcrossDistributions(t *testing.T) {
+	for _, kind := range dataset.Kinds {
+		tr := New[uint64]()
+		keys := dataset.Spec{Kind: kind, N: 20000, Cardinality: 1500, Seed: 4}.Keys()
+		uniq := map[uint64]bool{}
+		for _, k := range keys {
+			*tr.Upsert(k)++
+			uniq[k] = true
+		}
+		var got []uint64
+		tr.Iterate(func(k uint64, _ *uint64) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(uniq) {
+			t.Fatalf("%v: iterated %d want %d", kind, len(got), len(uniq))
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("%v: iteration not sorted", kind)
+		}
+	}
+}
+
+func TestRangeMatchesFilter(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Random(30000, 1, 100000, 8)
+	uniq := map[uint64]bool{}
+	for _, k := range keys {
+		tr.Upsert(k)
+		uniq[k] = true
+	}
+	for _, rg := range [][2]uint64{{500, 700}, {0, 99}, {99999, 1 << 40}, {50, 50}} {
+		want := 0
+		for k := range uniq {
+			if k >= rg[0] && k <= rg[1] {
+				want++
+			}
+		}
+		got := 0
+		prev := uint64(0)
+		first := true
+		tr.Range(rg[0], rg[1], func(k uint64, _ *uint64) bool {
+			if k < rg[0] || k > rg[1] {
+				t.Fatalf("range [%d,%d] yielded %d", rg[0], rg[1], k)
+			}
+			if !first && k <= prev {
+				t.Fatal("range not ascending")
+			}
+			prev, first = k, false
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("range [%d,%d]: %d keys want %d", rg[0], rg[1], got, want)
+		}
+	}
+}
+
+func TestExtremeKeys(t *testing.T) {
+	tr := New[uint64]()
+	keys := []uint64{0, 1, ^uint64(0), 1 << 63, 1<<63 - 1, 42}
+	for _, k := range keys {
+		*tr.Upsert(k) = k + 5
+	}
+	for _, k := range keys {
+		v := tr.Get(k)
+		if v == nil || *v != k+5 {
+			t.Fatalf("extreme key %d wrong", k)
+		}
+	}
+}
+
+func TestPointerStability(t *testing.T) {
+	tr := New[uint64]()
+	p := tr.Upsert(77)
+	*p = 1
+	for k := uint64(0); k < 10000; k++ {
+		tr.Upsert(k)
+	}
+	*p++
+	if *tr.Get(77) != 2 {
+		t.Fatal("leaf pointer invalidated")
+	}
+}
+
+func TestQuickPropertyMatchesModel(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tr := New[uint64]()
+		model := map[uint64]uint64{}
+		for _, k := range keys {
+			*tr.Upsert(k)++
+			model[k]++
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		ok := true
+		prev, first := uint64(0), true
+		tr.Iterate(func(k uint64, v *uint64) bool {
+			if model[k] != *v || (!first && k <= prev) {
+				ok = false
+			}
+			prev, first = k, false
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+// Package memsim is the reproduction's stand-in for the paper's perf-based
+// cache and D-TLB miss measurements (Section 5.3, Figure 6): a trace-driven
+// simulator of the evaluation machine's memory hierarchy, plus
+// access-instrumented models of every aggregation algorithm that replay the
+// algorithm's real memory reference stream — probe sequences, chain walks,
+// tree descents, partition passes — computed from the actual key stream.
+//
+// Go offers no portable access to hardware performance counters, and the
+// runtime (GC, allocator) would pollute them anyway; what the paper's
+// comparison actually depends on is each algorithm's access *pattern*,
+// which the models preserve exactly at the data-structure level (slot and
+// node addresses come from a simulated allocator, so layout, reuse distance
+// and page spread match the algorithm's behaviour). See DESIGN.md
+// substitution 1.
+//
+// The simulated hierarchy mirrors the paper's i7-6700HQ (Skylake):
+// 32 KB 8-way L1D, 256 KB 4-way L2, 6 MB 12-way L3, 64-byte lines, and a
+// two-level data TLB (64-entry 4-way L1, 1536-entry 12-way L2) over 4 KB
+// pages, optionally with 2 MB transparent huge pages backing large
+// allocations (Hierarchy.THP) as on the paper's Ubuntu 16.04 testbed.
+// Reported "cache misses" are last-level (L3) misses and "D-TLB misses"
+// are second-level TLB misses (page walks), matching the perf events the
+// paper plots.
+package memsim
+
+// Cache is one set-associative cache level with LRU replacement. It tracks
+// tags only — no data — since the simulator needs hit/miss behaviour, not
+// contents. The same structure models a TLB by using page-sized "lines".
+type Cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets×ways, 0 = invalid
+	stamps    []uint64 // LRU timestamps, parallel to tags
+	clock     uint64
+	// randomRepl selects pseudo-random victim choice instead of LRU.
+	// Hardware TLBs do not implement true LRU, and true LRU collapses to a
+	// 100% miss rate on cyclic page sequences barely exceeding capacity —
+	// a pathology the paper's repeating-sequential datasets would trigger
+	// artificially. The caches keep LRU (a good model of per-set
+	// tree-PLRU); the TLBs use deterministic pseudo-random replacement.
+	randomRepl bool
+	rng        uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache of totalBytes capacity with the given
+// associativity and line size (both powers of two).
+func NewCache(totalBytes, ways, lineSize int) *Cache {
+	lines := totalBytes / lineSize
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		stamps:  make([]uint64, sets*ways),
+		rng:     0x9e3779b97f4a7c15,
+	}
+	for ls := lineSize; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	return c
+}
+
+// NewTLB builds a TLB of the given entry count and associativity over
+// pageSize pages, with pseudo-random replacement (see Cache.randomRepl).
+func NewTLB(entries, ways int) *Cache {
+	c := NewCache(entries*pageSize, ways, pageSize)
+	c.randomRepl = true
+	return c
+}
+
+// Access touches the line containing addr and reports whether it hit.
+// Misses install the line, evicting the set's LRU way (or a pseudo-random
+// way in TLB mode; see randomRepl).
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	line := (addr >> c.lineShift) | 1<<63 // tag 0 marks invalid; force nonzero
+	set := int((addr >> c.lineShift) & c.setMask)
+	base := set * c.ways
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == line {
+			c.stamps[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.tags[i] == 0 {
+			// Prefer an invalid way outright.
+			oldest = 0
+			victim = i
+		} else if c.stamps[i] < oldest {
+			oldest = c.stamps[i]
+			victim = i
+		}
+	}
+	if c.randomRepl && oldest != 0 {
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		victim = base + int(c.rng%uint64(c.ways))
+	}
+	c.tags[victim] = line
+	c.stamps[victim] = c.clock
+	c.Misses++
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	c.clock, c.Hits, c.Misses = 0, 0, 0
+	c.rng = 0x9e3779b97f4a7c15
+}
+
+// Hierarchy chains the cache levels and the two-level TLB of the paper's
+// evaluation machine.
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+	TLB1, TLB2 *Cache
+	MemReads   uint64 // accesses that missed every cache level
+
+	// THP makes the instrumented models allocate huge-page-backed arenas
+	// (see Arena); set it before running a model.
+	THP bool
+
+	// pageOf maps an address to a synthetic page id for the TLBs. The
+	// default is 4 KB paging; Arena.AttachTo installs a mapper that backs
+	// large allocations with 2 MB huge pages, modeling Linux transparent
+	// huge pages (the paper's Ubuntu 16.04 had THP enabled, which is why
+	// its gigabyte-sized hash tables did not drown the measured TLB — see
+	// EXPERIMENTS.md's Figure 6 notes).
+	pageOf func(addr uint64) uint64
+}
+
+// pageSize is the simulated base page size (4 KB, as in the paper's TLB
+// specs); hugePageSize is the THP size.
+const (
+	pageSize     = 4096
+	hugePageSize = 2 << 20
+)
+
+// NewSkylakeHierarchy returns the hierarchy configured like the paper's
+// i7-6700HQ.
+func NewSkylakeHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1:   NewCache(32<<10, 8, 64),
+		L2:   NewCache(256<<10, 4, 64),
+		L3:   NewCache(6<<20, 12, 64),
+		TLB1: NewTLB(64, 4),
+		TLB2: NewTLB(1536, 12),
+	}
+}
+
+// Access simulates a data access of size bytes at addr, touching every
+// cache line and page the access spans.
+func (h *Hierarchy) Access(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	first := addr >> 6
+	last := (addr + uint64(size) - 1) >> 6
+	for line := first; line <= last; line++ {
+		a := line << 6
+		page := a >> 12
+		if h.pageOf != nil {
+			page = h.pageOf(a)
+		}
+		if !h.TLB1.Access(page << 12) {
+			h.TLB2.Access(page << 12)
+		}
+		if h.L1.Access(a) {
+			continue
+		}
+		if h.L2.Access(a) {
+			continue
+		}
+		if h.L3.Access(a) {
+			continue
+		}
+		h.MemReads++
+	}
+}
+
+// CacheMisses returns the last-level (L3) miss count — the "cache misses"
+// series of Figure 6.
+func (h *Hierarchy) CacheMisses() uint64 { return h.L3.Misses }
+
+// TLBMisses returns second-level TLB misses (page walks) — the "D-TLB
+// misses" series of Figure 6.
+func (h *Hierarchy) TLBMisses() uint64 { return h.TLB2.Misses }
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+	h.TLB1.Reset()
+	h.TLB2.Reset()
+	h.MemReads = 0
+}
+
+// Arena is the simulated allocator: a bump allocator over the model's
+// private address space. Alignment padding and the page-granular spread of
+// large allocations mimic a real malloc closely enough for cache and TLB
+// behaviour.
+//
+// With THP modeling enabled (NewArenaTHP), allocations of at least the
+// huge-page size are 2 MB-aligned and recorded as huge ranges; an attached
+// Hierarchy then translates their addresses at 2 MB granularity, exactly
+// the effect of Linux transparent huge pages on large malloc/mmap regions.
+type Arena struct {
+	next uint64
+	thp  bool
+	huge [][2]uint64 // [lo, hi) ranges backed by huge pages
+}
+
+// NewArena returns an arena starting above the zero page, with 4 KB paging
+// only.
+func NewArena() *Arena { return &Arena{next: pageSize} }
+
+// NewArenaTHP returns an arena that backs large allocations with 2 MB huge
+// pages.
+func NewArenaTHP() *Arena { return &Arena{next: pageSize, thp: true} }
+
+// Alloc reserves size bytes, 16-byte aligned; allocations of a page or more
+// start on a page boundary (as real allocators serve them via mmap), and —
+// in THP mode — allocations of 2 MB or more start on a huge-page boundary
+// and are recorded as huge-page backed.
+func (a *Arena) Alloc(size uint64) uint64 {
+	align := uint64(16)
+	if size >= pageSize {
+		align = pageSize
+	}
+	if a.thp && size >= hugePageSize {
+		align = hugePageSize
+	}
+	a.next = (a.next + align - 1) &^ (align - 1)
+	addr := a.next
+	a.next += size
+	if a.thp && size >= hugePageSize {
+		end := (addr + size + hugePageSize - 1) &^ (hugePageSize - 1)
+		a.huge = append(a.huge, [2]uint64{addr, end})
+		a.next = end
+	}
+	return addr
+}
+
+// PageOf maps an address to a synthetic page id: huge-backed ranges
+// translate at 2 MB granularity (ids offset into a disjoint space so they
+// never collide with 4 KB ids). The ranges are sorted (bump allocation),
+// so the lookup is a binary search.
+func (a *Arena) PageOf(addr uint64) uint64 {
+	lo, hi := 0, len(a.huge)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case addr < a.huge[mid][0]:
+			hi = mid
+		case addr >= a.huge[mid][1]:
+			lo = mid + 1
+		default:
+			return 1<<40 | addr>>21
+		}
+	}
+	return addr >> 12
+}
+
+// arenaFor returns a fresh arena honouring h's THP setting, attached to h.
+func arenaFor(h *Hierarchy) *Arena {
+	a := NewArena()
+	if h.THP {
+		a = NewArenaTHP()
+	}
+	a.AttachTo(h)
+	return a
+}
+
+// AttachTo installs this arena's page mapping on h. Call it after creating
+// the arena a model will allocate from.
+func (a *Arena) AttachTo(h *Hierarchy) { h.pageOf = a.PageOf }
+
+// Footprint returns the total bytes allocated so far.
+func (a *Arena) Footprint() uint64 { return a.next - pageSize }

@@ -1,0 +1,521 @@
+package memsim
+
+// Instrumented replicas of the five hash tables. Each mirrors the real
+// implementation's memory layout (separate key/value arrays, chain nodes,
+// bitmap groups, 4-slot buckets) and probe logic, issuing the accesses the
+// real code performs. Occupancy bookkeeping lives in ordinary Go slices on
+// the side; only the modeled structure's addresses hit the simulator.
+
+// --- Hash_LP ------------------------------------------------------------------
+
+type lpModel struct{}
+
+func (lpModel) Name() string { return "Hash_LP" }
+
+// lpTable replicates hashtbl.LinearProbe's layout: a keys array and a
+// parallel values array, power-of-two slots, 7/8 max load (pre-sized to the
+// dataset size as in the experiments, so growth never triggers).
+type lpTable struct {
+	keys     []uint64
+	mask     uint64
+	keysAddr uint64
+	valsAddr uint64
+	valSize  uint64
+}
+
+func newLPTable(n int, a *Arena, valSize uint64) *lpTable {
+	slots := nextPow2(n * 8 / 7)
+	return &lpTable{
+		keys:     make([]uint64, slots),
+		mask:     uint64(slots - 1),
+		keysAddr: a.Alloc(uint64(slots) * 8),
+		valsAddr: a.Alloc(uint64(slots) * valSize),
+		valSize:  valSize,
+	}
+}
+
+// upsert probes for key and returns its slot, issuing the key-array reads
+// and the value-array touch of the real implementation.
+func (t *lpTable) upsert(h *Hierarchy, key uint64) int {
+	i := mix(key) & t.mask
+	for {
+		h.Access(t.keysAddr+i*8, 8)
+		k := t.keys[i]
+		if k == key {
+			break
+		}
+		if k == 0 {
+			t.keys[i] = key // insert (write covered by the read's line)
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	h.Access(t.valsAddr+i*t.valSize, int(t.valSize))
+	return int(i)
+}
+
+func (t *lpTable) iterate(h *Hierarchy, perSlot func(slot int)) {
+	for i := range t.keys {
+		h.Access(t.keysAddr+uint64(i)*8, 8)
+		if t.keys[i] != 0 {
+			h.Access(t.valsAddr+uint64(i)*t.valSize, int(t.valSize))
+			if perSlot != nil {
+				perSlot(i)
+			}
+		}
+	}
+}
+
+func (lpModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newLPTable(len(keys), a, 8)
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(h, k) })
+	t.iterate(h, nil)
+}
+
+func (lpModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newLPTable(len(keys), a, 24) // value = slice header (24 bytes)
+	vecs := make([]simVec, len(t.keys))
+	forEachKey(h, a, keys, func(k uint64) {
+		slot := t.upsert(h, k)
+		vecs[slot].push(h, a)
+	})
+	t.iterate(h, func(slot int) { vecs[slot].readAll(h) })
+}
+
+// --- Hash_SC ------------------------------------------------------------------
+
+type chainedModel struct{}
+
+func (chainedModel) Name() string { return "Hash_SC" }
+
+// scNode mirrors a chain node: key + next pointer + value, 32 bytes once
+// allocator rounding is included.
+const scNodeSize = 32
+
+type scTable struct {
+	headAddr []uint64 // 0 = empty bucket
+	headKey  [][]uint64
+	nodeAddr [][]uint64
+	mask     uint64
+	bktAddr  uint64
+}
+
+func newSCTable(n int, a *Arena) *scTable {
+	buckets := nextPow2(n)
+	return &scTable{
+		headAddr: make([]uint64, buckets),
+		headKey:  make([][]uint64, buckets),
+		nodeAddr: make([][]uint64, buckets),
+		mask:     uint64(buckets - 1),
+		bktAddr:  a.Alloc(uint64(buckets) * 8),
+	}
+}
+
+// upsert walks the chain, returning the node address for key (allocating a
+// node on first sight).
+func (t *scTable) upsert(h *Hierarchy, a *Arena, key uint64) uint64 {
+	b := mix(key) & t.mask
+	h.Access(t.bktAddr+b*8, 8) // bucket head pointer
+	for i, k := range t.headKey[b] {
+		h.Access(t.nodeAddr[b][i], 16) // node key + next
+		if k == key {
+			h.Access(t.nodeAddr[b][i]+16, 8) // value field
+			return t.nodeAddr[b][i]
+		}
+	}
+	addr := a.Alloc(scNodeSize)
+	h.Access(addr, scNodeSize) // initialize node
+	h.Access(t.bktAddr+b*8, 8) // rewrite bucket head
+	t.headKey[b] = append(t.headKey[b], key)
+	t.nodeAddr[b] = append(t.nodeAddr[b], addr)
+	return addr
+}
+
+func (t *scTable) iterate(h *Hierarchy, perNode func(addr uint64, bucket, i int)) {
+	for b := range t.headKey {
+		h.Access(t.bktAddr+uint64(b)*8, 8)
+		for i := range t.headKey[b] {
+			h.Access(t.nodeAddr[b][i], scNodeSize)
+			if perNode != nil {
+				perNode(t.nodeAddr[b][i], b, i)
+			}
+		}
+	}
+}
+
+func (chainedModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newSCTable(len(keys), a)
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(h, a, k) })
+	t.iterate(h, nil)
+}
+
+func (chainedModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newSCTable(len(keys), a)
+	vecs := map[uint64]*simVec{}
+	forEachKey(h, a, keys, func(k uint64) {
+		addr := t.upsert(h, a, k)
+		v := vecs[addr]
+		if v == nil {
+			v = &simVec{}
+			vecs[addr] = v
+		}
+		v.push(h, a)
+	})
+	t.iterate(h, func(addr uint64, _, _ int) { vecs[addr].readAll(h) })
+}
+
+// --- Hash_Dense ---------------------------------------------------------------
+
+type denseModel struct{}
+
+func (denseModel) Name() string { return "Hash_Dense" }
+
+type denseTable struct {
+	keys      []uint64
+	occ       []bool
+	mask      uint64
+	stateAddr uint64
+	keysAddr  uint64
+	valsAddr  uint64
+	valSize   uint64
+}
+
+func newDenseTable(n int, a *Arena, valSize uint64) *denseTable {
+	slots := nextPow2(n * 2) // 0.5 max load
+	return &denseTable{
+		keys:      make([]uint64, slots),
+		occ:       make([]bool, slots),
+		mask:      uint64(slots - 1),
+		stateAddr: a.Alloc(uint64(slots)),
+		keysAddr:  a.Alloc(uint64(slots) * 8),
+		valsAddr:  a.Alloc(uint64(slots) * valSize),
+		valSize:   valSize,
+	}
+}
+
+func (t *denseTable) upsert(h *Hierarchy, key uint64) int {
+	i := mix(key) & t.mask
+	for step := uint64(1); ; step++ {
+		h.Access(t.stateAddr+i, 1) // state byte
+		if !t.occ[i] {
+			t.occ[i] = true
+			t.keys[i] = key
+			h.Access(t.keysAddr+i*8, 8)
+			break
+		}
+		h.Access(t.keysAddr+i*8, 8)
+		if t.keys[i] == key {
+			break
+		}
+		i = (i + step) & t.mask
+	}
+	h.Access(t.valsAddr+i*t.valSize, int(t.valSize))
+	return int(i)
+}
+
+func (t *denseTable) iterate(h *Hierarchy, perSlot func(slot int)) {
+	for i := range t.keys {
+		h.Access(t.stateAddr+uint64(i), 1)
+		if t.occ[i] {
+			h.Access(t.keysAddr+uint64(i)*8, 8)
+			h.Access(t.valsAddr+uint64(i)*t.valSize, int(t.valSize))
+			if perSlot != nil {
+				perSlot(i)
+			}
+		}
+	}
+}
+
+func (denseModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newDenseTable(len(keys), a, 8)
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(h, k) })
+	t.iterate(h, nil)
+}
+
+func (denseModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newDenseTable(len(keys), a, 24)
+	vecs := make([]simVec, len(t.keys))
+	forEachKey(h, a, keys, func(k uint64) {
+		slot := t.upsert(h, k)
+		vecs[slot].push(h, a)
+	})
+	t.iterate(h, func(slot int) { vecs[slot].readAll(h) })
+}
+
+// --- Hash_Sparse --------------------------------------------------------------
+
+type sparseModel struct{}
+
+func (sparseModel) Name() string { return "Hash_Sparse" }
+
+// sparseTable mirrors the bitmap-group layout: a 16-byte group header
+// (bitmap + entries pointer) and a packed entry array per group that is
+// memmoved on insert.
+type sparseTable struct {
+	groups    []sparseGroupSim
+	mask      uint64 // logical slots - 1
+	hdrAddr   uint64
+	entrySize uint64
+}
+
+type sparseGroupSim struct {
+	occupied uint64
+	keys     []uint64 // packed
+	arrAddr  uint64
+	arrCap   uint64
+}
+
+func newSparseTable(n int, a *Arena, entrySize uint64) *sparseTable {
+	slots := nextPow2(n * 5 / 4)
+	ng := slots / 64
+	if ng < 1 {
+		ng = 1
+		slots = 64
+	}
+	return &sparseTable{
+		groups:    make([]sparseGroupSim, ng),
+		mask:      uint64(slots - 1),
+		hdrAddr:   a.Alloc(uint64(ng) * 16),
+		entrySize: entrySize,
+	}
+}
+
+func popcountBelow(bm uint64, b uint) int {
+	return popcount(bm & (1<<b - 1))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// upsert returns the group index and packed rank of key's entry.
+func (t *sparseTable) upsert(h *Hierarchy, a *Arena, key uint64) (int, int) {
+	i := mix(key) & t.mask
+	for step := uint64(1); ; step++ {
+		g := &t.groups[i>>6]
+		b := uint(i & 63)
+		h.Access(t.hdrAddr+(i>>6)*16, 16) // group header
+		if g.occupied>>b&1 == 1 {
+			r := popcountBelow(g.occupied, b)
+			h.Access(g.arrAddr+uint64(r)*t.entrySize, int(t.entrySize))
+			if g.keys[r] == key {
+				return int(i >> 6), r
+			}
+		} else {
+			// Insert at rank r: grow array if needed, shift tail.
+			r := popcountBelow(g.occupied, b)
+			n := uint64(len(g.keys))
+			if n+1 > g.arrCap {
+				ncap := g.arrCap * 2
+				if ncap == 0 {
+					ncap = 2
+				}
+				naddr := a.Alloc(ncap * t.entrySize)
+				if n > 0 {
+					h.Access(g.arrAddr, int(n*t.entrySize))
+					h.Access(naddr, int(n*t.entrySize))
+				}
+				g.arrAddr, g.arrCap = naddr, ncap
+			}
+			if tail := n - uint64(r); tail > 0 {
+				h.Access(g.arrAddr+uint64(r)*t.entrySize, int(tail*t.entrySize))
+			}
+			h.Access(g.arrAddr+uint64(r)*t.entrySize, int(t.entrySize))
+			g.keys = append(g.keys, 0)
+			copy(g.keys[r+1:], g.keys[r:])
+			g.keys[r] = key
+			g.occupied |= 1 << b
+			return int(i >> 6), r
+		}
+		i = (i + step) & t.mask
+	}
+}
+
+func (t *sparseTable) iterate(h *Hierarchy, perEntry func(g, r int)) {
+	for gi := range t.groups {
+		g := &t.groups[gi]
+		h.Access(t.hdrAddr+uint64(gi)*16, 16)
+		if n := len(g.keys); n > 0 {
+			h.Access(g.arrAddr, n*int(t.entrySize))
+			if perEntry != nil {
+				for r := 0; r < n; r++ {
+					perEntry(gi, r)
+				}
+			}
+		}
+	}
+}
+
+func (sparseModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newSparseTable(len(keys), a, 16) // key + count
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(h, a, k) })
+	t.iterate(h, nil)
+}
+
+func (sparseModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newSparseTable(len(keys), a, 32) // key + slice header
+	// Ranks shift as groups fill, so vectors are identified by key.
+	vecs := map[uint64]*simVec{}
+	forEachKey(h, a, keys, func(k uint64) {
+		t.upsert(h, a, k)
+		v := vecs[k]
+		if v == nil {
+			v = &simVec{}
+			vecs[k] = v
+		}
+		v.push(h, a)
+	})
+	t.iterate(h, nil)
+	for _, v := range vecs {
+		v.readAll(h)
+	}
+}
+
+// --- Hash_LC ------------------------------------------------------------------
+
+type cuckooModel struct{}
+
+func (cuckooModel) Name() string { return "Hash_LC" }
+
+// cuckooTable mirrors the 4-slot bucketized layout: one 64-byte bucket line
+// holding keys; a parallel value-bucket array.
+type cuckooTable struct {
+	buckets [][4]uint64 // keys; 0 = empty
+	occ     [][4]bool
+	mask    uint64
+	bktAddr uint64
+	valAddr uint64
+	valSize uint64
+}
+
+func newCuckooTable(n int, a *Arena, valSize uint64) *cuckooTable {
+	nb := nextPow2(n / 4 * 5 / 4)
+	if nb < 4 {
+		nb = 4
+	}
+	return &cuckooTable{
+		buckets: make([][4]uint64, nb),
+		occ:     make([][4]bool, nb),
+		mask:    uint64(nb - 1),
+		bktAddr: a.Alloc(uint64(nb) * 64),
+		valAddr: a.Alloc(uint64(nb) * 4 * valSize),
+		valSize: valSize,
+	}
+}
+
+// upsert performs the two-bucket lookup and, if needed, a greedy
+// displacement walk, returning the (bucket, slot) of key.
+func (t *cuckooTable) upsert(h *Hierarchy, key uint64) (int, int) {
+	b1 := mix(key) & t.mask
+	b2 := mix2(key) & t.mask
+	for _, b := range [2]uint64{b1, b2} {
+		h.Access(t.bktAddr+b*64, 64)
+		for s := 0; s < 4; s++ {
+			if t.occ[b][s] && t.buckets[b][s] == key {
+				h.Access(t.valAddr+(b*4+uint64(s))*t.valSize, int(t.valSize))
+				return int(b), s
+			}
+		}
+	}
+	for _, b := range [2]uint64{b1, b2} {
+		for s := 0; s < 4; s++ {
+			if !t.occ[b][s] {
+				t.occ[b][s] = true
+				t.buckets[b][s] = key
+				h.Access(t.bktAddr+b*64, 64)
+				h.Access(t.valAddr+(b*4+uint64(s))*t.valSize, int(t.valSize))
+				return int(b), s
+			}
+		}
+	}
+	// Displacement walk (tables are pre-sized, so this is rare).
+	k := key
+	b := b1
+	for hop := 0; hop < 256; hop++ {
+		s := hop % 4
+		h.Access(t.bktAddr+b*64, 64)
+		t.buckets[b][s], k = k, t.buckets[b][s]
+		alt := (mix(k) & t.mask) ^ (mix2(k) & t.mask) ^ b
+		h.Access(t.bktAddr+alt*64, 64)
+		for s2 := 0; s2 < 4; s2++ {
+			if !t.occ[alt][s2] {
+				t.occ[alt][s2] = true
+				t.buckets[alt][s2] = k
+				// Return the slot the original key landed in.
+				return t.find(h, key)
+			}
+		}
+		b = alt
+	}
+	return t.find(h, key)
+}
+
+func (t *cuckooTable) find(h *Hierarchy, key uint64) (int, int) {
+	for _, b := range [2]uint64{mix(key) & t.mask, mix2(key) & t.mask} {
+		h.Access(t.bktAddr+b*64, 64)
+		for s := 0; s < 4; s++ {
+			if t.occ[b][s] && t.buckets[b][s] == key {
+				return int(b), s
+			}
+		}
+	}
+	// Pathological displacement loop lost the key; re-home it brutally
+	// (real code would resize). Place in first bucket slot 0.
+	b := mix(key) & t.mask
+	t.occ[b][0] = true
+	t.buckets[b][0] = key
+	return int(b), 0
+}
+
+func (t *cuckooTable) iterate(h *Hierarchy, perSlot func(b, s int)) {
+	for b := range t.buckets {
+		h.Access(t.bktAddr+uint64(b)*64, 64)
+		for s := 0; s < 4; s++ {
+			if t.occ[b][s] {
+				h.Access(t.valAddr+(uint64(b)*4+uint64(s))*t.valSize, int(t.valSize))
+				if perSlot != nil {
+					perSlot(b, s)
+				}
+			}
+		}
+	}
+}
+
+func (cuckooModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newCuckooTable(len(keys), a, 8)
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(h, k) })
+	t.iterate(h, nil)
+}
+
+func (cuckooModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newCuckooTable(len(keys), a, 24)
+	vecs := map[uint64]*simVec{}
+	forEachKey(h, a, keys, func(k uint64) {
+		t.upsert(h, k)
+		v := vecs[k]
+		if v == nil {
+			v = &simVec{}
+			vecs[k] = v
+		}
+		v.push(h, a)
+	})
+	t.iterate(h, nil)
+	for _, v := range vecs {
+		v.readAll(h)
+	}
+}

@@ -1,0 +1,75 @@
+package memsim
+
+import "memagg/internal/hashtbl"
+
+// Model is an access-instrumented replica of one aggregation algorithm: it
+// executes the algorithm's control flow over the real key stream while
+// issuing every data access it would perform to the simulated hierarchy.
+type Model interface {
+	// Name returns the paper's Table 3 label.
+	Name() string
+	// RunQ1 replays the vector COUNT build+iterate (Q1).
+	RunQ1(h *Hierarchy, keys []uint64)
+	// RunQ3 replays the vector MEDIAN build+iterate (Q3): values are
+	// buffered per group during the build and read back in full during the
+	// iterate phase.
+	RunQ3(h *Hierarchy, keys []uint64)
+}
+
+// Models returns the instrumented models in the paper's Table 3 order.
+func Models() []Model {
+	return []Model{
+		artModel{},
+		judyModel{},
+		btreeModel{},
+		chainedModel{},
+		lpModel{},
+		sparseModel{},
+		denseModel{},
+		cuckooModel{},
+		introModel{},
+		spreadModel{},
+	}
+}
+
+// mix aliases the shared hash finalizer so probe sequences match the real
+// tables exactly.
+func mix(x uint64) uint64 { return hashtbl.Mix(x) }
+
+func mix2(x uint64) uint64 { return hashtbl.Mix2(x) }
+
+func nextPow2(n int) int { return hashtbl.NextPow2(n) }
+
+// simVec models a growing value vector (Go slice / std::vector): doubling
+// reallocation with copy traffic, then an 8-byte append write. It is how
+// every Q3 model buffers a group's values.
+type simVec struct {
+	addr     uint64
+	len, cap uint64
+}
+
+func (v *simVec) push(h *Hierarchy, a *Arena) {
+	if v.len == v.cap {
+		ncap := v.cap * 2
+		if ncap == 0 {
+			ncap = 4
+		}
+		naddr := a.Alloc(ncap * 8)
+		// copy old contents: sequential read + write
+		if v.len > 0 {
+			h.Access(v.addr, int(v.len*8))
+			h.Access(naddr, int(v.len*8))
+		}
+		v.addr, v.cap = naddr, ncap
+	}
+	h.Access(v.addr+v.len*8, 8)
+	v.len++
+}
+
+// readAll replays the iterate-phase read of the buffered values (the median
+// computation scans every element).
+func (v *simVec) readAll(h *Hierarchy) {
+	if v.len > 0 {
+		h.Access(v.addr, int(v.len*8))
+	}
+}

@@ -1,0 +1,274 @@
+package memsim
+
+import "math/bits"
+
+// Instrumented replicas of the two sort-based operators. The element moves
+// and comparisons of the real algorithms are replayed access-for-access
+// against the simulated buffer; the run scan of the iterate phase follows.
+
+// instr wraps a buffer with its simulated base address so every element
+// read/write hits the hierarchy. elemSize is 8 for Q1 (keys only) and 16
+// for Q3 (key+value records).
+type instr struct {
+	h        *Hierarchy
+	a        []uint64
+	base     uint64
+	elemSize uint64
+}
+
+func (x *instr) get(i int) uint64 {
+	x.h.Access(x.base+uint64(i)*x.elemSize, int(x.elemSize))
+	return x.a[i]
+}
+
+func (x *instr) set(i int, v uint64) {
+	x.h.Access(x.base+uint64(i)*x.elemSize, int(x.elemSize))
+	x.a[i] = v
+}
+
+func (x *instr) swap(i, j int) {
+	vi, vj := x.get(i), x.get(j)
+	x.set(i, vj)
+	x.set(j, vi)
+}
+
+func (x *instr) slice(lo, hi int) *instr {
+	return &instr{h: x.h, a: x.a[lo:hi], base: x.base + uint64(lo)*x.elemSize, elemSize: x.elemSize}
+}
+
+// --- introsort ----------------------------------------------------------------
+
+func (x *instr) insertionSort() {
+	for i := 1; i < len(x.a); i++ {
+		v := x.get(i)
+		j := i - 1
+		for j >= 0 && x.get(j) > v {
+			x.set(j+1, x.a[j])
+			j--
+		}
+		x.set(j+1, v)
+	}
+}
+
+func (x *instr) siftDown(root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && x.get(child+1) > x.get(child) {
+			child++
+		}
+		if x.get(root) >= x.get(child) {
+			return
+		}
+		x.swap(root, child)
+		root = child
+	}
+}
+
+func (x *instr) heapsort() {
+	n := len(x.a)
+	for i := n/2 - 1; i >= 0; i-- {
+		x.siftDown(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		x.swap(0, end)
+		x.siftDown(0, end)
+	}
+}
+
+func (x *instr) med3(lo, mid, hi int) uint64 {
+	if x.get(mid) < x.get(lo) {
+		x.swap(mid, lo)
+	}
+	if x.get(hi) < x.get(mid) {
+		x.swap(hi, mid)
+		if x.get(mid) < x.get(lo) {
+			x.swap(mid, lo)
+		}
+	}
+	return x.a[mid]
+}
+
+func (x *instr) hoare(p uint64) int {
+	i, j := -1, len(x.a)
+	for {
+		for {
+			i++
+			if x.get(i) >= p {
+				break
+			}
+		}
+		for {
+			j--
+			if x.get(j) <= p {
+				break
+			}
+		}
+		if i >= j {
+			return j + 1
+		}
+		x.swap(i, j)
+	}
+}
+
+func (x *instr) introsort() {
+	depth := 2 * intLog2(len(x.a))
+	x.introLoop(depth)
+}
+
+func (x *instr) introLoop(depth int) {
+	for len(x.a) > 16 {
+		if depth == 0 {
+			x.heapsort()
+			return
+		}
+		depth--
+		p := x.med3(0, len(x.a)/2, len(x.a)-1)
+		s := x.hoare(p)
+		if s < len(x.a)-s {
+			x.slice(0, s).introLoop(depth)
+			x = x.slice(s, len(x.a))
+		} else {
+			x.slice(s, len(x.a)).introLoop(depth)
+			x = x.slice(0, s)
+		}
+	}
+	x.insertionSort()
+}
+
+func intLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// --- spreadsort ---------------------------------------------------------------
+
+func (x *instr) spreadsort(a *Arena) {
+	if len(x.a) <= 256 {
+		x.introsort()
+		return
+	}
+	min, max := x.get(0), x.a[0]
+	for i := 1; i < len(x.a); i++ {
+		v := x.get(i)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min == max {
+		return
+	}
+	logRange := bits.Len64(max - min)
+	logDiv := logRange - 11
+	if logDiv < 0 {
+		logDiv = 0
+	}
+	nBins := int((max-min)>>uint(logDiv)) + 1
+	countsAddr := a.Alloc(uint64(nBins) * 8)
+	counts := make([]int, nBins)
+	for i := 0; i < len(x.a); i++ {
+		b := (x.get(i) - min) >> uint(logDiv)
+		x.h.Access(countsAddr+b*8, 8)
+		counts[b]++
+	}
+	starts := make([]int, nBins+1)
+	sum := 0
+	for b := 0; b < nBins; b++ {
+		x.h.Access(countsAddr+uint64(b)*8, 8)
+		starts[b] = sum
+		sum += counts[b]
+	}
+	starts[nBins] = sum
+	// American-flag permutation.
+	pos := append([]int(nil), starts[:nBins]...)
+	for b := 0; b < nBins; b++ {
+		for pos[b] < starts[b+1] {
+			v := x.get(pos[b])
+			bv := int((v - min) >> uint(logDiv))
+			for bv != b {
+				old := x.get(pos[bv])
+				x.set(pos[bv], v)
+				v = old
+				pos[bv]++
+				bv = int((v - min) >> uint(logDiv))
+			}
+			x.set(pos[b], v)
+			pos[b]++
+		}
+	}
+	if logDiv == 0 {
+		return
+	}
+	for b := 0; b < nBins; b++ {
+		if starts[b+1]-starts[b] > 1 {
+			x.slice(starts[b], starts[b+1]).spreadsort(a)
+		}
+	}
+}
+
+// --- models -------------------------------------------------------------------
+
+// sortRun replays the full sort-based operator: copy the input into the
+// working buffer, sort it, then scan the runs (iterate phase). For Q3 the
+// scan re-reads each group (the median selection pass) — groupRead doubles
+// the scan traffic.
+func sortRun(h *Hierarchy, keys []uint64, elemSize uint64, sorter func(*instr, *Arena), groupRead bool) {
+	a := arenaFor(h)
+	in := a.Alloc(uint64(len(keys)) * elemSize)
+	buf := a.Alloc(uint64(len(keys)) * elemSize)
+	cp := make([]uint64, len(keys))
+	for i, k := range keys {
+		h.Access(in+uint64(i)*elemSize, int(elemSize))
+		h.Access(buf+uint64(i)*elemSize, int(elemSize))
+		cp[i] = k
+	}
+	x := &instr{h: h, a: cp, base: buf, elemSize: elemSize}
+	sorter(x, a)
+	// Iterate: sequential run scan.
+	for i := range cp {
+		h.Access(buf+uint64(i)*elemSize, int(elemSize))
+	}
+	if groupRead {
+		// Median selection re-reads each group's contiguous values.
+		start := 0
+		for i := 1; i <= len(cp); i++ {
+			if i == len(cp) || cp[i] != cp[start] {
+				h.Access(buf+uint64(start)*elemSize, (i-start)*int(elemSize))
+				start = i
+			}
+		}
+	}
+}
+
+type introModel struct{}
+
+func (introModel) Name() string { return "Introsort" }
+
+func (introModel) RunQ1(h *Hierarchy, keys []uint64) {
+	sortRun(h, keys, 8, func(x *instr, _ *Arena) { x.introsort() }, false)
+}
+
+func (introModel) RunQ3(h *Hierarchy, keys []uint64) {
+	sortRun(h, keys, 16, func(x *instr, _ *Arena) { x.introsort() }, true)
+}
+
+type spreadModel struct{}
+
+func (spreadModel) Name() string { return "Spreadsort" }
+
+func (spreadModel) RunQ1(h *Hierarchy, keys []uint64) {
+	sortRun(h, keys, 8, func(x *instr, a *Arena) { x.spreadsort(a) }, false)
+}
+
+func (spreadModel) RunQ3(h *Hierarchy, keys []uint64) {
+	sortRun(h, keys, 16, func(x *instr, a *Arena) { x.spreadsort(a) }, true)
+}

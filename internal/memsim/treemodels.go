@@ -1,0 +1,480 @@
+package memsim
+
+// Instrumented replicas of the tree structures. Node addresses come from
+// the arena in allocation order (as the real allocator would hand them
+// out), so locality between a parent and children created far apart in time
+// degrades exactly the way it does for the real trees on shuffled input.
+
+// --- Btree --------------------------------------------------------------------
+
+type btreeModel struct{}
+
+func (btreeModel) Name() string { return "Btree" }
+
+const bsimCap = 32
+
+// bnodeSim mirrors the B+tree node: a 16-byte header, a 256-byte key
+// array, then either child pointers (inner) or values (leaf).
+type bnodeSim struct {
+	addr uint64
+	n    int
+	keys [bsimCap]uint64
+	kids []*bnodeSim // nil for leaves
+	vecs []simVec    // Q3 leaves
+	next *bnodeSim
+}
+
+const (
+	bsimHdr    = 16
+	bsimKeyOff = bsimHdr
+	bsimPtrOff = bsimHdr + bsimCap*8
+)
+
+type btreeSim struct {
+	root    *bnodeSim
+	valSize uint64
+	a       *Arena
+	h       *Hierarchy
+	head    *bnodeSim
+}
+
+func newBtreeSim(h *Hierarchy, a *Arena, valSize uint64) *btreeSim {
+	t := &btreeSim{valSize: valSize, a: a, h: h}
+	t.root = t.newLeaf()
+	t.head = t.root
+	return t
+}
+
+func (t *btreeSim) nodeSize(leaf bool) uint64 {
+	if leaf {
+		return bsimPtrOff + bsimCap*t.valSize
+	}
+	return bsimPtrOff + (bsimCap+1)*8
+}
+
+func (t *btreeSim) newLeaf() *bnodeSim {
+	return &bnodeSim{addr: t.a.Alloc(t.nodeSize(true)), vecs: make([]simVec, bsimCap)}
+}
+
+func (t *btreeSim) newInner() *bnodeSim {
+	return &bnodeSim{addr: t.a.Alloc(t.nodeSize(false)), kids: make([]*bnodeSim, 0, bsimCap+1)}
+}
+
+// searchNode replays the binary search's key probes.
+func (t *btreeSim) searchNode(nd *bnodeSim, key uint64) int {
+	lo, hi := 0, nd.n
+	t.h.Access(nd.addr, bsimHdr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.h.Access(nd.addr+bsimKeyOff+uint64(mid)*8, 8)
+		if nd.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upsert returns the leaf and slot holding key.
+func (t *btreeSim) upsert(key uint64) (*bnodeSim, int) {
+	leaf, slot, split, sep, right := t.insert(t.root, key)
+	if split {
+		nr := t.newInner()
+		nr.n = 1
+		nr.keys[0] = sep
+		nr.kids = append(nr.kids, t.root, right)
+		t.h.Access(nr.addr, bsimPtrOff+16)
+		t.root = nr
+	}
+	return leaf, slot
+}
+
+func (t *btreeSim) insert(nd *bnodeSim, key uint64) (leaf *bnodeSim, slot int, split bool, sep uint64, right *bnodeSim) {
+	i := t.searchNode(nd, key)
+	if nd.kids == nil { // leaf
+		if i < nd.n && nd.keys[i] == key {
+			t.h.Access(nd.addr+bsimPtrOff+uint64(i)*t.valSize, int(t.valSize))
+			return nd, i, false, 0, nil
+		}
+		if nd.n == bsimCap {
+			sep, right = t.splitLeaf(nd)
+			if key >= sep {
+				nd = right
+				i = t.searchNode(nd, key)
+			}
+			leaf, slot = t.leafInsertAt(nd, i, key)
+			return leaf, slot, true, sep, right
+		}
+		leaf, slot = t.leafInsertAt(nd, i, key)
+		return leaf, slot, false, 0, nil
+	}
+	ci := i
+	if i < nd.n && nd.keys[i] == key {
+		ci = i + 1
+	}
+	t.h.Access(nd.addr+bsimPtrOff+uint64(ci)*8, 8)
+	leaf, slot, csplit, csep, cright := t.insert(nd.kids[ci], key)
+	if !csplit {
+		return leaf, slot, false, 0, nil
+	}
+	if nd.n == bsimCap {
+		sep, right = t.splitInner(nd)
+		target := nd
+		if csep >= sep {
+			target = right
+		}
+		t.innerInsert(target, csep, cright)
+		return leaf, slot, true, sep, right
+	}
+	t.innerInsert(nd, csep, cright)
+	return leaf, slot, false, 0, nil
+}
+
+func (t *btreeSim) leafInsertAt(nd *bnodeSim, i int, key uint64) (*bnodeSim, int) {
+	// Shift tail: read+write of the moved key and value ranges.
+	if tail := nd.n - i; tail > 0 {
+		t.h.Access(nd.addr+bsimKeyOff+uint64(i)*8, tail*8)
+		t.h.Access(nd.addr+bsimPtrOff+uint64(i)*t.valSize, tail*int(t.valSize))
+	}
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	copy(nd.vecs[i+1:nd.n+1], nd.vecs[i:nd.n])
+	nd.keys[i] = key
+	nd.vecs[i] = simVec{}
+	nd.n++
+	t.h.Access(nd.addr+bsimKeyOff+uint64(i)*8, 8)
+	t.h.Access(nd.addr+bsimPtrOff+uint64(i)*t.valSize, int(t.valSize))
+	return nd, i
+}
+
+func (t *btreeSim) innerInsert(nd *bnodeSim, sep uint64, right *bnodeSim) {
+	i := 0
+	for i < nd.n && nd.keys[i] < sep {
+		i++
+	}
+	if tail := nd.n - i; tail > 0 {
+		t.h.Access(nd.addr+bsimKeyOff+uint64(i)*8, tail*8)
+		t.h.Access(nd.addr+bsimPtrOff+uint64(i+1)*8, tail*8)
+	}
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	nd.kids = append(nd.kids, nil)
+	copy(nd.kids[i+2:], nd.kids[i+1:len(nd.kids)-1])
+	nd.keys[i] = sep
+	nd.kids[i+1] = right
+	nd.n++
+	t.h.Access(nd.addr+bsimKeyOff+uint64(i)*8, 8)
+	t.h.Access(nd.addr+bsimPtrOff+uint64(i+1)*8, 8)
+}
+
+func (t *btreeSim) splitLeaf(nd *bnodeSim) (uint64, *bnodeSim) {
+	right := t.newLeaf()
+	mid := nd.n / 2
+	moved := nd.n - mid
+	t.h.Access(nd.addr+bsimKeyOff+uint64(mid)*8, moved*8)
+	t.h.Access(right.addr+bsimKeyOff, moved*8)
+	t.h.Access(nd.addr+bsimPtrOff+uint64(mid)*t.valSize, moved*int(t.valSize))
+	t.h.Access(right.addr+bsimPtrOff, moved*int(t.valSize))
+	copy(right.keys[:], nd.keys[mid:nd.n])
+	copy(right.vecs, nd.vecs[mid:nd.n])
+	right.n = moved
+	nd.n = mid
+	right.next = nd.next
+	nd.next = right
+	return right.keys[0], right
+}
+
+func (t *btreeSim) splitInner(nd *bnodeSim) (uint64, *bnodeSim) {
+	right := t.newInner()
+	mid := nd.n / 2
+	sep := nd.keys[mid]
+	moved := nd.n - mid - 1
+	t.h.Access(nd.addr+bsimKeyOff+uint64(mid+1)*8, moved*8)
+	t.h.Access(right.addr+bsimKeyOff, moved*8)
+	copy(right.keys[:], nd.keys[mid+1:nd.n])
+	right.kids = append(right.kids, nd.kids[mid+1:nd.n+1]...)
+	right.n = moved
+	nd.kids = nd.kids[:mid+1]
+	nd.n = mid
+	return sep, right
+}
+
+func (t *btreeSim) iterate(perLeafSlot func(nd *bnodeSim, i int)) {
+	for l := t.head; l != nil; l = l.next {
+		t.h.Access(l.addr, bsimHdr)
+		if l.n > 0 {
+			t.h.Access(l.addr+bsimKeyOff, l.n*8)
+			t.h.Access(l.addr+bsimPtrOff, l.n*int(t.valSize))
+		}
+		if perLeafSlot != nil {
+			for i := 0; i < l.n; i++ {
+				perLeafSlot(l, i)
+			}
+		}
+	}
+}
+
+func (btreeModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newBtreeSim(h, a, 8)
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(k) })
+	t.iterate(nil)
+}
+
+func (btreeModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newBtreeSim(h, a, 24)
+	forEachKey(h, a, keys, func(k uint64) {
+		nd, i := t.upsert(k)
+		nd.vecs[i].push(h, a)
+	})
+	t.iterate(func(nd *bnodeSim, i int) { nd.vecs[i].readAll(h) })
+}
+
+// --- radix trees (ART, Judy) ----------------------------------------------------
+
+// rnodeSim is a generic instrumented radix node used by both the ART and
+// Judy models; the growth schedule and per-form access costs differ.
+type rnodeSim struct {
+	addr     uint64
+	size     uint64
+	form     int // index into the model's form table
+	prefix   []byte
+	children map[byte]*rnodeSim
+	leafKey  uint64
+	isLeaf   bool
+	vec      simVec
+}
+
+// radixForms describes a model's node forms: the fanout capacity and byte
+// size of each, and how many bytes a child lookup touches.
+type radixForm struct {
+	cap        int
+	size       uint64
+	lookupCost int // bytes touched to locate a child slot
+}
+
+type radixSim struct {
+	h       *Hierarchy
+	a       *Arena
+	root    *rnodeSim
+	forms   []radixForm
+	valSize uint64
+}
+
+func (t *radixSim) newLeaf(key uint64) *rnodeSim {
+	n := &rnodeSim{isLeaf: true, leafKey: key, size: 16 + t.valSize}
+	n.addr = t.a.Alloc(n.size)
+	t.h.Access(n.addr, int(n.size))
+	return n
+}
+
+func (t *radixSim) newInner(prefix []byte) *rnodeSim {
+	f := t.forms[0]
+	n := &rnodeSim{
+		form:     0,
+		size:     f.size,
+		prefix:   append([]byte(nil), prefix...),
+		children: make(map[byte]*rnodeSim, 4),
+	}
+	n.addr = t.a.Alloc(n.size)
+	t.h.Access(n.addr, 16)
+	return n
+}
+
+// addChild grows the node's form when full (allocating the bigger layout
+// and replaying the copy traffic) and records the child.
+func (t *radixSim) addChild(n *rnodeSim, b byte, child *rnodeSim) {
+	if f := t.forms[n.form]; len(n.children) >= f.cap && n.form+1 < len(t.forms) {
+		nf := t.forms[n.form+1]
+		naddr := t.a.Alloc(nf.size)
+		t.h.Access(n.addr, int(f.size)) // read old layout
+		t.h.Access(naddr, int(nf.size)) // write new layout
+		n.addr, n.size, n.form = naddr, nf.size, n.form+1
+	}
+	// Insertion touch: the key/index area plus the child pointer slot.
+	t.h.Access(n.addr+16, t.forms[n.form].lookupCost)
+	n.children[b] = child
+}
+
+// findChild replays a child lookup's cost and returns the child.
+func (t *radixSim) findChild(n *rnodeSim, b byte) *rnodeSim {
+	t.h.Access(n.addr, 16) // header
+	f := t.forms[n.form]
+	t.h.Access(n.addr+16, f.lookupCost)
+	return n.children[b]
+}
+
+func (t *radixSim) keyByte(k uint64, d int) byte { return byte(k >> (8 * (7 - d))) }
+
+func (t *radixSim) upsert(key uint64) *rnodeSim {
+	if t.root == nil {
+		t.root = t.newLeaf(key)
+		return t.root
+	}
+	var parent *rnodeSim
+	var parentByte byte
+	n := t.root
+	depth := 0
+	for {
+		if n.isLeaf {
+			if n.leafKey == key {
+				t.h.Access(n.addr, int(n.size))
+				return n
+			}
+			d := depth
+			for t.keyByte(n.leafKey, d) == t.keyByte(key, d) {
+				d++
+			}
+			var pfx []byte
+			for i := depth; i < d; i++ {
+				pfx = append(pfx, t.keyByte(key, i))
+			}
+			nn := t.newInner(pfx)
+			lf := t.newLeaf(key)
+			t.addChild(nn, t.keyByte(n.leafKey, d), n)
+			t.addChild(nn, t.keyByte(key, d), lf)
+			t.replaceChild(parent, parentByte, nn)
+			return lf
+		}
+		// Prefix comparison (header access already issued by findChild for
+		// non-root nodes; issue one here for the root).
+		t.h.Access(n.addr, 16)
+		mismatch := -1
+		for i, pb := range n.prefix {
+			if pb != t.keyByte(key, depth+i) {
+				mismatch = i
+				break
+			}
+		}
+		if mismatch >= 0 {
+			nn := t.newInner(n.prefix[:mismatch])
+			oldByte := n.prefix[mismatch]
+			n.prefix = append([]byte(nil), n.prefix[mismatch+1:]...)
+			lf := t.newLeaf(key)
+			t.addChild(nn, oldByte, n)
+			t.addChild(nn, t.keyByte(key, depth+mismatch), lf)
+			t.replaceChild(parent, parentByte, nn)
+			return lf
+		}
+		depth += len(n.prefix)
+		b := t.keyByte(key, depth)
+		child := t.findChild(n, b)
+		if child == nil {
+			lf := t.newLeaf(key)
+			t.addChild(n, b, lf)
+			return lf
+		}
+		parent, parentByte = n, b
+		n = child
+		depth++
+	}
+}
+
+func (t *radixSim) replaceChild(parent *rnodeSim, b byte, child *rnodeSim) {
+	if parent == nil {
+		t.root = child
+		return
+	}
+	t.h.Access(parent.addr+16, 8)
+	parent.children[b] = child
+}
+
+func (t *radixSim) iterate(n *rnodeSim, perLeaf func(n *rnodeSim)) {
+	if n == nil {
+		return
+	}
+	if n.isLeaf {
+		t.h.Access(n.addr, int(n.size))
+		if perLeaf != nil {
+			perLeaf(n)
+		}
+		return
+	}
+	t.h.Access(n.addr, int(n.size))
+	for b := 0; b < 256; b++ {
+		if c, ok := n.children[byte(b)]; ok {
+			t.iterate(c, perLeaf)
+		}
+	}
+}
+
+type artModel struct{}
+
+func (artModel) Name() string { return "ART" }
+
+// ART's forms: Node4 (64 B), Node16 (176 B), Node48 (664 B), Node256
+// (2072 B). Lookup cost: scanning the small key arrays, the 256-byte index
+// for Node48 (one byte read + pointer), or a direct pointer for Node256.
+func newARTSim(h *Hierarchy, a *Arena, valSize uint64) *radixSim {
+	return &radixSim{
+		h: h, a: a, valSize: valSize,
+		forms: []radixForm{
+			{cap: 4, size: 64, lookupCost: 4 + 32},
+			{cap: 16, size: 176, lookupCost: 16 + 8},
+			{cap: 48, size: 664, lookupCost: 1 + 8},
+			{cap: 256, size: 2072, lookupCost: 8},
+		},
+	}
+}
+
+func (artModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newARTSim(h, a, 8)
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(k) })
+	t.iterate(t.root, nil)
+}
+
+func (artModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newARTSim(h, a, 24)
+	forEachKey(h, a, keys, func(k uint64) {
+		lf := t.upsert(k)
+		lf.vec.push(h, a)
+	})
+	t.iterate(t.root, func(n *rnodeSim) { n.vec.readAll(h) })
+}
+
+type judyModel struct{}
+
+func (judyModel) Name() string { return "Judy" }
+
+// Judy's forms: a one-cache-line linear node (7 children), a bitmap node
+// (32-byte bitmap plus packed pointers), and an uncompressed 256-pointer
+// node. Bitmap lookups touch the bitmap then one pointer.
+func newJudySim(h *Hierarchy, a *Arena, valSize uint64) *radixSim {
+	return &radixSim{
+		h: h, a: a, valSize: valSize,
+		forms: []radixForm{
+			{cap: 7, size: 64, lookupCost: 7 + 56},
+			{cap: 48, size: 16 + 32 + 48*8, lookupCost: 32 + 8},
+			{cap: 256, size: 16 + 2048, lookupCost: 8},
+		},
+	}
+}
+
+func (judyModel) RunQ1(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newJudySim(h, a, 8)
+	forEachKey(h, a, keys, func(k uint64) { t.upsert(k) })
+	t.iterate(t.root, nil)
+}
+
+func (judyModel) RunQ3(h *Hierarchy, keys []uint64) {
+	a := arenaFor(h)
+	t := newJudySim(h, a, 24)
+	forEachKey(h, a, keys, func(k uint64) {
+		lf := t.upsert(k)
+		lf.vec.push(h, a)
+	})
+	t.iterate(t.root, func(n *rnodeSim) { n.vec.readAll(h) })
+}
+
+// forEachKey replays the sequential read of the input column that every
+// build phase performs, then applies f per record.
+func forEachKey(h *Hierarchy, a *Arena, keys []uint64, f func(k uint64)) {
+	in := a.Alloc(uint64(len(keys)) * 8)
+	for i, k := range keys {
+		h.Access(in+uint64(i)*8, 8)
+		f(k)
+	}
+}

@@ -1,0 +1,49 @@
+// Package memuse measures the memory cost of an aggregation build — the
+// reproduction's stand-in for the paper's /usr/bin/time -v maximum-RSS
+// measurements (Tables 6 and 7, DESIGN.md substitution 5).
+//
+// Two numbers are reported per build:
+//
+//   - Retained: live heap delta once the structure is fully built (GC
+//     forced before and after). This is the steady-state footprint ordering
+//     the paper's tables show.
+//   - Allocated: total bytes allocated during the build, including
+//     transient copies. This exposes resize spikes — e.g. Hash_Dense's
+//     table doubling — that peak-RSS measurements catch and steady-state
+//     ones miss.
+package memuse
+
+import "runtime"
+
+// Usage is the memory cost of one build.
+type Usage struct {
+	Retained  uint64 // live bytes held by the built structure
+	Allocated uint64 // total bytes allocated while building
+}
+
+// MB renders bytes as mebibytes.
+func MB(b uint64) float64 { return float64(b) / (1 << 20) }
+
+// Measure runs build, which must return the structure it built (anything
+// reachable that must stay live), and reports its memory usage. The
+// returned structure is released afterwards.
+//
+// Measure is not safe for concurrent use: it reads global heap statistics.
+func Measure(build func() any) Usage {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	result := build()
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(result)
+
+	u := Usage{Allocated: after.TotalAlloc - before.TotalAlloc}
+	if after.HeapAlloc > before.HeapAlloc {
+		u.Retained = after.HeapAlloc - before.HeapAlloc
+	}
+	return u
+}

@@ -1,0 +1,41 @@
+package memuse
+
+import "testing"
+
+func TestMeasureDetectsRetention(t *testing.T) {
+	const n = 4 << 20
+	u := Measure(func() any {
+		return make([]byte, n)
+	})
+	if u.Retained < n/2 {
+		t.Fatalf("Retained=%d want >= %d", u.Retained, n/2)
+	}
+	if u.Allocated < n/2 {
+		t.Fatalf("Allocated=%d want >= %d", u.Allocated, n/2)
+	}
+}
+
+func TestMeasureSeparatesTransientFromRetained(t *testing.T) {
+	const n = 8 << 20
+	u := Measure(func() any {
+		transient := make([]byte, n)
+		for i := range transient {
+			transient[i] = byte(i)
+		}
+		small := make([]byte, 1024)
+		small[0] = transient[n-1]
+		return small
+	})
+	if u.Retained > n/2 {
+		t.Fatalf("Retained=%d includes transient allocation", u.Retained)
+	}
+	if u.Allocated < n/2 {
+		t.Fatalf("Allocated=%d missed transient allocation", u.Allocated)
+	}
+}
+
+func TestMB(t *testing.T) {
+	if MB(1<<20) != 1 {
+		t.Fatal("MB conversion")
+	}
+}

@@ -1,0 +1,209 @@
+// Package strhash implements string-keyed hash tables mirroring the two
+// serial designs the paper evaluates most closely for integers: open
+// addressing with linear probing (Hash_LP) and separate chaining
+// (Hash_SC). They back the string-keyed aggregation operators.
+//
+// Keys are arbitrary byte strings (the empty string included; occupancy is
+// tracked in a state array rather than a sentinel key). Hashing is FNV-1a
+// over the key bytes.
+package strhash
+
+import "memagg/internal/hashtbl"
+
+// HashString is the shared FNV-1a 64-bit string hash, finalized with the
+// same mixer the integer tables use so short keys still spread well.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return hashtbl.Mix(h)
+}
+
+// LinearProbe is an open-addressing string map with linear probing: the
+// string analog of the paper's Hash_LP.
+type LinearProbe[V any] struct {
+	keys []string
+	vals []V
+	used []bool
+	mask uint64
+	size int
+	grow int
+}
+
+// NewLinearProbe returns a table pre-sized for capacity elements.
+func NewLinearProbe[V any](capacity int) *LinearProbe[V] {
+	t := &LinearProbe[V]{}
+	t.alloc(hashtbl.NextPow2(maxInt(capacity*8/7, 16)))
+	return t
+}
+
+func (t *LinearProbe[V]) alloc(slots int) {
+	t.keys = make([]string, slots)
+	t.vals = make([]V, slots)
+	t.used = make([]bool, slots)
+	t.mask = uint64(slots - 1)
+	t.grow = slots * 7 / 8
+	t.size = 0
+}
+
+// Len returns the number of stored keys.
+func (t *LinearProbe[V]) Len() int { return t.size }
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. The pointer is valid until the next mutating call.
+func (t *LinearProbe[V]) Upsert(key string) *V {
+	if t.size >= t.grow {
+		t.rehash(len(t.keys) * 2)
+	}
+	i := HashString(key) & t.mask
+	for t.used[i] {
+		if t.keys[i] == key {
+			return &t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+	t.used[i] = true
+	t.keys[i] = key
+	t.size++
+	return &t.vals[i]
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *LinearProbe[V]) Get(key string) *V {
+	i := HashString(key) & t.mask
+	for t.used[i] {
+		if t.keys[i] == key {
+			return &t.vals[i]
+		}
+		i = (i + 1) & t.mask
+	}
+	return nil
+}
+
+// Iterate calls fn for every key/value pair in unspecified order, stopping
+// early if fn returns false.
+func (t *LinearProbe[V]) Iterate(fn func(key string, val *V) bool) {
+	for i, u := range t.used {
+		if u {
+			if !fn(t.keys[i], &t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+func (t *LinearProbe[V]) rehash(slots int) {
+	oldKeys, oldVals, oldUsed := t.keys, t.vals, t.used
+	t.alloc(slots)
+	for i, u := range oldUsed {
+		if !u {
+			continue
+		}
+		j := HashString(oldKeys[i]) & t.mask
+		for t.used[j] {
+			j = (j + 1) & t.mask
+		}
+		t.used[j] = true
+		t.keys[j] = oldKeys[i]
+		t.vals[j] = oldVals[i]
+		t.size++
+	}
+}
+
+// Chained is a separate-chaining string map: the string analog of the
+// paper's Hash_SC.
+type Chained[V any] struct {
+	buckets []*strNode[V]
+	mask    uint64
+	size    int
+	grow    int
+}
+
+type strNode[V any] struct {
+	key  string
+	next *strNode[V]
+	val  V
+}
+
+// NewChained returns a table pre-sized for capacity elements.
+func NewChained[V any](capacity int) *Chained[V] {
+	buckets := hashtbl.NextPow2(maxInt(capacity, 16))
+	return &Chained[V]{
+		buckets: make([]*strNode[V], buckets),
+		mask:    uint64(buckets - 1),
+		grow:    buckets,
+	}
+}
+
+// Len returns the number of stored keys.
+func (t *Chained[V]) Len() int { return t.size }
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. Pointers stay valid for the life of the table.
+func (t *Chained[V]) Upsert(key string) *V {
+	b := HashString(key) & t.mask
+	for n := t.buckets[b]; n != nil; n = n.next {
+		if n.key == key {
+			return &n.val
+		}
+	}
+	if t.size >= t.grow {
+		t.rehash(len(t.buckets) * 2)
+		b = HashString(key) & t.mask
+	}
+	n := &strNode[V]{key: key, next: t.buckets[b]}
+	t.buckets[b] = n
+	t.size++
+	return &n.val
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Chained[V]) Get(key string) *V {
+	for n := t.buckets[HashString(key)&t.mask]; n != nil; n = n.next {
+		if n.key == key {
+			return &n.val
+		}
+	}
+	return nil
+}
+
+// Iterate calls fn for every key/value pair in unspecified order, stopping
+// early if fn returns false.
+func (t *Chained[V]) Iterate(fn func(key string, val *V) bool) {
+	for _, n := range t.buckets {
+		for ; n != nil; n = n.next {
+			if !fn(n.key, &n.val) {
+				return
+			}
+		}
+	}
+}
+
+func (t *Chained[V]) rehash(buckets int) {
+	old := t.buckets
+	t.buckets = make([]*strNode[V], buckets)
+	t.mask = uint64(buckets - 1)
+	t.grow = buckets
+	for _, n := range old {
+		for n != nil {
+			next := n.next
+			b := HashString(n.key) & t.mask
+			n.next = t.buckets[b]
+			t.buckets[b] = n
+			n = next
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package strhash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+type stable interface {
+	Upsert(string) *uint64
+	Get(string) *uint64
+	Len() int
+	Iterate(func(string, *uint64) bool)
+}
+
+func makers() map[string]func(int) stable {
+	return map[string]func(int) stable{
+		"LinearProbe": func(c int) stable { return NewLinearProbe[uint64](c) },
+		"Chained":     func(c int) stable { return NewChained[uint64](c) },
+	}
+}
+
+func TestBasicUpsertGet(t *testing.T) {
+	for name, mk := range makers() {
+		tb := mk(8)
+		keys := []string{"", "a", "ab", "ba", "a", "", "long key with spaces", "\x00\xff"}
+		for _, k := range keys {
+			*tb.Upsert(k)++
+		}
+		want := map[string]uint64{}
+		for _, k := range keys {
+			want[k]++
+		}
+		if tb.Len() != len(want) {
+			t.Fatalf("%s: Len=%d want %d", name, tb.Len(), len(want))
+		}
+		for k, c := range want {
+			v := tb.Get(k)
+			if v == nil || *v != c {
+				t.Fatalf("%s: Get(%q) wrong", name, k)
+			}
+		}
+		if tb.Get("absent") != nil {
+			t.Fatalf("%s: found absent key", name)
+		}
+	}
+}
+
+func TestGrowthKeepsContents(t *testing.T) {
+	for name, mk := range makers() {
+		tb := mk(4)
+		const n = 50000
+		for i := 0; i < n; i++ {
+			*tb.Upsert(fmt.Sprintf("key-%d", i%7000))++
+		}
+		if tb.Len() != 7000 {
+			t.Fatalf("%s: Len=%d want 7000", name, tb.Len())
+		}
+		var total uint64
+		tb.Iterate(func(_ string, v *uint64) bool {
+			total += *v
+			return true
+		})
+		if total != n {
+			t.Fatalf("%s: total %d want %d", name, total, n)
+		}
+	}
+}
+
+func TestIterateEachOnce(t *testing.T) {
+	for name, mk := range makers() {
+		tb := mk(16)
+		for i := 0; i < 1000; i++ {
+			tb.Upsert(fmt.Sprintf("%04d", i))
+		}
+		seen := map[string]bool{}
+		tb.Iterate(func(k string, _ *uint64) bool {
+			if seen[k] {
+				t.Fatalf("%s: key %q twice", name, k)
+			}
+			seen[k] = true
+			return true
+		})
+		if len(seen) != 1000 {
+			t.Fatalf("%s: visited %d", name, len(seen))
+		}
+	}
+}
+
+func TestQuickMatchesMapModel(t *testing.T) {
+	for name, mk := range makers() {
+		mk := mk
+		f := func(keys []string) bool {
+			tb := mk(2)
+			model := map[string]uint64{}
+			for _, k := range keys {
+				if len(k) > 6 {
+					k = k[:6]
+				}
+				*tb.Upsert(k)++
+				model[k]++
+			}
+			if tb.Len() != len(model) {
+				return false
+			}
+			ok := true
+			tb.Iterate(func(k string, v *uint64) bool {
+				if model[k] != *v {
+					ok = false
+				}
+				return ok
+			})
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestHashStringSpreads(t *testing.T) {
+	// Short sequential keys must not collide into a handful of buckets.
+	const buckets = 1024
+	counts := make([]int, buckets)
+	for i := 0; i < 100000; i++ {
+		counts[HashString(fmt.Sprintf("k%d", i))%buckets]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max > 3*(100000/buckets) {
+		t.Fatalf("hash skew: min=%d max=%d", min, max)
+	}
+}

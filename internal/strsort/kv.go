@@ -1,0 +1,126 @@
+package strsort
+
+// KV is a string-keyed record. Sort-based aggregation over string keys
+// sorts records so each group's values become contiguous, exactly as the
+// integer operators do.
+type KV struct {
+	K string
+	V uint64
+}
+
+// MSDRadixSortKV sorts records by key with MSD radix partitioning.
+func MSDRadixSortKV(a []KV) {
+	if len(a) < 2 {
+		return
+	}
+	msdKV(a, 0)
+}
+
+func msdKV(a []KV, d int) {
+	if len(a) <= msdCutoff {
+		twqKV(a, d)
+		return
+	}
+	var counts [257]int
+	for _, r := range a {
+		counts[byteAt(r.K, d)+1]++
+	}
+	var starts, ends [257]int
+	sum := 0
+	for b := 0; b < 257; b++ {
+		starts[b] = sum
+		sum += counts[b]
+		ends[b] = sum
+	}
+	pos := starts
+	for b := 0; b < 257; b++ {
+		for pos[b] < ends[b] {
+			v := a[pos[b]]
+			bv := byteAt(v.K, d) + 1
+			for bv != b {
+				a[pos[bv]], v = v, a[pos[bv]]
+				pos[bv]++
+				bv = byteAt(v.K, d) + 1
+			}
+			a[pos[b]] = v
+			pos[b]++
+		}
+	}
+	for b := 1; b < 257; b++ {
+		if ends[b]-starts[b] > 1 {
+			msdKV(a[starts[b]:ends[b]], d+1)
+		}
+	}
+}
+
+// ThreeWayRadixQuicksortKV sorts records by key with multikey quicksort.
+func ThreeWayRadixQuicksortKV(a []KV) {
+	if len(a) < 2 {
+		return
+	}
+	twqKV(a, 0)
+}
+
+func twqKV(a []KV, d int) {
+	for len(a) > insertionCutoff {
+		p := byteAt(a[med3KV(a, d)].K, d)
+		lt, i, gt := 0, 0, len(a)-1
+		for i <= gt {
+			c := byteAt(a[i].K, d)
+			switch {
+			case c < p:
+				a[lt], a[i] = a[i], a[lt]
+				lt++
+				i++
+			case c > p:
+				a[gt], a[i] = a[i], a[gt]
+				gt--
+			default:
+				i++
+			}
+		}
+		twqKV(a[:lt], d)
+		if p >= 0 {
+			twqKV(a[lt:gt+1], d+1)
+		}
+		a = a[gt+1:]
+	}
+	insertionSortAtKV(a, d)
+}
+
+func med3KV(a []KV, d int) int {
+	i, j, k := 0, len(a)/2, len(a)-1
+	bi, bj, bk := byteAt(a[i].K, d), byteAt(a[j].K, d), byteAt(a[k].K, d)
+	if bi > bj {
+		i, bi, j, bj = j, bj, i, bi
+	}
+	if bj > bk {
+		j, bj = k, bk
+		if bi > bj {
+			j = i
+		}
+	}
+	return j
+}
+
+func insertionSortAtKV(a []KV, d int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && lessAt(v.K, a[j].K, d) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// IsSortedKV reports whether a is ascending by key.
+func IsSortedKV(a []KV) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i].K < a[i-1].K {
+			return false
+		}
+	}
+	return true
+}

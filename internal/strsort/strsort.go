@@ -1,0 +1,176 @@
+// Package strsort implements the variable-length-key sorting algorithms
+// needed to extend the paper's sort-based aggregation to string keys —
+// the adaptation Section 3.1 anticipates ("some of the approaches could be
+// adapted to variable length strings").
+//
+// Two algorithms cover the radix/comparison duality the paper studies for
+// integers:
+//
+//   - MSDRadixSort — most-significant-digit radix sort over bytes
+//     (American-flag style), the string analog of the paper's MSB radix
+//     and the radix phase of Spreadsort;
+//   - ThreeWayRadixQuicksort — Bentley–Sedgewick multikey quicksort, the
+//     string analog of Introsort's comparison sorting, used as the small-
+//     partition finisher.
+//
+// Both sort byte-wise (lexicographic by raw bytes), matching how the
+// string tree and hash structures in this module compare keys.
+package strsort
+
+// Thresholds mirroring the integer sorts' hybrid structure.
+const (
+	insertionCutoff = 16
+	msdCutoff       = 64 // MSD radix → three-way quicksort
+)
+
+// byteAt returns byte d of s, with strings shorter than d+1 ordering
+// before all longer strings (virtual -1 digit).
+func byteAt(s string, d int) int {
+	if d < len(s) {
+		return int(s[d])
+	}
+	return -1
+}
+
+// InsertionSortAt sorts a[lo:hi] by suffixes starting at byte d, assuming
+// all elements share a prefix of length d.
+func insertionSortAt(a []string, d int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && lessAt(v, a[j], d) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// lessAt compares suffixes starting at d.
+func lessAt(x, y string, d int) bool {
+	if d > len(x) {
+		d = len(x)
+	}
+	if d > len(y) {
+		d = len(y)
+	}
+	return x[d:] < y[d:]
+}
+
+// InsertionSort sorts a lexicographically in O(n^2); the leaf case of the
+// hybrids and useful on its own for tiny inputs.
+func InsertionSort(a []string) { insertionSortAt(a, 0) }
+
+// MSDRadixSort sorts a lexicographically using most-significant-digit
+// radix partitioning with 256-way byte buckets (plus an end-of-string
+// bucket), switching to three-way radix quicksort below the cutoff.
+func MSDRadixSort(a []string) {
+	if len(a) < 2 {
+		return
+	}
+	msd(a, 0)
+}
+
+func msd(a []string, d int) {
+	if len(a) <= msdCutoff {
+		twq(a, d)
+		return
+	}
+	// Count: bucket 0 = exhausted strings, 1..256 = byte value + 1.
+	var counts [257]int
+	for _, s := range a {
+		counts[byteAt(s, d)+1]++
+	}
+	var starts, ends [257]int
+	sum := 0
+	for b := 0; b < 257; b++ {
+		starts[b] = sum
+		sum += counts[b]
+		ends[b] = sum
+	}
+	// American-flag in-place permutation.
+	pos := starts
+	for b := 0; b < 257; b++ {
+		for pos[b] < ends[b] {
+			v := a[pos[b]]
+			bv := byteAt(v, d) + 1
+			for bv != b {
+				a[pos[bv]], v = v, a[pos[bv]]
+				pos[bv]++
+				bv = byteAt(v, d) + 1
+			}
+			a[pos[b]] = v
+			pos[b]++
+		}
+	}
+	// Recurse into byte buckets (bucket 0 is fully sorted already).
+	for b := 1; b < 257; b++ {
+		if ends[b]-starts[b] > 1 {
+			msd(a[starts[b]:ends[b]], d+1)
+		}
+	}
+}
+
+// ThreeWayRadixQuicksort sorts a lexicographically with Bentley–Sedgewick
+// multikey quicksort: partition on one byte into <, =, > regions, recurse
+// on < and >, advance the byte on =.
+func ThreeWayRadixQuicksort(a []string) {
+	if len(a) < 2 {
+		return
+	}
+	twq(a, 0)
+}
+
+func twq(a []string, d int) {
+	for len(a) > insertionCutoff {
+		p := byteAt(a[med3(a, d)], d)
+		lt, i, gt := 0, 0, len(a)-1
+		for i <= gt {
+			c := byteAt(a[i], d)
+			switch {
+			case c < p:
+				a[lt], a[i] = a[i], a[lt]
+				lt++
+				i++
+			case c > p:
+				a[gt], a[i] = a[i], a[gt]
+				gt--
+			default:
+				i++
+			}
+		}
+		// a[:lt] < p, a[lt:gt+1] == p, a[gt+1:] > p.
+		twq(a[:lt], d)
+		if p >= 0 {
+			twq(a[lt:gt+1], d+1)
+		}
+		a = a[gt+1:]
+	}
+	insertionSortAt(a, d)
+}
+
+// med3 picks a pivot index by median-of-three on byte d.
+func med3(a []string, d int) int {
+	i, j, k := 0, len(a)/2, len(a)-1
+	bi, bj, bk := byteAt(a[i], d), byteAt(a[j], d), byteAt(a[k], d)
+	if bi > bj {
+		i, bi, j, bj = j, bj, i, bi
+	}
+	if bj > bk {
+		j, bj = k, bk
+		if bi > bj {
+			j = i
+		}
+	}
+	return j
+}
+
+// IsSorted reports whether a is in lexicographic order.
+func IsSorted(a []string) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package strsort
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func randomWords(n int, seed uint64) []string {
+	rng := dataset.NewRNG(seed)
+	out := make([]string, n)
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	for i := range out {
+		l := int(rng.Uint64n(12)) // 0..11 letters: includes empty strings
+		var b strings.Builder
+		for j := 0; j < l; j++ {
+			b.WriteByte(letters[rng.Uint64n(26)])
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+func testSets() map[string][]string {
+	sets := map[string][]string{
+		"empty":       {},
+		"single":      {"x"},
+		"allEqual":    {"aa", "aa", "aa", "aa"},
+		"prefixChain": {"a", "ab", "abc", "abcd", "ab", "a", ""},
+		"withEmpty":   {"", "b", "", "a", ""},
+		"random":      randomWords(20000, 1),
+		"sorted":      nil,
+		"reversed":    nil,
+		"binaryBytes": {"\x00", "\xff", "\x00\x01", "\x7f", "\x80", "\xff\x00"},
+		"sharedLong":  nil,
+	}
+	s := randomWords(5000, 2)
+	sort.Strings(s)
+	sets["sorted"] = s
+	r := append([]string(nil), s...)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	sets["reversed"] = r
+	long := make([]string, 3000)
+	for i := range long {
+		long[i] = "commonprefix/very/long/shared/path/" + fmt.Sprintf("%06d", (i*7919)%3000)
+	}
+	sets["sharedLong"] = long
+	return sets
+}
+
+func TestSortsMatchStdlib(t *testing.T) {
+	sorts := map[string]func([]string){
+		"MSDRadixSort":           MSDRadixSort,
+		"ThreeWayRadixQuicksort": ThreeWayRadixQuicksort,
+		"InsertionSort":          InsertionSort,
+	}
+	for sname, fn := range sorts {
+		for dname, data := range testSets() {
+			if sname == "InsertionSort" && len(data) > 5000 {
+				continue
+			}
+			got := append([]string(nil), data...)
+			want := append([]string(nil), data...)
+			sort.Strings(want)
+			fn(got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s on %s: mismatch at %d: %q vs %q",
+						sname, dname, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQuickPropertyMatchesStdlib(t *testing.T) {
+	for _, fn := range []func([]string){MSDRadixSort, ThreeWayRadixQuicksort} {
+		fn := fn
+		f := func(a []string) bool {
+			got := append([]string(nil), a...)
+			want := append([]string(nil), a...)
+			sort.Strings(want)
+			fn(got)
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestKVSortsPreserveRecords(t *testing.T) {
+	words := randomWords(20000, 3)
+	base := make([]KV, len(words))
+	for i, w := range words {
+		base[i] = KV{K: w, V: uint64(i)}
+	}
+	for _, fn := range []func([]KV){MSDRadixSortKV, ThreeWayRadixQuicksortKV} {
+		a := append([]KV(nil), base...)
+		fn(a)
+		if !IsSortedKV(a) {
+			t.Fatal("keys not sorted")
+		}
+		// The record multiset must be preserved: each V appears once and
+		// still pairs with its original key.
+		seen := make([]bool, len(base))
+		for _, r := range a {
+			if seen[r.V] {
+				t.Fatal("record duplicated")
+			}
+			seen[r.V] = true
+			if words[r.V] != r.K {
+				t.Fatalf("record %d lost its key", r.V)
+			}
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]string{"a", "a", "b"}) || IsSorted([]string{"b", "a"}) {
+		t.Fatal("IsSorted wrong")
+	}
+	if !IsSortedKV([]KV{{K: "a"}, {K: "b"}}) || IsSortedKV([]KV{{K: "b"}, {K: "a"}}) {
+		t.Fatal("IsSortedKV wrong")
+	}
+}
+
+func TestByteAt(t *testing.T) {
+	if byteAt("ab", 0) != 'a' || byteAt("ab", 1) != 'b' || byteAt("ab", 2) != -1 {
+		t.Fatal("byteAt wrong")
+	}
+}

@@ -1,0 +1,154 @@
+package strtree
+
+// Delete removes key from the tree, returning whether it was present.
+// Layouts shrink on the reverse of the growth schedule; a node reduced to
+// a single leaf (one child and no end leaf, or an end leaf and no
+// children) collapses into that leaf, and a childless-but-ended chain
+// folds its prefix exactly as the integer ART does.
+func (t *Tree[V]) Delete(key string) bool {
+	switch n := t.root.(type) {
+	case nil:
+		return false
+	case *leaf[V]:
+		if n.key != key {
+			return false
+		}
+		t.root = nil
+		t.size--
+		return true
+	}
+	if !t.deleteRec(&t.root, key, 0) {
+		return false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[V]) deleteRec(slot *any, key string, depth int) bool {
+	prefix, endp, _ := t.nodeMeta(*slot)
+	p := *prefix
+	rem := key[depth:]
+	if len(rem) < len(p) || rem[:len(p)] != p {
+		return false
+	}
+	depth += len(p)
+	if depth == len(key) {
+		if *endp == nil {
+			return false
+		}
+		*endp = nil
+		t.maybeCollapse(slot)
+		return true
+	}
+	b := key[depth]
+	childSlot := t.findChild(*slot, b)
+	if childSlot == nil {
+		return false
+	}
+	if lf, ok := (*childSlot).(*leaf[V]); ok {
+		if lf.key != key {
+			return false
+		}
+		t.removeChild(slot, b)
+		return true
+	}
+	return t.deleteRec(childSlot, key, depth+1)
+}
+
+// removeChild deletes the child entry for byte b, shrinking the layout and
+// collapsing single-entry nodes.
+func (t *Tree[V]) removeChild(slot *any, b byte) {
+	switch n := (*slot).(type) {
+	case *node4[V]:
+		i := 0
+		for i < n.numChildren && n.keys[i] != b {
+			i++
+		}
+		copy(n.keys[i:n.numChildren-1], n.keys[i+1:n.numChildren])
+		copy(n.children[i:n.numChildren-1], n.children[i+1:n.numChildren])
+		n.numChildren--
+		n.children[n.numChildren] = nil
+	case *node16[V]:
+		i := 0
+		for i < n.numChildren && n.keys[i] != b {
+			i++
+		}
+		copy(n.keys[i:n.numChildren-1], n.keys[i+1:n.numChildren])
+		copy(n.children[i:n.numChildren-1], n.children[i+1:n.numChildren])
+		n.numChildren--
+		n.children[n.numChildren] = nil
+		if n.numChildren <= 3 {
+			s := &node4[V]{numChildren: n.numChildren, prefix: n.prefix, end: n.end}
+			copy(s.keys[:], n.keys[:n.numChildren])
+			copy(s.children[:], n.children[:n.numChildren])
+			*slot = s
+		}
+	case *node48[V]:
+		idx := n.index[b]
+		n.index[b] = 0
+		last := uint8(n.numChildren)
+		if idx != last {
+			for bb := 0; bb < 256; bb++ {
+				if n.index[bb] == last {
+					n.index[bb] = idx
+					break
+				}
+			}
+			n.children[idx-1] = n.children[last-1]
+		}
+		n.children[last-1] = nil
+		n.numChildren--
+		if n.numChildren <= 12 {
+			s := &node16[V]{numChildren: 0, prefix: n.prefix, end: n.end}
+			for bb := 0; bb < 256; bb++ {
+				if ix := n.index[bb]; ix != 0 {
+					s.keys[s.numChildren] = byte(bb)
+					s.children[s.numChildren] = n.children[ix-1]
+					s.numChildren++
+				}
+			}
+			*slot = s
+		}
+	case *node256[V]:
+		n.children[b] = nil
+		n.numChildren--
+		if n.numChildren <= 36 {
+			s := &node48[V]{numChildren: 0, prefix: n.prefix, end: n.end}
+			for bb := 0; bb < 256; bb++ {
+				if n.children[bb] != nil {
+					s.children[s.numChildren] = n.children[bb]
+					s.index[bb] = uint8(s.numChildren + 1)
+					s.numChildren++
+				}
+			}
+			*slot = s
+		}
+	}
+	t.maybeCollapse(slot)
+}
+
+// maybeCollapse folds the node at slot when it holds a single entry:
+// either only the end-of-key leaf (the node becomes that leaf) or exactly
+// one child and no end leaf (the node merges its prefix and radix byte
+// into the child).
+func (t *Tree[V]) maybeCollapse(slot *any) {
+	n4, ok := (*slot).(*node4[V])
+	if !ok {
+		return
+	}
+	switch {
+	case n4.numChildren == 0 && n4.end != nil:
+		*slot = n4.end
+	case n4.numChildren == 1 && n4.end == nil:
+		child := n4.children[0]
+		if lf, isLeaf := child.(*leaf[V]); isLeaf {
+			*slot = lf
+			return
+		}
+		cp, _, _ := t.nodeMeta(child)
+		// string([]byte{b}), not string(b): the latter UTF-8 encodes the
+		// byte as a code point and corrupts keys >= 0x80.
+		*cp = n4.prefix + string([]byte{n4.keys[0]}) + *cp
+		*slot = child
+	}
+}

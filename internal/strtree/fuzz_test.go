@@ -1,0 +1,71 @@
+package strtree
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzTreeMatchesMap drives the string ART with arbitrary key material and
+// checks it against a map plus lexicographic iteration order.
+func FuzzTreeMatchesMap(f *testing.F) {
+	f.Add("a\x00ab\x00abc\x00\x00b")
+	f.Add("")
+	f.Add("prefix/a\x00prefix/b\x00prefix\x00other")
+	f.Fuzz(func(t *testing.T, blob string) {
+		keys := strings.Split(blob, "\x00")
+		tr := New[uint64]()
+		model := map[string]uint64{}
+		for _, k := range keys {
+			*tr.Upsert(k)++
+			model[k]++
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("Len=%d want %d", tr.Len(), len(model))
+		}
+		var got []string
+		tr.Iterate(func(k string, v *uint64) bool {
+			if model[k] != *v {
+				t.Fatalf("count for %q", k)
+			}
+			got = append(got, k)
+			return true
+		})
+		if !sort.StringsAreSorted(got) {
+			t.Fatalf("iteration unsorted: %q", got)
+		}
+		for k := range model {
+			if tr.Get(k) == nil {
+				t.Fatalf("lost key %q", k)
+			}
+		}
+		// Prefix scans must match a filter for a few derived prefixes.
+		for _, k := range keys[:min(3, len(keys))] {
+			p := k
+			if len(p) > 2 {
+				p = p[:2]
+			}
+			want := 0
+			for m := range model {
+				if strings.HasPrefix(m, p) {
+					want++
+				}
+			}
+			n := 0
+			tr.PrefixIterate(p, func(string, *uint64) bool {
+				n++
+				return true
+			})
+			if n != want {
+				t.Fatalf("prefix %q: %d want %d", p, n, want)
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,391 @@
+// Package strtree implements an adaptive radix tree over variable-length
+// string keys — the extension of the paper's ART that its Section 3.1
+// anticipates for string workloads (and that HOT, discussed in Section 7,
+// targets).
+//
+// Layout follows the integer ART (adaptive Node4/16/48/256 with path
+// compression), with the one addition variable-length keys demand: a key
+// may terminate exactly where another key continues ("a" vs "ab"), so
+// every inner node carries an optional end-of-key leaf alongside its byte
+// children. Iteration yields the end-of-key leaf before any children,
+// giving exact lexicographic order (shorter strings sort before their
+// extensions).
+//
+// Arbitrary byte strings are supported, including embedded NUL bytes and
+// the empty string.
+package strtree
+
+type leaf[V any] struct {
+	key string
+	val V
+}
+
+// The four adaptive layouts repeat the shared fields (prefix, end,
+// numChildren) rather than embedding a header: a generic embedded struct
+// cannot reference the node's type parameter for the end leaf.
+
+type node4[V any] struct {
+	numChildren int
+	prefix      string
+	end         *leaf[V]
+	keys        [4]byte
+	children    [4]any
+}
+
+type node16[V any] struct {
+	numChildren int
+	prefix      string
+	end         *leaf[V]
+	keys        [16]byte
+	children    [16]any
+}
+
+type node48[V any] struct {
+	numChildren int
+	prefix      string
+	end         *leaf[V]
+	index       [256]uint8
+	children    [48]any
+}
+
+type node256[V any] struct {
+	numChildren int
+	prefix      string
+	end         *leaf[V]
+	children    [256]any
+}
+
+// Tree is an adaptive radix tree map from string to V.
+type Tree[V any] struct {
+	root any
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// nodeMeta returns pointers to the shared fields of an inner node.
+func (t *Tree[V]) nodeMeta(n any) (prefix *string, end **leaf[V], num *int) {
+	switch n := n.(type) {
+	case *node4[V]:
+		return &n.prefix, &n.end, &n.numChildren
+	case *node16[V]:
+		return &n.prefix, &n.end, &n.numChildren
+	case *node48[V]:
+		return &n.prefix, &n.end, &n.numChildren
+	case *node256[V]:
+		return &n.prefix, &n.end, &n.numChildren
+	}
+	return nil, nil, nil
+}
+
+func (t *Tree[V]) findChild(n any, b byte) *any {
+	switch n := n.(type) {
+	case *node4[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if n.keys[i] == b {
+				return &n.children[i]
+			}
+		}
+	case *node16[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if n.keys[i] == b {
+				return &n.children[i]
+			}
+		}
+	case *node48[V]:
+		if idx := n.index[b]; idx != 0 {
+			return &n.children[idx-1]
+		}
+	case *node256[V]:
+		if n.children[b] != nil {
+			return &n.children[b]
+		}
+	}
+	return nil
+}
+
+// addChild inserts child under byte b, growing the layout when full, and
+// returns the node to store in the parent slot.
+func (t *Tree[V]) addChild(n any, b byte, child any) any {
+	switch n := n.(type) {
+	case *node4[V]:
+		if n.numChildren < 4 {
+			i := 0
+			for i < n.numChildren && n.keys[i] < b {
+				i++
+			}
+			copy(n.keys[i+1:n.numChildren+1], n.keys[i:n.numChildren])
+			copy(n.children[i+1:n.numChildren+1], n.children[i:n.numChildren])
+			n.keys[i] = b
+			n.children[i] = child
+			n.numChildren++
+			return n
+		}
+		g := &node16[V]{numChildren: 4, prefix: n.prefix, end: n.end}
+		copy(g.keys[:], n.keys[:])
+		copy(g.children[:], n.children[:])
+		return t.addChild(g, b, child)
+	case *node16[V]:
+		if n.numChildren < 16 {
+			i := 0
+			for i < n.numChildren && n.keys[i] < b {
+				i++
+			}
+			copy(n.keys[i+1:n.numChildren+1], n.keys[i:n.numChildren])
+			copy(n.children[i+1:n.numChildren+1], n.children[i:n.numChildren])
+			n.keys[i] = b
+			n.children[i] = child
+			n.numChildren++
+			return n
+		}
+		g := &node48[V]{numChildren: 16, prefix: n.prefix, end: n.end}
+		for i := 0; i < 16; i++ {
+			g.index[n.keys[i]] = uint8(i + 1)
+			g.children[i] = n.children[i]
+		}
+		return t.addChild(g, b, child)
+	case *node48[V]:
+		if n.numChildren < 48 {
+			n.children[n.numChildren] = child
+			n.index[b] = uint8(n.numChildren + 1)
+			n.numChildren++
+			return n
+		}
+		g := &node256[V]{numChildren: 48, prefix: n.prefix, end: n.end}
+		for bb := 0; bb < 256; bb++ {
+			if idx := n.index[bb]; idx != 0 {
+				g.children[bb] = n.children[idx-1]
+			}
+		}
+		return t.addChild(g, b, child)
+	case *node256[V]:
+		n.children[b] = child
+		n.numChildren++
+		return n
+	}
+	panic("strtree: addChild on non-inner node")
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a and
+// b.
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Upsert returns a pointer to the value for key, inserting a zero value if
+// absent. Pointers remain valid for the life of the tree.
+func (t *Tree[V]) Upsert(key string) *V {
+	if t.root == nil {
+		lf := &leaf[V]{key: key}
+		t.root = lf
+		t.size++
+		return &lf.val
+	}
+	slot := &t.root
+	depth := 0
+	for {
+		if lf, ok := (*slot).(*leaf[V]); ok {
+			if lf.key == key {
+				return &lf.val
+			}
+			// Split the leaf: common suffix-prefix from depth.
+			cp := depth + commonPrefixLen(lf.key[depth:], key[depth:])
+			nn := &node4[V]{prefix: key[depth:cp]}
+			newLf := &leaf[V]{key: key}
+			t.attach(nn, lf, cp)
+			t.attach(nn, newLf, cp)
+			*slot = nn
+			t.size++
+			return &newLf.val
+		}
+		prefix, endp, _ := t.nodeMeta(*slot)
+		p := *prefix
+		rem := key[depth:]
+		cl := commonPrefixLen(p, rem)
+		if cl < len(p) {
+			// The search key diverges inside (or ends within) the
+			// compressed prefix: split the prefix.
+			nn := &node4[V]{prefix: p[:cl]}
+			old := *slot
+			oldByte := p[cl]
+			*prefix = p[cl+1:]
+			nn2 := t.addChild(nn, oldByte, old)
+			newLf := &leaf[V]{key: key}
+			if cl == len(rem) {
+				// Key terminates exactly at the split point.
+				n4 := nn2.(*node4[V])
+				n4.end = newLf
+				*slot = n4
+			} else {
+				*slot = t.addChild(nn2, rem[cl], newLf)
+			}
+			t.size++
+			return &newLf.val
+		}
+		depth += len(p)
+		if depth == len(key) {
+			// Key terminates at this node.
+			if *endp == nil {
+				lf := &leaf[V]{key: key}
+				*endp = lf
+				t.size++
+				return &lf.val
+			}
+			return &(*endp).val
+		}
+		b := key[depth]
+		child := t.findChild(*slot, b)
+		if child == nil {
+			lf := &leaf[V]{key: key}
+			*slot = t.addChild(*slot, b, lf)
+			t.size++
+			return &lf.val
+		}
+		slot = child
+		depth++
+	}
+}
+
+// attach links lf under nn: as end-of-key leaf if its key ends at cp, else
+// as a byte child. nn must have room (fresh node4).
+func (t *Tree[V]) attach(nn *node4[V], lf *leaf[V], cp int) {
+	if len(lf.key) == cp {
+		nn.end = lf
+		return
+	}
+	t.addChild(nn, lf.key[cp], lf)
+}
+
+// Get returns a pointer to the value stored for key, or nil.
+func (t *Tree[V]) Get(key string) *V {
+	n := t.root
+	depth := 0
+	for n != nil {
+		if lf, ok := n.(*leaf[V]); ok {
+			if lf.key == key {
+				return &lf.val
+			}
+			return nil
+		}
+		prefix, endp, _ := t.nodeMeta(n)
+		p := *prefix
+		rem := key[depth:]
+		if len(rem) < len(p) || rem[:len(p)] != p {
+			return nil
+		}
+		depth += len(p)
+		if depth == len(key) {
+			if *endp != nil {
+				return &(*endp).val
+			}
+			return nil
+		}
+		child := t.findChild(n, key[depth])
+		if child == nil {
+			return nil
+		}
+		n = *child
+		depth++
+	}
+	return nil
+}
+
+// Iterate calls fn for every key/value pair in lexicographic order,
+// stopping early if fn returns false.
+func (t *Tree[V]) Iterate(fn func(key string, val *V) bool) {
+	t.iter(t.root, fn)
+}
+
+func (t *Tree[V]) iter(n any, fn func(string, *V) bool) bool {
+	switch n := n.(type) {
+	case nil:
+		return true
+	case *leaf[V]:
+		return fn(n.key, &n.val)
+	}
+	_, endp, _ := t.nodeMeta(n)
+	if *endp != nil {
+		if !fn((*endp).key, &(*endp).val) {
+			return false
+		}
+	}
+	switch n := n.(type) {
+	case *node4[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if !t.iter(n.children[i], fn) {
+				return false
+			}
+		}
+	case *node16[V]:
+		for i := 0; i < n.numChildren; i++ {
+			if !t.iter(n.children[i], fn) {
+				return false
+			}
+		}
+	case *node48[V]:
+		for b := 0; b < 256; b++ {
+			if idx := n.index[b]; idx != 0 {
+				if !t.iter(n.children[idx-1], fn) {
+					return false
+				}
+			}
+		}
+	case *node256[V]:
+		for b := 0; b < 256; b++ {
+			if n.children[b] != nil {
+				if !t.iter(n.children[b], fn) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// PrefixIterate calls fn for every pair whose key starts with prefix, in
+// lexicographic order — the string analog of the integer trees' range
+// query (Q7 over a key prefix).
+func (t *Tree[V]) PrefixIterate(prefix string, fn func(key string, val *V) bool) {
+	n := t.root
+	depth := 0
+	for n != nil {
+		if lf, ok := n.(*leaf[V]); ok {
+			if len(lf.key) >= len(prefix) && lf.key[:len(prefix)] == prefix {
+				fn(lf.key, &lf.val)
+			}
+			return
+		}
+		np, _, _ := t.nodeMeta(n)
+		p := *np
+		rem := prefix[depth:]
+		if len(rem) <= len(p) {
+			// The whole subtree matches iff the node path extends rem.
+			if p[:len(rem)] == rem {
+				t.iter(n, fn)
+			}
+			return
+		}
+		if rem[:len(p)] != p {
+			return
+		}
+		depth += len(p)
+		child := t.findChild(n, prefix[depth])
+		if child == nil {
+			return
+		}
+		n = *child
+		depth++
+	}
+}

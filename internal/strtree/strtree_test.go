@@ -1,0 +1,348 @@
+package strtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+func words(n int, seed uint64) []string {
+	rng := dataset.NewRNG(seed)
+	letters := "abcdef"
+	out := make([]string, n)
+	for i := range out {
+		l := int(rng.Uint64n(10))
+		var b strings.Builder
+		for j := 0; j < l; j++ {
+			b.WriteByte(letters[rng.Uint64n(uint64(len(letters)))])
+		}
+		out[i] = b.String() // small alphabet: many shared prefixes + dups
+	}
+	return out
+}
+
+func TestUpsertGetBasic(t *testing.T) {
+	tr := New[int]()
+	keys := []string{"apple", "app", "application", "banana", "", "apply", "b"}
+	for i, k := range keys {
+		*tr.Upsert(k) = i
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(keys))
+	}
+	for i, k := range keys {
+		v := tr.Get(k)
+		if v == nil || *v != i {
+			t.Fatalf("Get(%q) wrong", k)
+		}
+	}
+	for _, absent := range []string{"ap", "appl", "applez", "c", "bananaa"} {
+		if tr.Get(absent) != nil {
+			t.Fatalf("found absent key %q", absent)
+		}
+	}
+}
+
+func TestPrefixOfEachOther(t *testing.T) {
+	// The defining variable-length-key hazard: every key a prefix of the
+	// next.
+	tr := New[uint64]()
+	chain := []string{"", "a", "aa", "aaa", "aaaa", "aaaaa"}
+	for _, k := range chain {
+		*tr.Upsert(k)++
+	}
+	for _, k := range chain {
+		if v := tr.Get(k); v == nil || *v != 1 {
+			t.Fatalf("chain key %q wrong", k)
+		}
+	}
+	var got []string
+	tr.Iterate(func(k string, _ *uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.StringsAreSorted(got) || len(got) != len(chain) {
+		t.Fatalf("chain iteration = %q", got)
+	}
+}
+
+func TestIterateLexicographic(t *testing.T) {
+	tr := New[uint64]()
+	ws := words(30000, 7)
+	uniq := map[string]uint64{}
+	for _, w := range ws {
+		*tr.Upsert(w)++
+		uniq[w]++
+	}
+	if tr.Len() != len(uniq) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(uniq))
+	}
+	var got []string
+	tr.Iterate(func(k string, v *uint64) bool {
+		if uniq[k] != *v {
+			t.Fatalf("count for %q = %d want %d", k, *v, uniq[k])
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(uniq) {
+		t.Fatalf("iterated %d keys want %d", len(got), len(uniq))
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("iteration not lexicographic")
+	}
+}
+
+func TestBinaryKeys(t *testing.T) {
+	tr := New[int]()
+	keys := []string{"\x00", "\x00\x00", "\xff", "\xff\xfe", "a\x00b", "a"}
+	for i, k := range keys {
+		*tr.Upsert(k) = i
+	}
+	for i, k := range keys {
+		if v := tr.Get(k); v == nil || *v != i {
+			t.Fatalf("binary key %q wrong", k)
+		}
+	}
+}
+
+func TestNodeGrowthThrough256(t *testing.T) {
+	tr := New[int]()
+	// 256 distinct first bytes under a shared prefix.
+	for b := 0; b < 256; b++ {
+		*tr.Upsert("p" + string(byte(b))) = b
+	}
+	for b := 0; b < 256; b++ {
+		v := tr.Get("p" + string(byte(b)))
+		if v == nil || *v != b {
+			t.Fatalf("byte child %d lost", b)
+		}
+	}
+	var got []string
+	tr.Iterate(func(k string, _ *int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 256 || !sort.StringsAreSorted(got) {
+		t.Fatal("node256 iteration broken")
+	}
+}
+
+func TestPrefixIterate(t *testing.T) {
+	tr := New[uint64]()
+	data := []string{"car", "cart", "carbon", "cat", "dog", "", "c", "carbonara"}
+	for _, k := range data {
+		*tr.Upsert(k)++
+	}
+	collect := func(p string) []string {
+		var out []string
+		tr.PrefixIterate(p, func(k string, _ *uint64) bool {
+			out = append(out, k)
+			return true
+		})
+		return out
+	}
+	want := func(p string) []string {
+		var out []string
+		for _, k := range data {
+			if strings.HasPrefix(k, p) {
+				out = append(out, k)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, p := range []string{"", "c", "car", "carb", "carbonara", "dog", "x", "carbonaraz"} {
+		got := collect(p)
+		w := want(p)
+		if fmt.Sprint(got) != fmt.Sprint(w) {
+			t.Fatalf("PrefixIterate(%q) = %v want %v", p, got, w)
+		}
+	}
+}
+
+func TestPointerStability(t *testing.T) {
+	tr := New[uint64]()
+	p := tr.Upsert("stable")
+	*p = 5
+	for _, w := range words(10000, 9) {
+		tr.Upsert(w)
+	}
+	*p++
+	if *tr.Get("stable") != 6 {
+		t.Fatal("leaf pointer invalidated")
+	}
+}
+
+func TestQuickPropertyMatchesModel(t *testing.T) {
+	f := func(keys []string) bool {
+		tr := New[uint64]()
+		model := map[string]uint64{}
+		for _, k := range keys {
+			*tr.Upsert(k)++
+			model[k]++
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		ok := true
+		prev := ""
+		first := true
+		tr.Iterate(func(k string, v *uint64) bool {
+			if model[k] != *v || (!first && k <= prev) {
+				ok = false
+			}
+			prev, first = k, false
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixIterateMatchesFilter(t *testing.T) {
+	f := func(keys []string, prefix string) bool {
+		if len(prefix) > 3 {
+			prefix = prefix[:3]
+		}
+		tr := New[struct{}]()
+		uniq := map[string]bool{}
+		for _, k := range keys {
+			tr.Upsert(k)
+			uniq[k] = true
+		}
+		want := 0
+		for k := range uniq {
+			if strings.HasPrefix(k, prefix) {
+				want++
+			}
+		}
+		got := 0
+		tr.PrefixIterate(prefix, func(k string, _ *struct{}) bool {
+			if !strings.HasPrefix(k, prefix) {
+				return false
+			}
+			got++
+			return true
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New[int]()
+	keys := []string{"apple", "app", "application", "banana", "", "apply", "b"}
+	for i, k := range keys {
+		*tr.Upsert(k) = i
+	}
+	for i, k := range keys {
+		if i%2 == 0 {
+			if !tr.Delete(k) {
+				t.Fatalf("Delete(%q) reported absent", k)
+			}
+		}
+	}
+	if tr.Delete("nope") || tr.Delete("apple") {
+		t.Fatal("deleted absent key")
+	}
+	for i, k := range keys {
+		want := i%2 == 1
+		if got := tr.Get(k) != nil; got != want {
+			t.Fatalf("Get(%q)=%v want %v", k, got, want)
+		}
+	}
+}
+
+func TestDeleteAllEmptiesTree(t *testing.T) {
+	tr := New[uint64]()
+	ws := words(20000, 13)
+	uniq := map[string]bool{}
+	for _, w := range ws {
+		tr.Upsert(w)
+		uniq[w] = true
+	}
+	for w := range uniq {
+		if !tr.Delete(w) {
+			t.Fatalf("Delete(%q) failed", w)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatal("tree not empty")
+	}
+}
+
+func TestDeletePrefixChain(t *testing.T) {
+	tr := New[uint64]()
+	chain := []string{"", "a", "aa", "aaa", "aaaa"}
+	for _, k := range chain {
+		tr.Upsert(k)
+	}
+	// Remove the middle links; ends must survive with prefixes re-merged.
+	tr.Delete("a")
+	tr.Delete("aaa")
+	for _, k := range []string{"", "aa", "aaaa"} {
+		if tr.Get(k) == nil {
+			t.Fatalf("survivor %q lost", k)
+		}
+	}
+	for _, k := range []string{"a", "aaa"} {
+		if tr.Get(k) != nil {
+			t.Fatalf("deleted %q still present", k)
+		}
+	}
+	var got []string
+	tr.Iterate(func(k string, _ *uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || !sort.StringsAreSorted(got) {
+		t.Fatalf("iteration after chain deletes = %q", got)
+	}
+}
+
+func TestQuickDeleteMatchesModel(t *testing.T) {
+	f := func(ops []string, dels []uint8) bool {
+		tr := New[uint64]()
+		model := map[string]uint64{}
+		for _, k := range ops {
+			if len(k) > 5 {
+				k = k[:5]
+			}
+			*tr.Upsert(k)++
+			model[k]++
+		}
+		di := 0
+		for k := range model {
+			if di < len(dels) && dels[di]%2 == 0 {
+				delete(model, k)
+				if !tr.Delete(k) {
+					return false
+				}
+			}
+			di++
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		ok := true
+		tr.Iterate(func(k string, v *uint64) bool {
+			if model[k] != *v {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

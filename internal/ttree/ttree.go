@@ -1,0 +1,309 @@
+// Package ttree implements the T-tree of Lehman and Carey (1986) — the
+// paper's Ttree. A T-tree is an AVL-balanced binary tree whose nodes each
+// hold a sorted array of entries, proposed as a main-memory replacement for
+// the disk-oriented B-tree.
+//
+// The paper's microbenchmark (Figure 3, Section 3.4) finds the T-tree
+// uncompetitive on modern processors — binary branching plus per-node
+// arrays give it the cache behaviour of a binary tree without the fanout of
+// a B+tree — and drops it from the main experiments. It is implemented
+// here so that result is reproducible, not because you should use it.
+package ttree
+
+// nodeCap is the entry capacity per node. Lehman and Carey used tens of
+// entries per node; 32 matches our B+tree leaf size for a fair comparison.
+const nodeCap = 32
+
+type node[V any] struct {
+	left, right *node[V]
+	height      int
+	n           int
+	keys        [nodeCap]uint64
+	vals        [nodeCap]V
+}
+
+// Tree is a T-tree map from uint64 to V.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] { return &Tree[V]{} }
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Height returns the height of the underlying AVL structure.
+func (t *Tree[V]) Height() int { return height(t.root) }
+
+func height[V any](nd *node[V]) int {
+	if nd == nil {
+		return 0
+	}
+	return nd.height
+}
+
+// search returns the index of the first key in nd >= key.
+func (nd *node[V]) search(key uint64) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns a pointer to the value stored for key, or nil. The classic
+// T-tree search: descend by comparing against each node's bounding
+// [min, max] interval, then binary search inside the bounding node.
+func (t *Tree[V]) Get(key uint64) *V {
+	nd := t.root
+	for nd != nil {
+		switch {
+		case key < nd.keys[0]:
+			nd = nd.left
+		case key > nd.keys[nd.n-1]:
+			nd = nd.right
+		default:
+			i := nd.search(key)
+			if i < nd.n && nd.keys[i] == key {
+				return &nd.vals[i]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// Upsert ensures key is present (inserting a zero value if absent) and
+// returns a pointer to its value. The pointer is valid until the next
+// mutating call: inserts shift entries within nodes and may displace
+// minimums into other nodes.
+func (t *Tree[V]) Upsert(key uint64) *V {
+	var inserted bool
+	t.root, inserted = t.insert(t.root, key)
+	if inserted {
+		t.size++
+	}
+	return t.Get(key)
+}
+
+// insert ensures key exists under nd, returning the new subtree root and
+// whether a new entry was created.
+func (t *Tree[V]) insert(nd *node[V], key uint64) (*node[V], bool) {
+	if nd == nil {
+		n := &node[V]{height: 1, n: 1}
+		n.keys[0] = key
+		return n, true
+	}
+	switch {
+	case key < nd.keys[0]:
+		// Not bounded here. If there is room and no left subtree, this node
+		// is the greatest lower bound leaf: absorb the key.
+		if nd.left == nil && nd.n < nodeCap {
+			nd.insertAt(0, key)
+			return nd, true
+		}
+		var ins bool
+		nd.left, ins = t.insert(nd.left, key)
+		return rebalance(nd), ins
+
+	case key > nd.keys[nd.n-1]:
+		if nd.right == nil && nd.n < nodeCap {
+			nd.insertAt(nd.n, key)
+			return nd, true
+		}
+		var ins bool
+		nd.right, ins = t.insert(nd.right, key)
+		return rebalance(nd), ins
+
+	default:
+		// Bounding node.
+		i := nd.search(key)
+		if i < nd.n && nd.keys[i] == key {
+			return nd, false
+		}
+		if nd.n < nodeCap {
+			nd.insertAt(i, key)
+			return nd, true
+		}
+		// Full: displace the minimum into the left subtree, making room.
+		minKey, minVal := nd.keys[0], nd.vals[0]
+		copy(nd.keys[:nd.n-1], nd.keys[1:nd.n])
+		copy(nd.vals[:nd.n-1], nd.vals[1:nd.n])
+		nd.n--
+		nd.insertAt(i-1, key) // i >= 1 because key > old keys[0]
+		var grew bool
+		nd.left, grew = t.insertEntry(nd.left, minKey, minVal)
+		_ = grew
+		return rebalance(nd), true
+	}
+}
+
+// insertEntry inserts an existing key/value pair (displaced minimum) into
+// the subtree rooted at nd. The key is strictly smaller than every key in
+// the ancestor node, so it becomes a new maximum along the right spine.
+func (t *Tree[V]) insertEntry(nd *node[V], key uint64, val V) (*node[V], bool) {
+	if nd == nil {
+		n := &node[V]{height: 1, n: 1}
+		n.keys[0] = key
+		n.vals[0] = val
+		return n, true
+	}
+	if key > nd.keys[nd.n-1] {
+		if nd.right == nil && nd.n < nodeCap {
+			nd.insertAt(nd.n, key)
+			nd.vals[nd.n-1] = val
+			return nd, true
+		}
+		var grew bool
+		nd.right, grew = t.insertEntry(nd.right, key, val)
+		return rebalance(nd), grew
+	}
+	if key < nd.keys[0] {
+		// Defensive: a displaced minimum is strictly greater than every key
+		// of the subtree it is pushed into, so this branch should be
+		// unreachable; handle it anyway to keep the structure sound.
+		if nd.left == nil && nd.n < nodeCap {
+			nd.insertAt(0, key)
+			nd.vals[0] = val
+			return nd, true
+		}
+		var grew bool
+		nd.left, grew = t.insertEntry(nd.left, key, val)
+		return rebalance(nd), grew
+	}
+	// The displaced minimum can equal nothing below (keys are unique and it
+	// came from above all of them), so reaching here means it bounds into
+	// this node; insert in place, possibly cascading another displacement.
+	i := nd.search(key)
+	if nd.n < nodeCap {
+		nd.insertAt(i, key)
+		nd.vals[i] = val
+		return nd, true
+	}
+	minKey, minVal := nd.keys[0], nd.vals[0]
+	copy(nd.keys[:nd.n-1], nd.keys[1:nd.n])
+	copy(nd.vals[:nd.n-1], nd.vals[1:nd.n])
+	nd.n--
+	nd.insertAt(i-1, key)
+	nd.vals[i-1] = val
+	var grew bool
+	nd.left, grew = t.insertEntry(nd.left, minKey, minVal)
+	return rebalance(nd), grew
+}
+
+// insertAt shifts entries right and writes key at index i with a zero
+// value.
+func (nd *node[V]) insertAt(i int, key uint64) {
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	copy(nd.vals[i+1:nd.n+1], nd.vals[i:nd.n])
+	nd.keys[i] = key
+	var zero V
+	nd.vals[i] = zero
+	nd.n++
+}
+
+// --- AVL rebalancing ---------------------------------------------------------
+
+func rebalance[V any](nd *node[V]) *node[V] {
+	nd.fixHeight()
+	switch bf := height(nd.left) - height(nd.right); {
+	case bf > 1:
+		if height(nd.left.left) < height(nd.left.right) {
+			nd.left = rotateLeft(nd.left)
+		}
+		return rotateRight(nd)
+	case bf < -1:
+		if height(nd.right.right) < height(nd.right.left) {
+			nd.right = rotateRight(nd.right)
+		}
+		return rotateLeft(nd)
+	}
+	return nd
+}
+
+func (nd *node[V]) fixHeight() {
+	l, r := height(nd.left), height(nd.right)
+	if l > r {
+		nd.height = l + 1
+	} else {
+		nd.height = r + 1
+	}
+}
+
+func rotateRight[V any](nd *node[V]) *node[V] {
+	l := nd.left
+	nd.left = l.right
+	l.right = nd
+	nd.fixHeight()
+	l.fixHeight()
+	return l
+}
+
+func rotateLeft[V any](nd *node[V]) *node[V] {
+	r := nd.right
+	nd.right = r.left
+	r.left = nd
+	nd.fixHeight()
+	r.fixHeight()
+	return r
+}
+
+// Iterate calls fn for every key/value pair in ascending key order,
+// stopping early if fn returns false.
+func (t *Tree[V]) Iterate(fn func(key uint64, val *V) bool) {
+	iter(t.root, fn)
+}
+
+func iter[V any](nd *node[V], fn func(uint64, *V) bool) bool {
+	if nd == nil {
+		return true
+	}
+	if !iter(nd.left, fn) {
+		return false
+	}
+	for i := 0; i < nd.n; i++ {
+		if !fn(nd.keys[i], &nd.vals[i]) {
+			return false
+		}
+	}
+	return iter(nd.right, fn)
+}
+
+// Range calls fn for every pair with lo <= key <= hi in ascending order.
+func (t *Tree[V]) Range(lo, hi uint64, fn func(key uint64, val *V) bool) {
+	rangeIter(t.root, lo, hi, fn)
+}
+
+func rangeIter[V any](nd *node[V], lo, hi uint64, fn func(uint64, *V) bool) bool {
+	if nd == nil {
+		return true
+	}
+	if lo < nd.keys[0] {
+		if !rangeIter(nd.left, lo, hi, fn) {
+			return false
+		}
+	}
+	for i := 0; i < nd.n; i++ {
+		k := nd.keys[i]
+		if k < lo {
+			continue
+		}
+		if k > hi {
+			return false
+		}
+		if !fn(k, &nd.vals[i]) {
+			return false
+		}
+	}
+	if hi > nd.keys[nd.n-1] {
+		return rangeIter(nd.right, lo, hi, fn)
+	}
+	return true
+}

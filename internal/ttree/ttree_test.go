@@ -1,0 +1,190 @@
+package ttree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"memagg/internal/dataset"
+)
+
+// checkInvariants verifies AVL balance, node key ordering, subtree bounds,
+// and that size matches the entry count.
+func checkInvariants[V any](t *testing.T, tr *Tree[V]) {
+	t.Helper()
+	count := 0
+	var walk func(nd *node[V], lo, hi uint64, hasLo, hasHi bool) int
+	walk = func(nd *node[V], lo, hi uint64, hasLo, hasHi bool) int {
+		if nd == nil {
+			return 0
+		}
+		if nd.n < 1 {
+			t.Fatal("empty node in tree")
+		}
+		for i := 1; i < nd.n; i++ {
+			if nd.keys[i-1] >= nd.keys[i] {
+				t.Fatal("node keys out of order")
+			}
+		}
+		if hasLo && nd.keys[0] <= lo {
+			t.Fatalf("node min %d violates lower bound %d", nd.keys[0], lo)
+		}
+		if hasHi && nd.keys[nd.n-1] >= hi {
+			t.Fatalf("node max %d violates upper bound %d", nd.keys[nd.n-1], hi)
+		}
+		count += nd.n
+		lh := walk(nd.left, lo, nd.keys[0], hasLo, true)
+		rh := walk(nd.right, nd.keys[nd.n-1], hi, true, hasHi)
+		if nd.height != 1+max(lh, rh) {
+			t.Fatalf("stale height %d (want %d)", nd.height, 1+max(lh, rh))
+		}
+		if lh-rh > 1 || rh-lh > 1 {
+			t.Fatalf("AVL imbalance: lh=%d rh=%d", lh, rh)
+		}
+		return nd.height
+	}
+	walk(tr.root, 0, 0, false, false)
+	if count != tr.size {
+		t.Fatalf("size %d but %d entries", tr.size, count)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestUpsertGetSequential(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(1); k <= 5000; k++ {
+		*tr.Upsert(k) = k + 7
+	}
+	checkInvariants(t, tr)
+	for k := uint64(1); k <= 5000; k++ {
+		v := tr.Get(k)
+		if v == nil || *v != k+7 {
+			t.Fatalf("Get(%d) wrong", k)
+		}
+	}
+	if tr.Get(0) != nil || tr.Get(5001) != nil {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestUpsertRandomWithDuplicates(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Spec{Kind: dataset.HhitShf, N: 30000, Cardinality: 2000, Seed: 2}.Keys()
+	want := map[uint64]uint64{}
+	for _, k := range keys {
+		*tr.Upsert(k)++
+		want[k]++
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != len(want) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(want))
+	}
+	for k, c := range want {
+		v := tr.Get(k)
+		if v == nil || *v != c {
+			t.Fatalf("key %d wrong", k)
+		}
+	}
+}
+
+func TestIterateSorted(t *testing.T) {
+	tr := New[uint64]()
+	keys := dataset.Random(20000, 1, 1<<33, 8)
+	uniq := map[uint64]bool{}
+	for _, k := range keys {
+		tr.Upsert(k)
+		uniq[k] = true
+	}
+	var got []uint64
+	tr.Iterate(func(k uint64, _ *uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(uniq) {
+		t.Fatalf("iterated %d want %d", len(got), len(uniq))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("iteration not sorted")
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(1); k <= 500; k++ {
+		tr.Upsert(k)
+	}
+	n := 0
+	tr.Iterate(func(uint64, *uint64) bool { n++; return n < 9 })
+	if n != 9 {
+		t.Fatalf("visited %d want 9", n)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New[uint64]()
+	for k := uint64(0); k < 3000; k += 3 {
+		tr.Upsert(k)
+	}
+	var got []uint64
+	tr.Range(100, 200, func(k uint64, _ *uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []uint64
+	for k := uint64(102); k <= 198; k += 3 {
+		want = append(want, k)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("range[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBalancedHeight(t *testing.T) {
+	tr := New[struct{}]()
+	const n = 200000
+	for k := uint64(0); k < n; k++ { // adversarial ascending insert
+		tr.Upsert(k)
+	}
+	checkInvariants(t, tr)
+	// ~n/nodeCap nodes in an AVL tree: height <= 1.45*log2(nodes)+2.
+	if tr.Height() > 22 {
+		t.Fatalf("height %d too tall (rotation bug?)", tr.Height())
+	}
+}
+
+func TestQuickPropertyMatchesModel(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tr := New[uint64]()
+		model := map[uint64]uint64{}
+		for _, kr := range keys {
+			k := uint64(kr % 512)
+			*tr.Upsert(k)++
+			model[k]++
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		ok := true
+		tr.Iterate(func(k uint64, v *uint64) bool {
+			if model[k] != *v {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package xsort
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// bytesToKeys decodes the fuzz input into uint64 keys.
+func bytesToKeys(data []byte) []uint64 {
+	keys := make([]uint64, 0, len(data)/8+1)
+	for len(data) >= 8 {
+		keys = append(keys, binary.LittleEndian.Uint64(data))
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		var tail [8]byte
+		copy(tail[:], data)
+		keys = append(keys, binary.LittleEndian.Uint64(tail[:]))
+	}
+	return keys
+}
+
+// FuzzSortsAgree checks every serial sort against the standard library on
+// arbitrary byte-derived inputs.
+func FuzzSortsAgree(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		keys := bytesToKeys(data)
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, s := range []struct {
+			name string
+			fn   func([]uint64)
+		}{
+			{"Quicksort", Quicksort},
+			{"Introsort", Introsort},
+			{"RadixSortLSB", RadixSortLSB},
+			{"RadixSortMSB", RadixSortMSB},
+			{"Spreadsort", Spreadsort},
+		} {
+			got := append([]uint64(nil), keys...)
+			s.fn(got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: mismatch at %d", s.name, i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParallelSortsAgree checks the parallel sorts with a thread count
+// derived from the input.
+func FuzzParallelSortsAgree(f *testing.F) {
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, praw uint8) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		p := int(praw)%8 + 1
+		keys := bytesToKeys(data)
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, s := range []struct {
+			name string
+			fn   func([]uint64, int)
+		}{
+			{"SortBI", SortBI},
+			{"SortQSLB", SortQSLB},
+			{"SortTBB", SortTBB},
+			{"SortSS", SortSS},
+		} {
+			got := append([]uint64(nil), keys...)
+			s.fn(got, p)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s(p=%d): mismatch at %d", s.name, p, i)
+				}
+			}
+		}
+	})
+}

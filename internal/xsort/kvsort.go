@@ -1,0 +1,202 @@
+package xsort
+
+import "math/bits"
+
+// Key-value variants of the hybrid sorts. These mirror the uint64 versions
+// but move 16-byte records, ordering by K only (V is carried along). The
+// sort is not stable; aggregation does not require stability because group
+// values are order-insensitive for the paper's aggregate functions.
+
+// InsertionSortKV sorts records by key in O(n^2).
+func InsertionSortKV(a []KV) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j].K > v.K {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// HeapsortKV sorts records by key in O(n log n) worst case.
+func HeapsortKV(a []KV) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownKV(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownKV(a, 0, end)
+	}
+}
+
+func siftDownKV(a []KV, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1].K > a[child].K {
+			child++
+		}
+		if a[root].K >= a[child].K {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+func medianOfThreeKV(a []KV, lo, mid, hi int) uint64 {
+	if a[mid].K < a[lo].K {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi].K < a[mid].K {
+		a[hi], a[mid] = a[mid], a[hi]
+		if a[mid].K < a[lo].K {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+	}
+	return a[mid].K
+}
+
+func hoarePartitionKV(a []KV, p uint64) int {
+	i, j := -1, len(a)
+	for {
+		for {
+			i++
+			if a[i].K >= p {
+				break
+			}
+		}
+		for {
+			j--
+			if a[j].K <= p {
+				break
+			}
+		}
+		if i >= j {
+			return j + 1
+		}
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// QuicksortKV sorts records by key with median-of-three quicksort.
+func QuicksortKV(a []KV) {
+	for len(a) > insertionCutoff {
+		p := medianOfThreeKV(a, 0, len(a)/2, len(a)-1)
+		s := hoarePartitionKV(a, p)
+		if s < len(a)-s {
+			QuicksortKV(a[:s])
+			a = a[s:]
+		} else {
+			QuicksortKV(a[s:])
+			a = a[:s]
+		}
+	}
+	InsertionSortKV(a)
+}
+
+// IntrosortKV sorts records by key with the std::sort strategy (quicksort,
+// heapsort fallback at depth 2*log2(n), insertion sort leaves).
+func IntrosortKV(a []KV) {
+	introLoopKV(a, 2*log2(len(a)))
+}
+
+func introLoopKV(a []KV, depth int) {
+	for len(a) > insertionCutoff {
+		if depth == 0 {
+			HeapsortKV(a)
+			return
+		}
+		depth--
+		p := medianOfThreeKV(a, 0, len(a)/2, len(a)-1)
+		s := hoarePartitionKV(a, p)
+		if s < len(a)-s {
+			introLoopKV(a[:s], depth)
+			a = a[s:]
+		} else {
+			introLoopKV(a[s:], depth)
+			a = a[:s]
+		}
+	}
+	InsertionSortKV(a)
+}
+
+// SpreadsortKV sorts records by key with the Boost spreadsort strategy.
+func SpreadsortKV(a []KV) {
+	spreadRecKV(a)
+}
+
+func spreadRecKV(a []KV) {
+	if len(a) <= spreadCutoff {
+		IntrosortKV(a)
+		return
+	}
+	min, max := a[0].K, a[0].K
+	for _, v := range a[1:] {
+		if v.K < min {
+			min = v.K
+		}
+		if v.K > max {
+			max = v.K
+		}
+	}
+	if min == max {
+		return
+	}
+	logRange := bits.Len64(max - min)
+	logDivisor := logRange - spreadMaxSplits
+	if logDivisor < 0 {
+		logDivisor = 0
+	}
+	nBins := int((max-min)>>uint(logDivisor)) + 1
+	starts := make([]int, nBins+1)
+	counts := make([]int, nBins)
+	for _, v := range a {
+		counts[(v.K-min)>>uint(logDivisor)]++
+	}
+	sum := 0
+	for b := 0; b < nBins; b++ {
+		starts[b] = sum
+		sum += counts[b]
+	}
+	starts[nBins] = sum
+	pos := make([]int, nBins)
+	copy(pos, starts[:nBins])
+	for b := 0; b < nBins; b++ {
+		binEnd := starts[b+1]
+		for pos[b] < binEnd {
+			v := a[pos[b]]
+			bv := int((v.K - min) >> uint(logDivisor))
+			for bv != b {
+				a[pos[bv]], v = v, a[pos[bv]]
+				pos[bv]++
+				bv = int((v.K - min) >> uint(logDivisor))
+			}
+			a[pos[b]] = v
+			pos[b]++
+		}
+	}
+	if logDivisor == 0 {
+		return
+	}
+	for b := 0; b < nBins; b++ {
+		if bin := a[starts[b]:starts[b+1]]; len(bin) > 1 {
+			spreadRecKV(bin)
+		}
+	}
+}
+
+// IsSortedKV reports whether a is ascending by key.
+func IsSortedKV(a []KV) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i].K < a[i-1].K {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,338 @@
+package xsort
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The four parallel sorting algorithms from the paper's multithreaded study
+// (Section 5.8, Figure 10), reimplemented with goroutines:
+//
+//   - SortBI   — Boost block_indirect_sort analog: sort blocks in parallel,
+//     then parallel pairwise merging.
+//   - SortQSLB — GCC parallel-mode quicksort with load balancing: a shared
+//     work pool that idle threads steal partitions from.
+//   - SortTBB  — TBB parallel_sort analog: fork/join quicksort that spawns
+//     a task per partition while worker tokens are available.
+//   - SortSS   — Boost sample_sort analog: splitter-based bucket partition,
+//     buckets sorted in parallel.
+//
+// Every function takes a thread count p; p <= 0 means GOMAXPROCS. With
+// p == 1 all of them degrade to serial Introsort, which keeps the Figure 10
+// single-thread baselines meaningful.
+
+// parallelMinSize is the input size below which the parallel algorithms fall
+// back to serial sorting (thread startup would dominate).
+const parallelMinSize = 4096
+
+func resolveP(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// chunkBounds splits n items into p contiguous chunks of near-equal size and
+// returns the p+1 chunk boundaries.
+func chunkBounds(n, p int) []int {
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = n * i / p
+	}
+	return bounds
+}
+
+// parallelDo runs f(0)..f(p-1) on p goroutines and waits for all of them.
+func parallelDo(p int, f func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- SortBI: parallel block sort + merge ------------------------------------
+
+// SortBI sorts a ascending using p threads: the input is cut into p blocks,
+// each block is introsorted concurrently, and adjacent sorted runs are then
+// merged pairwise in parallel (ping-ponging through one O(n) buffer) until a
+// single run remains.
+func SortBI(a []uint64, p int) {
+	p = resolveP(p)
+	if p <= 1 || len(a) < parallelMinSize {
+		Introsort(a)
+		return
+	}
+	bounds := chunkBounds(len(a), p)
+	parallelDo(p, func(i int) { Introsort(a[bounds[i]:bounds[i+1]]) })
+	mergeRuns(a, bounds)
+}
+
+// mergeRuns repeatedly merges adjacent sorted runs delimited by bounds until
+// a holds one sorted run. Merges within a round run concurrently.
+func mergeRuns(a []uint64, bounds []int) {
+	buf := make([]uint64, len(a))
+	src, dst := a, buf
+	for len(bounds) > 2 {
+		newBounds := make([]int, 1, len(bounds)/2+2)
+		var wg sync.WaitGroup
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			wg.Add(1)
+			go func(lo, mid, hi int) {
+				defer wg.Done()
+				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+			newBounds = append(newBounds, hi)
+		}
+		if i+1 < len(bounds) { // odd run out: copy through
+			lo, hi := bounds[i], bounds[i+1]
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				copy(dst[lo:hi], src[lo:hi])
+			}(lo, hi)
+			newBounds = append(newBounds, hi)
+		}
+		wg.Wait()
+		bounds = newBounds
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// mergeInto merges sorted runs x and y into dst. len(dst) == len(x)+len(y).
+func mergeInto(dst, x, y []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			dst[k] = x[i]
+			i++
+		} else {
+			dst[k] = y[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], x[i:])
+	copy(dst[k+len(x)-i:], y[j:])
+}
+
+// --- SortQSLB: load-balanced parallel quicksort ------------------------------
+
+// qsPool is a mutex-protected LIFO of pending partitions plus termination
+// accounting: pending counts partitions that are queued or being processed,
+// so workers can distinguish "temporarily empty" from "all work done".
+type qsPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stack   [][]uint64
+	pending int
+}
+
+func newQSPool(first []uint64) *qsPool {
+	p := &qsPool{stack: [][]uint64{first}, pending: 1}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push adds a new partition to the pool.
+func (q *qsPool) push(span []uint64) {
+	q.mu.Lock()
+	q.stack = append(q.stack, span)
+	q.pending++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop removes a partition, blocking while the pool is empty but work is
+// still in flight. ok is false when all work has completed.
+func (q *qsPool) pop() (span []uint64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.stack) == 0 {
+		if q.pending == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	span = q.stack[len(q.stack)-1]
+	q.stack = q.stack[:len(q.stack)-1]
+	return span, true
+}
+
+// done marks one popped partition fully processed.
+func (q *qsPool) done() {
+	q.mu.Lock()
+	q.pending--
+	finished := q.pending == 0
+	q.mu.Unlock()
+	if finished {
+		q.cond.Broadcast()
+	}
+}
+
+// qslbSerialCutoff is the partition size below which a QSLB worker sorts
+// serially instead of splitting further.
+const qslbSerialCutoff = 8192
+
+// SortQSLB sorts a ascending with a load-balanced parallel quicksort: p
+// workers share a pool of partitions; each worker repeatedly splits its
+// partition, donates one side to the pool, and keeps the other, so idle
+// workers always find work while any large partition exists.
+func SortQSLB(a []uint64, p int) {
+	p = resolveP(p)
+	if p <= 1 || len(a) < parallelMinSize {
+		Introsort(a)
+		return
+	}
+	pool := newQSPool(a)
+	parallelDo(p, func(int) {
+		for {
+			span, ok := pool.pop()
+			if !ok {
+				return
+			}
+			for len(span) > qslbSerialCutoff {
+				pv := medianOfThree(span, 0, len(span)/2, len(span)-1)
+				s := hoarePartition(span, pv)
+				if s < len(span)-s {
+					pool.push(span[s:])
+					span = span[:s]
+				} else {
+					pool.push(span[:s])
+					span = span[s:]
+				}
+			}
+			Introsort(span)
+			pool.done()
+		}
+	})
+}
+
+// --- SortTBB: fork/join task quicksort ---------------------------------------
+
+// tbbSerialCutoff mirrors TBB parallel_sort's grain size.
+const tbbSerialCutoff = 2048
+
+// SortTBB sorts a ascending with a fork/join quicksort: each partition step
+// spawns a goroutine for one side while worker tokens (p-1 of them) remain,
+// processing the other side itself; with no token available it recurses
+// serially. This is the TBB task-group structure: eager task creation, no
+// explicit load balancing.
+func SortTBB(a []uint64, p int) {
+	p = resolveP(p)
+	if p <= 1 || len(a) < parallelMinSize {
+		Introsort(a)
+		return
+	}
+	tokens := make(chan struct{}, p-1)
+	var wg sync.WaitGroup
+	var rec func(a []uint64)
+	rec = func(a []uint64) {
+		for len(a) > tbbSerialCutoff {
+			pv := medianOfThree(a, 0, len(a)/2, len(a)-1)
+			s := hoarePartition(a, pv)
+			left, right := a[:s], a[s:]
+			select {
+			case tokens <- struct{}{}:
+				wg.Add(1)
+				go func(span []uint64) {
+					defer wg.Done()
+					rec(span)
+					<-tokens
+				}(left)
+				a = right
+			default:
+				Introsort(left)
+				a = right
+			}
+		}
+		Introsort(a)
+	}
+	rec(a)
+	wg.Wait()
+}
+
+// --- SortSS: samplesort -------------------------------------------------------
+
+// ssOversample controls splitter quality: p*ssOversample keys are sampled to
+// choose p-1 splitters.
+const ssOversample = 32
+
+// SortSS sorts a ascending with samplesort: evenly spaced sample keys choose
+// p-1 splitters generalizing the quicksort pivot to p buckets; all records
+// are scattered to their bucket in parallel (two-pass count + place through
+// an O(n) buffer), and the buckets are sorted concurrently.
+func SortSS(a []uint64, p int) {
+	p = resolveP(p)
+	if p <= 1 || len(a) < parallelMinSize {
+		Introsort(a)
+		return
+	}
+	n := len(a)
+	// Choose splitters from an evenly spaced sample.
+	sampleSize := p * ssOversample
+	sample := make([]uint64, sampleSize)
+	for i := range sample {
+		sample[i] = a[n*i/sampleSize]
+	}
+	Introsort(sample)
+	splitters := make([]uint64, p-1)
+	for i := range splitters {
+		splitters[i] = sample[(i+1)*ssOversample-1]
+	}
+
+	bucketOf := func(v uint64) int {
+		return sort.Search(len(splitters), func(i int) bool { return v <= splitters[i] })
+	}
+
+	// Pass 1: per-worker, per-bucket counts.
+	bounds := chunkBounds(n, p)
+	counts := make([][]int, p)
+	parallelDo(p, func(w int) {
+		c := make([]int, p)
+		for _, v := range a[bounds[w]:bounds[w+1]] {
+			c[bucketOf(v)]++
+		}
+		counts[w] = c
+	})
+	// Global placement offsets: bucket-major, then worker.
+	offsets := make([][]int, p)
+	sum := 0
+	bucketStart := make([]int, p+1)
+	for b := 0; b < p; b++ {
+		bucketStart[b] = sum
+		for w := 0; w < p; w++ {
+			if offsets[w] == nil {
+				offsets[w] = make([]int, p)
+			}
+			offsets[w][b] = sum
+			sum += counts[w][b]
+		}
+	}
+	bucketStart[p] = n
+
+	// Pass 2: scatter into buf, then sort each bucket concurrently.
+	buf := make([]uint64, n)
+	parallelDo(p, func(w int) {
+		off := offsets[w]
+		for _, v := range a[bounds[w]:bounds[w+1]] {
+			b := bucketOf(v)
+			buf[off[b]] = v
+			off[b]++
+		}
+	})
+	parallelDo(p, func(b int) {
+		Introsort(buf[bucketStart[b]:bucketStart[b+1]])
+	})
+	copy(a, buf)
+}

@@ -1,0 +1,149 @@
+package xsort
+
+import "sync"
+
+// Key-value variants of the two parallel sorts selected by the paper for the
+// multithreaded aggregation operators (Sort_BI and Sort_QSLB). They power
+// the parallel sort-based Q3 operator, which must keep each record's value
+// attached to its key through the sort.
+
+// SortBIKV sorts records by key using p threads (block sort + parallel
+// pairwise merge, as SortBI).
+func SortBIKV(a []KV, p int) {
+	p = resolveP(p)
+	if p <= 1 || len(a) < parallelMinSize {
+		IntrosortKV(a)
+		return
+	}
+	bounds := chunkBounds(len(a), p)
+	parallelDo(p, func(i int) { IntrosortKV(a[bounds[i]:bounds[i+1]]) })
+	mergeRunsKV(a, bounds)
+}
+
+func mergeRunsKV(a []KV, bounds []int) {
+	buf := make([]KV, len(a))
+	src, dst := a, buf
+	for len(bounds) > 2 {
+		newBounds := make([]int, 1, len(bounds)/2+2)
+		var wg sync.WaitGroup
+		i := 0
+		for ; i+2 < len(bounds); i += 2 {
+			lo, mid, hi := bounds[i], bounds[i+1], bounds[i+2]
+			wg.Add(1)
+			go func(lo, mid, hi int) {
+				defer wg.Done()
+				mergeIntoKV(dst[lo:hi], src[lo:mid], src[mid:hi])
+			}(lo, mid, hi)
+			newBounds = append(newBounds, hi)
+		}
+		if i+1 < len(bounds) {
+			lo, hi := bounds[i], bounds[i+1]
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				copy(dst[lo:hi], src[lo:hi])
+			}(lo, hi)
+			newBounds = append(newBounds, hi)
+		}
+		wg.Wait()
+		bounds = newBounds
+		src, dst = dst, src
+	}
+	if len(a) > 0 && &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+func mergeIntoKV(dst, x, y []KV) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i].K <= y[j].K {
+			dst[k] = x[i]
+			i++
+		} else {
+			dst[k] = y[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], x[i:])
+	copy(dst[k+len(x)-i:], y[j:])
+}
+
+// kvPool mirrors qsPool for KV partitions.
+type kvPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stack   [][]KV
+	pending int
+}
+
+func newKVPool(first []KV) *kvPool {
+	p := &kvPool{stack: [][]KV{first}, pending: 1}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (q *kvPool) push(span []KV) {
+	q.mu.Lock()
+	q.stack = append(q.stack, span)
+	q.pending++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *kvPool) pop() (span []KV, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.stack) == 0 {
+		if q.pending == 0 {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	span = q.stack[len(q.stack)-1]
+	q.stack = q.stack[:len(q.stack)-1]
+	return span, true
+}
+
+func (q *kvPool) done() {
+	q.mu.Lock()
+	q.pending--
+	finished := q.pending == 0
+	q.mu.Unlock()
+	if finished {
+		q.cond.Broadcast()
+	}
+}
+
+// SortQSLBKV sorts records by key with the load-balanced parallel quicksort
+// (as SortQSLB).
+func SortQSLBKV(a []KV, p int) {
+	p = resolveP(p)
+	if p <= 1 || len(a) < parallelMinSize {
+		IntrosortKV(a)
+		return
+	}
+	pool := newKVPool(a)
+	parallelDo(p, func(int) {
+		for {
+			span, ok := pool.pop()
+			if !ok {
+				return
+			}
+			for len(span) > qslbSerialCutoff {
+				pv := medianOfThreeKV(span, 0, len(span)/2, len(span)-1)
+				s := hoarePartitionKV(span, pv)
+				if s < len(span)-s {
+					pool.push(span[s:])
+					span = span[:s]
+				} else {
+					pool.push(span[:s])
+					span = span[s:]
+				}
+			}
+			IntrosortKV(span)
+			pool.done()
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package xsort
+
+import "math/bits"
+
+// RadixSortLSB sorts a in place (using one O(n) scratch buffer) by least
+// significant byte first counting sort, one 8-bit digit per pass. Passes
+// above the highest set byte of the maximum key are skipped, as are passes
+// in which every key shares the same digit, so the cost is O(b*n) where b is
+// the number of distinct significant bytes.
+func RadixSortLSB(a []uint64) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	var max uint64
+	for _, v := range a {
+		if v > max {
+			max = v
+		}
+	}
+	passes := (bits.Len64(max) + 7) / 8
+	if passes == 0 {
+		return // all zeros
+	}
+	buf := make([]uint64, n)
+	src, dst := a, buf
+	flipped := false
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(8 * pass)
+		var count [256]int
+		for _, v := range src {
+			count[(v>>shift)&0xff]++
+		}
+		// Skip passes where all keys share the digit.
+		skip := false
+		for _, c := range count {
+			if c == n {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		sum := 0
+		for d := 0; d < 256; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := (v >> shift) & 0xff
+			dst[count[d]] = v
+			count[d]++
+		}
+		src, dst = dst, src
+		flipped = !flipped
+	}
+	if flipped {
+		copy(a, buf)
+	}
+}
+
+// RadixSortMSB sorts a in place by most significant byte first radix
+// partitioning (American-flag style in-place permutation), recursing into
+// each bucket and finishing small buckets with insertion sort.
+func RadixSortMSB(a []uint64) {
+	if len(a) < 2 {
+		return
+	}
+	var max uint64
+	for _, v := range a {
+		if v > max {
+			max = v
+		}
+	}
+	top := (bits.Len64(max) + 7) / 8 // number of significant bytes
+	if top == 0 {
+		return
+	}
+	msbSort(a, uint(8*(top-1)))
+}
+
+func msbSort(a []uint64, shift uint) {
+	if len(a) <= msbRadixCutoff {
+		InsertionSort(a)
+		return
+	}
+	var count [256]int
+	for _, v := range a {
+		count[(v>>shift)&0xff]++
+	}
+	var start, end [256]int
+	sum := 0
+	for d := 0; d < 256; d++ {
+		start[d] = sum
+		sum += count[d]
+		end[d] = sum
+	}
+	// American-flag permutation: walk each bucket's region, swapping
+	// out-of-place elements into their home bucket's next free slot.
+	pos := start
+	for d := 0; d < 256; d++ {
+		for pos[d] < end[d] {
+			v := a[pos[d]]
+			dv := int((v >> shift) & 0xff)
+			for dv != d {
+				a[pos[dv]], v = v, a[pos[dv]]
+				pos[dv]++
+				dv = int((v >> shift) & 0xff)
+			}
+			a[pos[d]] = v
+			pos[d]++
+		}
+	}
+	if shift == 0 {
+		return
+	}
+	for d := 0; d < 256; d++ {
+		if end[d]-start[d] > 1 {
+			msbSort(a[start[d]:end[d]], shift-8)
+		}
+	}
+}
+
+// Spreadsort sorts a in place following Boost spreadsort's strategy for
+// integers: MSB radix-style partitioning into at most 2^11 bins computed
+// from the live key range, recursing while partitions remain large and
+// switching to Introsort (comparison sorting) once a partition falls to or
+// below the cutoff. Uses O(#bins) scratch per recursion level.
+func Spreadsort(a []uint64) {
+	spreadRec(a)
+}
+
+func spreadRec(a []uint64) {
+	if len(a) <= spreadCutoff {
+		Introsort(a)
+		return
+	}
+	min, max := a[0], a[0]
+	for _, v := range a[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min == max {
+		return
+	}
+	logRange := bits.Len64(max - min)
+	logDivisor := logRange - spreadMaxSplits
+	if logDivisor < 0 {
+		logDivisor = 0
+	}
+	nBins := int((max-min)>>uint(logDivisor)) + 1
+	counts := make([]int, nBins)
+	for _, v := range a {
+		counts[(v-min)>>uint(logDivisor)]++
+	}
+	starts := make([]int, nBins+1)
+	sum := 0
+	for b := 0; b < nBins; b++ {
+		starts[b] = sum
+		sum += counts[b]
+	}
+	starts[nBins] = sum
+	// In-place American-flag permutation over the bins.
+	pos := make([]int, nBins)
+	copy(pos, starts[:nBins])
+	for b := 0; b < nBins; b++ {
+		binEnd := starts[b+1]
+		for pos[b] < binEnd {
+			v := a[pos[b]]
+			bv := int((v - min) >> uint(logDivisor))
+			for bv != b {
+				a[pos[bv]], v = v, a[pos[bv]]
+				pos[bv]++
+				bv = int((v - min) >> uint(logDivisor))
+			}
+			a[pos[b]] = v
+			pos[b]++
+		}
+	}
+	if logDivisor == 0 {
+		return // each bin holds a single key value
+	}
+	for b := 0; b < nBins; b++ {
+		if bin := a[starts[b]:starts[b+1]]; len(bin) > 1 {
+			spreadRec(bin)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package xsort implements the integer sorting algorithms evaluated by the
+// paper: Quicksort, Introsort (std::sort), LSB and MSB Radix Sort, and
+// Spreadsort (Boost), plus the four parallel algorithms from the
+// multithreaded study (Sort_BI, Sort_QSLB, Sort_TBB, Sort_SS).
+//
+// All algorithms sort ascending and in place (some use O(n) scratch, noted
+// per function). Key-value ("KV") variants sort records by key and carry the
+// value along; they back the sort-based vector aggregation operators, which
+// need each group's values contiguous after the sort.
+package xsort
+
+// KV is a key/value record. Sort-based aggregation sorts records by K so
+// that all values of one group become adjacent.
+type KV struct {
+	K, V uint64
+}
+
+// Thresholds, chosen to match the reference implementations' behaviour:
+// GCC's introsort switches to insertion sort below 16 elements; our radix
+// and spreadsort recursions hand small partitions to comparison sorting.
+const (
+	insertionCutoff = 16  // introsort/quicksort leaf size
+	msbRadixCutoff  = 64  // MSB radix → insertion sort
+	spreadCutoff    = 256 // spreadsort partition → introsort
+	spreadMaxSplits = 11  // Boost spreadsort default for 32/64-bit integers
+)
+
+// InsertionSort sorts a in place in O(n^2) time. Fast for tiny or nearly
+// sorted inputs; used as the leaf case of the hybrid sorts.
+func InsertionSort(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Heapsort sorts a in place in O(n log n) worst case. It is the fallback
+// introsort uses when quicksort recursion degenerates.
+func Heapsort(a []uint64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end)
+	}
+}
+
+func siftDown(a []uint64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// medianOfThree orders a[lo], a[mid], a[hi] and returns the median value.
+func medianOfThree(a []uint64, lo, mid, hi int) uint64 {
+	if a[mid] < a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+	}
+	return a[mid]
+}
+
+// hoarePartition partitions a around pivot p and returns the split index s
+// such that every element of a[:s] is <= p and every element of a[s:] is
+// >= p, with 0 < s < len(a) whenever len(a) >= 2 and p was chosen as a
+// median of elements of a.
+func hoarePartition(a []uint64, p uint64) int {
+	i, j := -1, len(a)
+	for {
+		for {
+			i++
+			if a[i] >= p {
+				break
+			}
+		}
+		for {
+			j--
+			if a[j] <= p {
+				break
+			}
+		}
+		if i >= j {
+			return j + 1
+		}
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// Quicksort sorts a in place using classic median-of-three quicksort with an
+// insertion-sort leaf case. Average O(n log n); the O(n^2) worst case is
+// retained deliberately (the paper contrasts it with Introsort's guarantee).
+func Quicksort(a []uint64) {
+	for len(a) > insertionCutoff {
+		p := medianOfThree(a, 0, len(a)/2, len(a)-1)
+		s := hoarePartition(a, p)
+		// Recurse into the smaller side, loop on the larger, bounding
+		// stack depth at O(log n) even in the worst case.
+		if s < len(a)-s {
+			Quicksort(a[:s])
+			a = a[s:]
+		} else {
+			Quicksort(a[s:])
+			a = a[:s]
+		}
+	}
+	InsertionSort(a)
+}
+
+// Introsort sorts a in place with the GCC std::sort strategy: quicksort
+// until the recursion depth exceeds 2*log2(n), then heapsort the offending
+// partition; partitions at or below 16 elements are insertion sorted.
+// Worst case O(n log n).
+func Introsort(a []uint64) {
+	introLoop(a, 2*log2(len(a)))
+}
+
+func introLoop(a []uint64, depth int) {
+	for len(a) > insertionCutoff {
+		if depth == 0 {
+			Heapsort(a)
+			return
+		}
+		depth--
+		p := medianOfThree(a, 0, len(a)/2, len(a)-1)
+		s := hoarePartition(a, p)
+		if s < len(a)-s {
+			introLoop(a[:s], depth)
+			a = a[s:]
+		} else {
+			introLoop(a[s:], depth)
+			a = a[:s]
+		}
+	}
+	InsertionSort(a)
+}
+
+// log2 returns floor(log2(n)) for n >= 1, and 0 for n < 1.
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// IsSorted reports whether a is in ascending order.
+func IsSorted(a []uint64) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			return false
+		}
+	}
+	return true
+}

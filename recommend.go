@@ -1,0 +1,92 @@
+package memagg
+
+// This file encodes the paper's Figure 12 decision flow chart: given the
+// coordinates of a workload along the six analysis dimensions that matter
+// for algorithm choice, Recommend returns the algorithm the paper's
+// experiments favour, with the reasoning the paper gives.
+
+// OutputKind is the aggregation output format (Dimension 2).
+type OutputKind int
+
+const (
+	// Vector output: one row per distinct group-by key.
+	Vector OutputKind = iota
+	// Scalar output: a single value over the whole input.
+	Scalar
+)
+
+// FunctionClass categorizes the aggregate function (Dimension 2).
+type FunctionClass int
+
+const (
+	// Distributive functions (COUNT, SUM, MIN, MAX) can be computed
+	// incrementally during the build phase.
+	Distributive FunctionClass = iota
+	// Algebraic functions (AVG) combine distributive parts and behave like
+	// them for algorithm choice.
+	Algebraic
+	// Holistic functions (MEDIAN, MODE, QUANTILE) need each group's full
+	// value set.
+	Holistic
+)
+
+// Workload describes a query workload for Recommend.
+type Workload struct {
+	Output   OutputKind
+	Function FunctionClass
+	// WriteOnceReadOnce is true when the aggregate is computed once and
+	// discarded (WORO); false means the built structure is reused across
+	// queries (WORM).
+	WriteOnceReadOnce bool
+	// RangeCondition is true when queries restrict the group-by key to a
+	// range (Q7-style).
+	RangeCondition bool
+	// PrebuiltIndex is true when the structure is already built before the
+	// measured queries run (only meaningful with RangeCondition).
+	PrebuiltIndex bool
+	// Multithreaded is true when the build may use multiple threads
+	// (Dimension 6).
+	Multithreaded bool
+}
+
+// Advice is a Recommend result.
+type Advice struct {
+	Backend Backend
+	Reason  string
+}
+
+// Recommend walks the paper's Figure 12 decision flow chart and returns
+// the algorithm it selects for the workload, with the paper's rationale.
+func Recommend(w Workload) Advice {
+	if w.Output == Scalar {
+		if w.WriteOnceReadOnce {
+			return Advice{Spreadsort,
+				"scalar + write-once-read-once: Spreadsort gives the fastest overall runtimes (Figure 9)"}
+		}
+		return Advice{Judy,
+			"scalar + reusable structure: Judy answers repeated ordered queries fastest among the trees (Figure 9)"}
+	}
+	// Vector output.
+	if w.Function == Holistic {
+		if w.Multithreaded {
+			return Advice{SortBI,
+				"vector holistic, multithreaded: sort-based wins and Sort_BI scales best (Figure 11)"}
+		}
+		return Advice{Spreadsort,
+			"vector holistic: sorting groups the values for free; Spreadsort is fastest across the board (Figure 5)"}
+	}
+	if w.RangeCondition {
+		if w.PrebuiltIndex {
+			return Advice{Btree,
+				"range search on a prebuilt index: linked leaves make Btree's scans far faster (Figure 8)"}
+		}
+		return Advice{ART,
+			"range search including build time: ART's build-time advantage dominates (Figure 8)"}
+	}
+	if w.Multithreaded {
+		return Advice{HashTBBSC,
+			"vector distributive, multithreaded: Hash_TBBSC outperforms the other concurrent algorithms on Q1 (Figure 11)"}
+	}
+	return Advice{HashLP,
+		"vector distributive: Hash_LP's cache-friendly probing wins Q1 at every cardinality (Figure 4)"}
+}
