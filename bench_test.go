@@ -311,6 +311,36 @@ func BenchmarkFig11Scaling(b *testing.B) {
 	}
 }
 
+// --- radix-partition cardinality sweep (DESIGN.md parallel designs) -----------
+
+// BenchmarkRadixCardinalitySweep races the three parallel aggregation
+// designs — radix-partitioned (Hash_RX), private tables + merge
+// (Hash_PLAT) and the shared structures (Hash_LC, Hash_TBBSC) — across
+// group-by cardinality on Q1. The interesting read-out is the crossover:
+// Hash_PLAT leads while its local tables stay cache-resident, Hash_RX
+// takes over once cardinality pushes the other designs' tables out of
+// cache. aggbench -exp rx regenerates the sweep at paper-scale N.
+func BenchmarkRadixCardinalitySweep(b *testing.B) {
+	const (
+		n = 1 << 20
+		p = 8
+	)
+	engines := []agg.Engine{
+		agg.HashRX(p), agg.HashPLAT(p), agg.HashLC(p), agg.HashTBBSC(p),
+	}
+	for card := 1 << 6; card <= n; card <<= 4 {
+		keys := dataset.Spec{Kind: dataset.RseqShf, N: n, Cardinality: card, Seed: benchSeed}.Keys()
+		for _, e := range engines {
+			e := e
+			b.Run(fmt.Sprintf("card%d/%s", card, e.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sink = len(e.VectorCount(keys))
+				}
+			})
+		}
+	}
+}
+
 // --- ablations (DESIGN.md section 4) -------------------------------------------
 
 // BenchmarkAblationMaskVsMod isolates the paper's power-of-two AND-masking

@@ -5,9 +5,12 @@
 //	aggbench -list
 //	aggbench -exp fig4 -n 4000000
 //	aggbench -exp all -n 1000000 -datasets Rseq,Zipf -cards 1000,1000000
+//	aggbench -json -n 4000000 -datasets Rseq-Shf -cards 100000 -threads 8
 //
 // Each experiment prints an aligned text table with the same grid of
-// conditions as the corresponding figure or table in the paper.
+// conditions as the corresponding figure or table in the paper. With
+// -json, aggbench instead runs the Q1 phase-split benchmark over every
+// engine and emits one JSON object with per-engine build/iterate timings.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated distributions (default all of Table 4)")
 		cards    = flag.String("cards", "", "comma-separated group-by cardinalities (default 1e2..1e7 clipped to n)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "emit per-engine build/iterate Q1 timings as one JSON object")
 	)
 	flag.Parse()
 
@@ -56,6 +60,13 @@ func main() {
 			}
 			cfg.Datasets = append(cfg.Datasets, kind)
 		}
+	}
+
+	if *jsonOut {
+		if err := harness.RunJSON(cfg); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	if err := harness.Run(*exp, cfg); err != nil {

@@ -35,9 +35,17 @@ func (e *cuckooEngine) workers() int {
 	return e.threads
 }
 
+// forcePar reports whether the caller explicitly asked for parallelism
+// (threads > 1), which disables parallelChunks' small-input serial cutoff.
+func (e *cuckooEngine) forcePar() bool { return e.threads > 1 }
+
 // parallelChunks runs body over near-equal contiguous chunks of [0, n).
-func parallelChunks(n, p int, body func(lo, hi int)) {
-	if p <= 1 || n < 4096 {
+// force bypasses the small-input serial cutoff: engines set it when the
+// caller explicitly requested a thread count (threads > 1), so thread-sweep
+// benchmarks measure the parallelism they asked for; the cutoff applies
+// only on the auto/GOMAXPROCS path where it is a pure heuristic.
+func parallelChunks(n, p int, force bool, body func(lo, hi int)) {
+	if p <= 1 || n == 0 || (!force && n < 4096) {
 		body(0, n)
 		return
 	}
@@ -55,7 +63,7 @@ func parallelChunks(n, p int, body func(lo, hi int)) {
 
 func (e *cuckooEngine) VectorCount(keys []uint64) []GroupCount {
 	m := cuckoo.New[uint64](sizeHint(len(keys)))
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for _, k := range keys[lo:hi] {
 			m.Upsert(k, func(v *uint64, _ bool) { *v++ })
 		}
@@ -70,7 +78,7 @@ func (e *cuckooEngine) VectorCount(keys []uint64) []GroupCount {
 
 func (e *cuckooEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 	m := cuckoo.New[avgState](sizeHint(len(keys)))
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var v uint64
 			if i < len(vals) {
@@ -92,7 +100,7 @@ func (e *cuckooEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 
 func (e *cuckooEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
 	m := cuckoo.New[[]uint64](sizeHint(len(keys)))
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var v uint64
 			if i < len(vals) {
@@ -143,14 +151,18 @@ func (e *tbbEngine) workers() int {
 	return e.threads
 }
 
+// forcePar reports whether the caller explicitly asked for parallelism
+// (threads > 1); see cuckooEngine.forcePar.
+func (e *tbbEngine) forcePar() bool { return e.threads > 1 }
+
 func (e *tbbEngine) VectorCount(keys []uint64) []GroupCount {
 	m := chash.New[uint64](sizeHint(len(keys)), 0)
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for _, k := range keys[lo:hi] {
 			m.Upsert(k, func(v *uint64) { *v++ })
 		}
 	})
-	var out []GroupCount
+	out := make([]GroupCount, 0, m.Len())
 	m.Iterate(func(k uint64, v *uint64) bool {
 		out = append(out, GroupCount{Key: k, Count: *v})
 		return true
@@ -160,7 +172,7 @@ func (e *tbbEngine) VectorCount(keys []uint64) []GroupCount {
 
 func (e *tbbEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 	m := chash.New[avgState](sizeHint(len(keys)), 0)
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var v uint64
 			if i < len(vals) {
@@ -172,7 +184,7 @@ func (e *tbbEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 			})
 		}
 	})
-	var out []GroupFloat
+	out := make([]GroupFloat, 0, m.Len())
 	m.Iterate(func(k uint64, st *avgState) bool {
 		out = append(out, GroupFloat{Key: k, Val: st.avg()})
 		return true
@@ -182,7 +194,7 @@ func (e *tbbEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 
 func (e *tbbEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
 	m := chash.New[[]uint64](sizeHint(len(keys)), 0)
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var v uint64
 			if i < len(vals) {
@@ -191,7 +203,7 @@ func (e *tbbEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
 			m.Upsert(keys[i], func(lst *[]uint64) { *lst = append(*lst, v) })
 		}
 	})
-	var out []GroupFloat
+	out := make([]GroupFloat, 0, m.Len())
 	m.Iterate(func(k uint64, lst *[]uint64) bool {
 		out = append(out, GroupFloat{Key: k, Val: Median(*lst)})
 		return true

@@ -211,13 +211,13 @@ func (e *treeEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []Grou
 
 func (e *cuckooEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
 	m := newCuckooReduce(sizeHint(len(keys)))
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := valueAt(vals, i)
 			m.Upsert(keys[i], func(st *reduceState, _ bool) { st.fold(op, v) })
 		}
 	})
-	var out []GroupUint
+	out := make([]GroupUint, 0, m.Len())
 	m.Iterate(func(k uint64, st *reduceState) bool {
 		out = append(out, GroupUint{Key: k, Val: st.val})
 		return true
@@ -227,13 +227,13 @@ func (e *cuckooEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUin
 
 func (e *cuckooEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
 	m := newCuckooList(sizeHint(len(keys)))
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := valueAt(vals, i)
 			m.Upsert(keys[i], func(lst *[]uint64, _ bool) { *lst = append(*lst, v) })
 		}
 	})
-	var out []GroupFloat
+	out := make([]GroupFloat, 0, m.Len())
 	m.Iterate(func(k uint64, lst *[]uint64) bool {
 		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
 		return true
@@ -243,13 +243,13 @@ func (e *cuckooEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []Gr
 
 func (e *tbbEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
 	m := newTBBReduce(sizeHint(len(keys)))
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := valueAt(vals, i)
 			m.Upsert(keys[i], func(st *reduceState) { st.fold(op, v) })
 		}
 	})
-	var out []GroupUint
+	out := make([]GroupUint, 0, m.Len())
 	m.Iterate(func(k uint64, st *reduceState) bool {
 		out = append(out, GroupUint{Key: k, Val: st.val})
 		return true
@@ -259,13 +259,13 @@ func (e *tbbEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
 
 func (e *tbbEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
 	m := newTBBList(sizeHint(len(keys)))
-	parallelChunks(len(keys), e.workers(), func(lo, hi int) {
+	parallelChunks(len(keys), e.workers(), e.forcePar(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := valueAt(vals, i)
 			m.Upsert(keys[i], func(lst *[]uint64) { *lst = append(*lst, v) })
 		}
 	})
-	var out []GroupFloat
+	out := make([]GroupFloat, 0, m.Len())
 	m.Iterate(func(k uint64, lst *[]uint64) bool {
 		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
 		return true
@@ -325,6 +325,9 @@ var (
 	_ Reducer = (*treeEngine)(nil)
 	_ Reducer = (*cuckooEngine)(nil)
 	_ Reducer = (*tbbEngine)(nil)
+	_ Reducer = (*platEngine)(nil)
+	_ Reducer = (*radixEngine)(nil)
+	_ Reducer = (*adaptiveEngine)(nil)
 )
 
 func newCuckooReduce(n int) *cuckoo.Map[reduceState] { return cuckoo.New[reduceState](n) }

@@ -1,0 +1,222 @@
+package agg
+
+import (
+	"time"
+
+	"memagg/internal/chash"
+	"memagg/internal/cuckoo"
+	"memagg/internal/hashtbl"
+	"memagg/internal/radix"
+)
+
+// CountPhases executes Q1 exactly like e.VectorCount but reports the
+// build/iterate phase split of Section 3 — the time folding records into
+// the backing structure vs the time reading the result out. It exists for
+// benchmark emitters (aggbench -json); query callers should use
+// VectorCount.
+//
+// For engines whose operator fuses the phases in a way the split cannot
+// observe, ok is false and the full duration is reported as build with a
+// zero iterate. The phase conventions per family:
+//
+//   - hash/tree engines: build = upsert loop, iterate = table scan;
+//   - sort engines: build = copy + sort, iterate = run scan;
+//   - shared-table concurrent engines: build = parallel upsert,
+//     iterate = table scan;
+//   - Hash_PLAT: build = local-table construction, iterate = the merge
+//     re-scan plus emission (the p-fold read-out the design pays for);
+//   - Hash_RX: build = partition scatter + per-partition tables,
+//     iterate = row emission;
+//   - Adaptive: the phases of whichever engine the sample routes to.
+func CountPhases(e Engine, keys []uint64) (rows []GroupCount, build, iterate time.Duration, ok bool) {
+	switch eng := e.(type) {
+	case *hashEngine:
+		t := eng.newCount(sizeHint(len(keys)))
+		build = timePhase(func() {
+			for _, k := range keys {
+				*t.Upsert(k)++
+			}
+		})
+		iterate = timePhase(func() { rows = emitCounts(t) })
+		return rows, build, iterate, true
+
+	case *treeEngine:
+		t := eng.newCount()
+		build = timePhase(func() {
+			for _, k := range keys {
+				*t.Upsert(k)++
+			}
+		})
+		iterate = timePhase(func() { rows = emitCounts(t) })
+		return rows, build, iterate, true
+
+	case *sortEngine:
+		if len(keys) == 0 {
+			return nil, 0, 0, true
+		}
+		var buf []uint64
+		build = timePhase(func() {
+			buf = append([]uint64(nil), keys...)
+			eng.sortU(buf)
+		})
+		iterate = timePhase(func() { rows = countRuns(buf) })
+		return rows, build, iterate, true
+
+	case *cuckooEngine:
+		m := cuckoo.New[uint64](sizeHint(len(keys)))
+		build = timePhase(func() {
+			parallelChunks(len(keys), eng.workers(), eng.forcePar(), func(lo, hi int) {
+				for _, k := range keys[lo:hi] {
+					m.Upsert(k, func(v *uint64, _ bool) { *v++ })
+				}
+			})
+		})
+		iterate = timePhase(func() {
+			rows = make([]GroupCount, 0, m.Len())
+			m.Iterate(func(k uint64, v *uint64) bool {
+				rows = append(rows, GroupCount{Key: k, Count: *v})
+				return true
+			})
+		})
+		return rows, build, iterate, true
+
+	case *tbbEngine:
+		m := chash.New[uint64](sizeHint(len(keys)), 0)
+		build = timePhase(func() {
+			parallelChunks(len(keys), eng.workers(), eng.forcePar(), func(lo, hi int) {
+				for _, k := range keys[lo:hi] {
+					m.Upsert(k, func(v *uint64) { *v++ })
+				}
+			})
+		})
+		iterate = timePhase(func() {
+			rows = make([]GroupCount, 0, m.Len())
+			m.Iterate(func(k uint64, v *uint64) bool {
+				rows = append(rows, GroupCount{Key: k, Count: *v})
+				return true
+			})
+		})
+		return rows, build, iterate, true
+
+	case *platEngine:
+		rows, build, iterate = eng.countPhased(keys)
+		return rows, build, iterate, true
+
+	case *radixEngine:
+		rows, build, iterate = eng.countPhased(keys)
+		return rows, build, iterate, true
+
+	case *adaptiveEngine:
+		return CountPhases(eng.choose(keys), keys)
+	}
+	build = timePhase(func() { rows = e.VectorCount(keys) })
+	return rows, build, 0, false
+}
+
+func timePhase(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// emitCounts is the shared iterate phase over any count-valued table.
+func emitCounts(t kvTable[uint64]) []GroupCount {
+	out := make([]GroupCount, 0, t.Len())
+	t.Iterate(func(k uint64, v *uint64) bool {
+		out = append(out, GroupCount{Key: k, Count: *v})
+		return true
+	})
+	return out
+}
+
+// countPhased is platRun's Q1 with the phase boundary between local-table
+// construction (build) and the partition-parallel merge + emission
+// (iterate).
+func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, iterate time.Duration) {
+	p := e.workers()
+	if p > len(keys) {
+		p = 1
+	}
+	locals := make([]*hashtbl.LinearProbe[uint64], p)
+	build = timePhase(func() {
+		parallelDo(p, func(w int) {
+			lo, hi := len(keys)*w/p, len(keys)*(w+1)/p
+			t := hashtbl.NewLinearProbe[uint64](hi - lo)
+			for _, k := range keys[lo:hi] {
+				*t.Upsert(k)++
+			}
+			locals[w] = t
+		})
+	})
+	iterate = timePhase(func() {
+		parts := make([][]GroupCount, p)
+		parallelDo(p, func(w int) {
+			merged := hashtbl.NewLinearProbe[uint64](mergeHint(locals, w, p))
+			for _, lt := range locals {
+				lt.Iterate(func(k uint64, v *uint64) bool {
+					if partitionOf(k, p) == w {
+						*merged.Upsert(k) += *v
+					}
+					return true
+				})
+			}
+			parts[w] = emitCounts(merged)
+		})
+		for _, part := range parts {
+			rows = append(rows, part...)
+		}
+	})
+	return rows, build, iterate
+}
+
+// countPhased is rxRun's Q1 with the phase boundary between the radix
+// scatter + per-partition table builds (build) and row emission (iterate).
+func (e *radixEngine) countPhased(keys []uint64) (rows []GroupCount, build, iterate time.Duration) {
+	workers := e.workers()
+	if len(keys) < rxSerialCutoff || workers == 1 {
+		t := hashtbl.NewLinearProbe[uint64](sizeHint(len(keys)))
+		build = timePhase(func() {
+			for _, k := range keys {
+				*t.Upsert(k)++
+			}
+		})
+		iterate = timePhase(func() { rows = emitCounts(t) })
+		return rows, build, iterate
+	}
+	var tables []*hashtbl.LinearProbe[uint64]
+	build = timePhase(func() {
+		bits := chooseBits(len(keys), workers, estimateGroups(keys))
+		pt := radix.Partition(keys, nil, bits, workers)
+		tables = make([]*hashtbl.LinearProbe[uint64], pt.NumPartitions())
+		rxEachPartition(workers, pt.NumPartitions(), func(q int) {
+			pk := pt.PartKeys(q)
+			if len(pk) == 0 {
+				return
+			}
+			t := hashtbl.NewLinearProbe[uint64](sizeHint(len(pk)))
+			for _, k := range pk {
+				*t.Upsert(k)++
+			}
+			tables[q] = t
+		})
+	})
+	iterate = timePhase(func() {
+		total := 0
+		for _, t := range tables {
+			if t != nil {
+				total += t.Len()
+			}
+		}
+		rows = make([]GroupCount, 0, total)
+		for _, t := range tables {
+			if t == nil {
+				continue
+			}
+			t.Iterate(func(k uint64, v *uint64) bool {
+				rows = append(rows, GroupCount{Key: k, Count: *v})
+				return true
+			})
+		}
+	})
+	return rows, build, iterate
+}

@@ -20,14 +20,16 @@ func Engines() []Engine {
 	}
 }
 
-// ConcurrentEngines returns the four multithreaded algorithms of Table 8,
-// each configured to build with p goroutines.
+// ConcurrentEngines returns the multithreaded algorithms — the four of
+// Table 8 plus the radix-partitioned extension engine — each configured to
+// build with p goroutines.
 func ConcurrentEngines(p int) []Engine {
 	return []Engine{
 		HashTBBSC(p),
 		HashLC(p),
 		SortBI(p),
 		SortQSLB(p),
+		HashRX(p),
 	}
 }
 
@@ -43,10 +45,14 @@ func ScalarEngines() []Engine {
 	return []Engine{ART(), Judy(), Btree(), Introsort(), Spreadsort()}
 }
 
-// ByName returns the serial engine with the given paper label (e.g.
-// "Hash_LP"), or an error listing the known labels.
+// ByName returns the engine with the given label (e.g. "Hash_LP"), or an
+// error listing the known labels. Serial engines come in their Table 3
+// configuration; concurrent and extension engines default to GOMAXPROCS
+// workers (construct them directly to pick a thread count).
 func ByName(name string) (Engine, error) {
-	all := append(Engines(), Ttree())
+	all := append(Engines(), Ttree(),
+		HashTBBSC(0), SortBI(0), SortQSLB(0),
+		HashRX(0), HashPLAT(0), Adaptive())
 	for _, e := range all {
 		if e.Name() == name {
 			return e, nil

@@ -113,6 +113,7 @@ func Experiments() []Experiment {
 		{"fig11", "Figure 11: multithreaded scaling, Q1/Q3", Fig11Scaling},
 		{"q2", "Extension: the Q2 (AVG) grid the paper omitted for space", ExtQ2},
 		{"ext", "Extension: Hash_PLAT vs shared structures; Adaptive vs fixed routes", ExtEngines},
+		{"rx", "Extension: parallel designs across cardinality (Hash_RX crossover)", ExtRadix},
 		{"strings", "Extension: string-key backends on a word-count workload", ExtStrings},
 	}
 }

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+
+	"memagg/internal/agg"
+	"memagg/internal/dataset"
+)
+
+// maxThreads returns the largest configured thread count — the
+// parallel-design experiments compare the engines at full width.
+func maxThreads(cfg Config) int {
+	p := 1
+	for _, t := range cfg.Threads {
+		if t > p {
+			p = t
+		}
+	}
+	return p
+}
+
+// ExtRadix charts the three parallel aggregation designs across group-by
+// cardinality: the shared structures (Hash_LC, Hash_TBBSC), the
+// private-table merge scheme (Hash_PLAT) and the radix-partitioned engine
+// (Hash_RX). The expected shape (DESIGN.md): at low cardinality every
+// design's tables are cache-resident and Hash_RX's extra partitioning pass
+// is pure overhead; past the point where per-worker tables leave cache the
+// shared structures contend, PLAT's merge re-scans p overflowing tables,
+// and Hash_RX — whose phase-2 tables stay cache-sized by construction —
+// takes over. The Q1 sweep locates that crossover; the Q3 rows show the
+// same contest on a holistic function, which the classic partitioned
+// schemes of the literature cannot serve at all.
+func ExtRadix(cfg Config) error {
+	warm()
+	p := maxThreads(cfg)
+	engines := []agg.Engine{
+		agg.HashRX(p), agg.HashPLAT(p), agg.HashLC(p), agg.HashTBBSC(p),
+	}
+	tw := newTable(cfg.Out, "query", "cardinality", "threads", "algorithm", "time_ms")
+
+	// Q1 over a geometric cardinality sweep, 2^6 .. 2^24 clipped to N.
+	for card := 1 << 6; card <= cfg.N && card <= 1<<24; card <<= 2 {
+		keys := keysFor(cfg, dataset.RseqShf, card)
+		for _, e := range engines {
+			el := timeIt(func() { e.VectorCount(keys) })
+			fmt.Fprintf(tw, "Q1\t%d\t%d\t%s\t%s\n", card, p, e.Name(), ms(el))
+		}
+	}
+
+	// Q3 (holistic) at the low/high pair.
+	vals := dataset.Values(cfg.N, cfg.Seed)
+	low, high := cfg.lowHighCards()
+	for _, card := range []int{low, high} {
+		keys := keysFor(cfg, dataset.RseqShf, card)
+		for _, e := range engines {
+			el := timeIt(func() { e.VectorMedian(keys, vals) })
+			fmt.Fprintf(tw, "Q3\t%d\t%d\t%s\t%s\n", card, p, e.Name(), ms(el))
+		}
+	}
+	return tw.Flush()
+}

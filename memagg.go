@@ -56,9 +56,11 @@ const (
 
 // Extension backends beyond the paper's tables (see DESIGN.md):
 // partitioned parallel aggregation after the PLAT line of work the paper
-// surveys, and the adaptive sort/hash hybrid its Section 5.5 suggests.
+// surveys, radix-partitioned parallel aggregation, and the adaptive
+// sort/hash hybrid its Section 5.5 suggests.
 const (
 	HashPLAT Backend = "Hash_PLAT" // thread-local tables + partitioned merge
+	HashRX   Backend = "Hash_RX"   // radix-partitioned two-phase aggregation
 	Adaptive Backend = "Adaptive"  // samples input, routes to Hash_LP or Spreadsort
 )
 
@@ -67,15 +69,15 @@ func Backends() []Backend {
 	return []Backend{
 		ART, Judy, Btree, HashSC, HashLP, HashSparse, HashDense, HashLC,
 		Introsort, Spreadsort, Ttree, HashTBBSC, SortBI, SortQSLB,
-		HashPLAT, Adaptive,
+		HashPLAT, HashRX, Adaptive,
 	}
 }
 
 // Options configures an Aggregator.
 type Options struct {
 	// Threads sets the build parallelism of the concurrent backends
-	// (Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB). <= 0 means GOMAXPROCS.
-	// Serial backends ignore it.
+	// (Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB, Hash_PLAT, Hash_RX).
+	// <= 0 means GOMAXPROCS. Serial backends ignore it.
 	Threads int
 }
 
@@ -118,6 +120,8 @@ func engineFor(b Backend, opts Options) (agg.Engine, error) {
 		return agg.SortQSLB(opts.Threads), nil
 	case HashPLAT:
 		return agg.HashPLAT(opts.Threads), nil
+	case HashRX:
+		return agg.HashRX(opts.Threads), nil
 	case Adaptive:
 		return agg.Adaptive(), nil
 	case HashLC:

@@ -62,7 +62,7 @@ func TestMedianAndRangeSupportMatrix(t *testing.T) {
 	keys, _ := Generate(Rseq, 10000, 100, 1)
 	hashBackends := map[Backend]bool{
 		HashSC: true, HashLP: true, HashSparse: true, HashDense: true,
-		HashLC: true, HashTBBSC: true, HashPLAT: true,
+		HashLC: true, HashTBBSC: true, HashPLAT: true, HashRX: true,
 	}
 	for _, b := range Backends() {
 		a, _ := New(b, Options{})
@@ -148,6 +148,12 @@ func TestRecommendFlowChart(t *testing.T) {
 		{Workload{Output: Vector}, HashLP},
 		{Workload{Output: Vector, Function: Algebraic}, HashLP},
 		{Workload{Output: Vector, Multithreaded: true}, HashTBBSC},
+		// High estimated cardinality flips the multithreaded vector branch
+		// to the radix-partitioned engine; low or unknown does not.
+		{Workload{Output: Vector, Multithreaded: true, EstimatedGroups: 1 << 20}, HashRX},
+		{Workload{Output: Vector, Function: Algebraic, Multithreaded: true, EstimatedGroups: 1 << 16}, HashRX},
+		{Workload{Output: Vector, Multithreaded: true, EstimatedGroups: 1 << 10}, HashTBBSC},
+		{Workload{Output: Vector, EstimatedGroups: 1 << 20}, HashLP},
 	}
 	for i, c := range cases {
 		got := Recommend(c.w)

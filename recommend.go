@@ -47,7 +47,19 @@ type Workload struct {
 	// Multithreaded is true when the build may use multiple threads
 	// (Dimension 6).
 	Multithreaded bool
+	// EstimatedGroups is the expected group-by cardinality, when known.
+	// Zero means unknown and leaves the paper's flow chart unchanged. A
+	// known high cardinality (>= 64Ki groups) steers multithreaded vector
+	// aggregation to Hash_RX: shared tables serialize on contention and
+	// PLAT's merge re-scans p overflowing local tables, while Hash_RX's
+	// radix partitioning keeps every phase-2 table cache-sized (DESIGN.md).
+	EstimatedGroups int
 }
+
+// rxCardinalityCutoff is the estimated group count above which the
+// radix-partitioned engine is recommended for multithreaded vector
+// workloads: past ~64Ki groups the competing designs' tables leave cache.
+const rxCardinalityCutoff = 1 << 16
 
 // Advice is a Recommend result.
 type Advice struct {
@@ -84,6 +96,10 @@ func Recommend(w Workload) Advice {
 			"range search including build time: ART's build-time advantage dominates (Figure 8)"}
 	}
 	if w.Multithreaded {
+		if w.EstimatedGroups >= rxCardinalityCutoff {
+			return Advice{HashRX,
+				"vector distributive, multithreaded, high cardinality: radix partitioning keeps every per-partition table cache-sized where shared tables contend and PLAT's merge overflows cache (DESIGN.md)"}
+		}
 		return Advice{HashTBBSC,
 			"vector distributive, multithreaded: Hash_TBBSC outperforms the other concurrent algorithms on Q1 (Figure 11)"}
 	}
