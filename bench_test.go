@@ -63,6 +63,7 @@ func BenchmarkFig2SortMicro(b *testing.B) {
 		buf := make([]uint64, len(base))
 		for _, s := range sorts {
 			b.Run(d.name+"/"+s.name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					copy(buf, base)
 					s.fn(buf)
@@ -79,6 +80,7 @@ func BenchmarkFig3StructMicro(b *testing.B) {
 	for _, e := range append(agg.Engines(), agg.Ttree()) {
 		e := e
 		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sink = len(e.VectorCount(keys))
 			}
@@ -95,6 +97,7 @@ func benchQueryGrid(b *testing.B, run func(e agg.Engine, keys, vals []uint64) in
 		for _, e := range agg.Engines() {
 			e := e
 			b.Run(fmt.Sprintf("card%d/%s", card, e.Name()), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					sink = run(e, keys, vals)
 				}
@@ -128,6 +131,7 @@ func BenchmarkFig6MemSim(b *testing.B) {
 			for _, m := range memsim.Models() {
 				m, thp := m, thp
 				b.Run(fmt.Sprintf("card%d/%s/%s", card, paging, m.Name()), func(b *testing.B) {
+					b.ReportAllocs()
 					var cache, tlb uint64
 					for i := 0; i < b.N; i++ {
 						h := memsim.NewSkylakeHierarchy()
@@ -151,6 +155,7 @@ func benchMemTable(b *testing.B, op func(e agg.Engine, keys, vals []uint64) any)
 	for _, e := range agg.Engines() {
 		e := e
 		b.Run(e.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var u memuse.Usage
 			for i := 0; i < b.N; i++ {
 				u = memuse.Measure(func() any { return op(e, keys, vals) })
@@ -185,6 +190,7 @@ func BenchmarkFig7Distrib(b *testing.B) {
 			for _, e := range engines {
 				e := e
 				b.Run(fmt.Sprintf("card%d/%s/%s", card, kind, e.Name()), func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						sink = len(e.VectorCount(keys))
 					}
@@ -215,6 +221,7 @@ func BenchmarkFig8Range(b *testing.B) {
 	for _, tr := range trees {
 		tr := tr
 		b.Run("Build/"+tr.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				t := tr.mk()
 				for _, k := range keys {
@@ -229,6 +236,7 @@ func BenchmarkFig8Range(b *testing.B) {
 		for _, pct := range []int{25, 50, 75} {
 			hi := uint64(card * pct / 100)
 			b.Run(fmt.Sprintf("Search%d/%s", pct, tr.name), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					groups := 0
 					prebuilt.Range(1, hi, func(uint64, *uint64) bool {
@@ -250,6 +258,7 @@ func BenchmarkFig9Q6(b *testing.B) {
 		for _, e := range agg.ScalarEngines() {
 			e := e
 			b.Run(fmt.Sprintf("%s/%s", kind, e.Name()), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					m, err := e.ScalarMedian(keys)
 					if err != nil {
@@ -280,6 +289,7 @@ func BenchmarkFig10ParSort(b *testing.B) {
 		for _, alg := range algos {
 			alg := alg
 			b.Run(fmt.Sprintf("p%d/%s", p, alg.name), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					copy(buf, base)
 					alg.fn(buf, p)
@@ -298,11 +308,13 @@ func BenchmarkFig11Scaling(b *testing.B) {
 		for _, e := range agg.ConcurrentEngines(p) {
 			e := e
 			b.Run(fmt.Sprintf("Q1/p%d/%s", p, e.Name()), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					sink = len(e.VectorCount(keys))
 				}
 			})
 			b.Run(fmt.Sprintf("Q3/p%d/%s", p, e.Name()), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					sink = len(e.VectorMedian(keys, vals))
 				}
@@ -333,6 +345,7 @@ func BenchmarkRadixCardinalitySweep(b *testing.B) {
 		for _, e := range engines {
 			e := e
 			b.Run(fmt.Sprintf("card%d/%s", card, e.Name()), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					sink = len(e.VectorCount(keys))
 				}
@@ -348,6 +361,7 @@ func BenchmarkRadixCardinalitySweep(b *testing.B) {
 func BenchmarkAblationMaskVsMod(b *testing.B) {
 	keys := dataset.Spec{Kind: dataset.RseqShf, N: benchQueryN, Cardinality: 1 << 16, Seed: benchSeed}.Keys()
 	b.Run("Mask", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := hashtbl.NewLinearProbe[uint64](len(keys))
 			for _, k := range keys {
@@ -357,6 +371,7 @@ func BenchmarkAblationMaskVsMod(b *testing.B) {
 		}
 	})
 	b.Run("Mod", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := hashtbl.NewLinearProbeMod[uint64](len(keys))
 			for _, k := range keys {
@@ -374,6 +389,7 @@ func BenchmarkAblationMaskVsMod(b *testing.B) {
 func BenchmarkAblationEarlyVsLate(b *testing.B) {
 	keys := dataset.Spec{Kind: dataset.Zipf, N: benchQueryN, Cardinality: 1 << 10, Seed: benchSeed}.Keys()
 	b.Run("Early", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := hashtbl.NewLinearProbe[uint64](len(keys))
 			for _, k := range keys {
@@ -385,6 +401,7 @@ func BenchmarkAblationEarlyVsLate(b *testing.B) {
 		}
 	})
 	b.Run("Late", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := hashtbl.NewLinearProbe[[]uint64](len(keys))
 			for _, k := range keys {
@@ -403,6 +420,7 @@ func BenchmarkAblationEarlyVsLate(b *testing.B) {
 func BenchmarkAblationARTPathCompression(b *testing.B) {
 	keys := dataset.Random(benchQueryN, 1, 1<<16, benchSeed)
 	b.Run("PathCompression", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := art.New[uint64]()
 			for _, k := range keys {
@@ -412,6 +430,7 @@ func BenchmarkAblationARTPathCompression(b *testing.B) {
 		}
 	})
 	b.Run("NoPathCompression", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := art.NewNoPathCompression[uint64]()
 			for _, k := range keys {
@@ -427,6 +446,7 @@ func BenchmarkAblationARTPathCompression(b *testing.B) {
 func BenchmarkAblationPresortART(b *testing.B) {
 	keys := dataset.Spec{Kind: dataset.RseqShf, N: benchQueryN, Cardinality: 1 << 16, Seed: benchSeed}.Keys()
 	b.Run("Shuffled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := art.New[uint64]()
 			for _, k := range keys {
@@ -436,6 +456,7 @@ func BenchmarkAblationPresortART(b *testing.B) {
 		}
 	})
 	b.Run("PresortThenBuild", func(b *testing.B) {
+		b.ReportAllocs()
 		buf := make([]uint64, len(keys))
 		for i := 0; i < b.N; i++ {
 			copy(buf, keys)
@@ -454,6 +475,7 @@ func BenchmarkAblationPresortART(b *testing.B) {
 func BenchmarkAblationChainPool(b *testing.B) {
 	keys := dataset.Spec{Kind: dataset.RseqShf, N: benchQueryN, Cardinality: 1 << 16, Seed: benchSeed}.Keys()
 	b.Run("PerNode", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := hashtbl.NewChained[uint64](len(keys))
 			for _, k := range keys {
@@ -463,6 +485,7 @@ func BenchmarkAblationChainPool(b *testing.B) {
 		}
 	})
 	b.Run("Pooled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := hashtbl.NewChainedPooled[uint64](len(keys))
 			for _, k := range keys {
@@ -484,6 +507,7 @@ func BenchmarkPublicAPICountByKey(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink = len(a.CountByKey(keys))
@@ -506,10 +530,38 @@ func BenchmarkStringBackends(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(string(bk), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sink = len(a.CountByKey(keys))
 			}
 		})
+	}
+}
+
+// --- allocator dimension (DESIGN.md D6) ----------------------------------------
+
+// BenchmarkHolisticAlloc sweeps the holistic Q3 across group-by
+// cardinality under both allocator settings. allocs/op is the headline
+// metric (every sub-benchmark reports it): under go-runtime it scales with
+// the group count (each group's value list grows by append), under the
+// arena it stays flat — a handful of pooled-chunk allocations regardless
+// of cardinality. One untimed warm-up run puts the arena rows in the
+// reset-and-reuse steady state.
+func BenchmarkHolisticAlloc(b *testing.B) {
+	vals := dataset.Values(benchQueryN, benchSeed)
+	for _, card := range []int{1 << 10, 1 << 14, 1 << 17} {
+		keys := dataset.Spec{Kind: dataset.RseqShf, N: benchQueryN, Cardinality: card, Seed: benchSeed}.Keys()
+		for _, al := range agg.Allocators() {
+			e := agg.AsReducer(agg.WithAllocator(agg.HashLP(), al))
+			b.Run(fmt.Sprintf("card%d/%s", card, al), func(b *testing.B) {
+				b.ReportAllocs()
+				e.VectorHolistic(keys, vals, agg.MedianFunc)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sink = len(e.VectorHolistic(keys, vals, agg.MedianFunc))
+				}
+			})
+		}
 	}
 }
 
@@ -526,6 +578,7 @@ func BenchmarkAblationBulkLoadVsUpserts(b *testing.B) {
 		keys[i] = k
 	}
 	b.Run("Upserts", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			t := btree.New[uint64]()
 			for _, k := range keys {
@@ -535,6 +588,7 @@ func BenchmarkAblationBulkLoadVsUpserts(b *testing.B) {
 		}
 	})
 	b.Run("BulkLoad", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sink = btree.BulkLoad(entries).Len()
 		}

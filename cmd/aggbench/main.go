@@ -4,6 +4,7 @@
 //
 //	aggbench -list
 //	aggbench -exp fig4 -n 4000000
+//	aggbench -exp alloc -n 1000000
 //	aggbench -exp all -n 1000000 -datasets Rseq,Zipf -cards 1000,1000000
 //	aggbench -json -n 4000000 -datasets Rseq-Shf -cards 100000 -threads 8
 //

@@ -9,7 +9,9 @@ import (
 
 // equivEngines is the matrix for the randomized cross-engine equivalence
 // gate: every serial engine, Ttree, the concurrent engines at several
-// explicit thread counts, the partitioned extension engines and the hybrid.
+// explicit thread counts, the partitioned extension engines and the
+// hybrid — each of the allocator-aware engines additionally in its arena
+// configuration (Dimension 6 must not change any result).
 func equivEngines() []Engine {
 	es := Engines()
 	es = append(es, Ttree())
@@ -17,7 +19,13 @@ func equivEngines() []Engine {
 		es = append(es, ConcurrentEngines(p)...)
 		es = append(es, HashPLAT(p))
 	}
-	return append(es, Adaptive())
+	es = append(es, Adaptive())
+	for _, e := range append(Engines(), Ttree(), HashRX(4), Adaptive()) {
+		if a := WithAllocator(e, AllocArena); EngineAllocator(a) == AllocArena {
+			es = append(es, a)
+		}
+	}
+	return es
 }
 
 // equivSpecs covers both sides of Hash_RX's serial cutoff (1<<15) with a
@@ -52,6 +60,47 @@ func sortedQF(rows []GroupFloat) []GroupFloat {
 // and Q3 output must match the serial Hash_LP reference EXACTLY — Q2
 // included, because every engine computes avg as one float64 division of
 // exact uint64 sums.
+// TestHolisticEquivalentAcrossAllocators runs the generalized holistic
+// operators (median and 90th-percentile quantile) with both allocator
+// settings on every allocator-aware engine: the arena's chunked value
+// lists must reproduce the go-runtime []uint64 buffering bit for bit,
+// including repeated runs against the same engine value (reset-and-reuse
+// must not leak state between queries).
+func TestHolisticEquivalentAcrossAllocators(t *testing.T) {
+	q90 := QuantileFunc(0.9)
+	for _, spec := range equivSpecs() {
+		keys := spec.Keys()
+		vals := dataset.Values(len(keys), spec.Seed)
+		ref := HashLP()
+		wantMed := sortedQF(AsReducer(ref).VectorHolistic(keys, vals, MedianFunc))
+		wantQ90 := sortedQF(AsReducer(ref).VectorHolistic(keys, vals, q90))
+		for _, base := range []Engine{HashLP(), HashSC(), HashSparse(), HashDense(),
+			ART(), Judy(), Btree(), Introsort(), Spreadsort(), HashRX(4), Adaptive()} {
+			for _, al := range Allocators() {
+				e := WithAllocator(base, al)
+				for round := 0; round < 2; round++ { // twice: exercise pool reuse
+					gotMed := sortedQF(AsReducer(e).VectorHolistic(keys, vals, MedianFunc))
+					checkQF(t, e.Name()+"/"+al.String()+"/median", spec, gotMed, wantMed)
+					gotQ90 := sortedQF(AsReducer(e).VectorHolistic(keys, vals, q90))
+					checkQF(t, e.Name()+"/"+al.String()+"/q90", spec, gotQ90, wantQ90)
+				}
+			}
+		}
+	}
+}
+
+func checkQF(t *testing.T, label string, spec dataset.Spec, got, want []GroupFloat) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %v: %d groups want %d", label, spec, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s %v: row[%d] = %+v want %+v", label, spec, i, got[i], want[i])
+		}
+	}
+}
+
 func TestEnginesEquivalentToReference(t *testing.T) {
 	ref := HashLP()
 	for _, spec := range equivSpecs() {

@@ -109,7 +109,7 @@ func (e *sortEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint 
 	if len(keys) == 0 {
 		return nil
 	}
-	buf := makeKV(keys, vals)
+	buf := e.copyKV(keys, vals)
 	e.sortKV(buf)
 	var out []GroupUint
 	var st reduceState
@@ -121,14 +121,16 @@ func (e *sortEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint 
 		}
 		st.fold(op, r.V)
 	}
-	return append(out, GroupUint{Key: cur, Val: st.val})
+	out = append(out, GroupUint{Key: cur, Val: st.val})
+	e.releaseKV(buf)
+	return out
 }
 
 func (e *sortEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
 	if len(keys) == 0 {
 		return nil
 	}
-	buf := makeKV(keys, vals)
+	buf := e.copyKV(keys, vals)
 	e.sortKV(buf)
 	var out []GroupFloat
 	scratch := make([]uint64, 0, 64)
@@ -143,19 +145,17 @@ func (e *sortEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []Grou
 			start = i
 		}
 	}
+	e.releaseKV(buf)
 	return out
 }
 
 // --- hash engine ---------------------------------------------------------------
 
-// reduceTables gives hashEngine a constructor for the reduceState value
-// type without widening the main constructor set: it reuses newAvg's
-// table family via a parallel constructor map established at creation.
+// VectorReduce folds with the per-op kernels of kernels.go: the ReduceOp
+// dispatch happens once per query, not once per row.
 func (e *hashEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
 	t := e.newReduce(sizeHint(len(keys)))
-	for i, k := range keys {
-		t.Upsert(k).fold(op, valueAt(vals, i))
-	}
+	buildReduce(t, keys, vals, op)
 	out := make([]GroupUint, 0, t.Len())
 	t.Iterate(func(k uint64, st *reduceState) bool {
 		out = append(out, GroupUint{Key: k, Val: st.val})
@@ -165,26 +165,23 @@ func (e *hashEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint 
 }
 
 func (e *hashEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
-	t := e.newList(sizeHint(len(keys)))
-	for i, k := range keys {
-		lst := t.Upsert(k)
-		*lst = append(*lst, valueAt(vals, i))
+	if e.alloc == AllocArena {
+		ar := arenas.Get()
+		defer arenas.Put(ar)
+		t := e.newAList(sizeHint(len(keys)))
+		buildArenaList(t, ar, keys, vals)
+		return emitHolisticArena(t, ar, fn)
 	}
-	out := make([]GroupFloat, 0, t.Len())
-	t.Iterate(func(k uint64, lst *[]uint64) bool {
-		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
-		return true
-	})
-	return out
+	t := e.newList(sizeHint(len(keys)))
+	buildList(t, keys, vals)
+	return emitHolistic(t, fn)
 }
 
 // --- tree engine ---------------------------------------------------------------
 
 func (e *treeEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
 	t := e.newReduce()
-	for i, k := range keys {
-		t.Upsert(k).fold(op, valueAt(vals, i))
-	}
+	buildReduce(t, keys, vals, op)
 	out := make([]GroupUint, 0, t.Len())
 	t.Iterate(func(k uint64, st *reduceState) bool {
 		out = append(out, GroupUint{Key: k, Val: st.val})
@@ -194,17 +191,16 @@ func (e *treeEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint 
 }
 
 func (e *treeEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
-	t := e.newList()
-	for i, k := range keys {
-		lst := t.Upsert(k)
-		*lst = append(*lst, valueAt(vals, i))
+	if e.alloc == AllocArena {
+		ar := arenas.Get()
+		defer arenas.Put(ar)
+		t := e.newAList()
+		buildArenaList(t, ar, keys, vals)
+		return emitHolisticArena(t, ar, fn)
 	}
-	out := make([]GroupFloat, 0, t.Len())
-	t.Iterate(func(k uint64, lst *[]uint64) bool {
-		out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
-		return true
-	})
-	return out
+	t := e.newList()
+	buildList(t, keys, vals)
+	return emitHolistic(t, fn)
 }
 
 // --- concurrent engines ----------------------------------------------------------

@@ -1,6 +1,9 @@
 package agg
 
-import "memagg/internal/hashtbl"
+import (
+	"memagg/internal/arena"
+	"memagg/internal/hashtbl"
+)
 
 // kvTable is the subset of the hash table surface the operators need. Each
 // engine carries one constructor per value type used by the query classes.
@@ -12,13 +15,17 @@ type kvTable[V any] interface {
 
 // hashEngine implements Engine over any serial hash table. Build phase:
 // one Upsert per record with early aggregation (count/sum updated in
-// place); for the holistic Q3 the value is the group's buffered value list.
-// Iterate phase: table iteration in unspecified order.
+// place) via the monomorphized kernels of kernels.go; for the holistic Q3
+// the value is the group's buffered value list — a heap []uint64 under the
+// go-runtime allocator, a chunked arena list under AllocArena (see
+// alloc.go). Iterate phase: table iteration in unspecified order.
 type hashEngine struct {
 	name      string
+	alloc     Allocator
 	newCount  func(capacity int) kvTable[uint64]
 	newAvg    func(capacity int) kvTable[avgState]
 	newList   func(capacity int) kvTable[[]uint64]
+	newAList  func(capacity int) kvTable[arena.List]
 	newReduce func(capacity int) kvTable[reduceState]
 }
 
@@ -29,6 +36,7 @@ func HashLP() Engine {
 		newCount:  func(n int) kvTable[uint64] { return hashtbl.NewLinearProbe[uint64](n) },
 		newAvg:    func(n int) kvTable[avgState] { return hashtbl.NewLinearProbe[avgState](n) },
 		newList:   func(n int) kvTable[[]uint64] { return hashtbl.NewLinearProbe[[]uint64](n) },
+		newAList:  func(n int) kvTable[arena.List] { return hashtbl.NewLinearProbe[arena.List](n) },
 		newReduce: func(n int) kvTable[reduceState] { return hashtbl.NewLinearProbe[reduceState](n) },
 	}
 }
@@ -40,6 +48,7 @@ func HashSC() Engine {
 		newCount:  func(n int) kvTable[uint64] { return hashtbl.NewChained[uint64](n) },
 		newAvg:    func(n int) kvTable[avgState] { return hashtbl.NewChained[avgState](n) },
 		newList:   func(n int) kvTable[[]uint64] { return hashtbl.NewChained[[]uint64](n) },
+		newAList:  func(n int) kvTable[arena.List] { return hashtbl.NewChained[arena.List](n) },
 		newReduce: func(n int) kvTable[reduceState] { return hashtbl.NewChained[reduceState](n) },
 	}
 }
@@ -51,6 +60,7 @@ func HashSparse() Engine {
 		newCount:  func(n int) kvTable[uint64] { return hashtbl.NewSparse[uint64](n) },
 		newAvg:    func(n int) kvTable[avgState] { return hashtbl.NewSparse[avgState](n) },
 		newList:   func(n int) kvTable[[]uint64] { return hashtbl.NewSparse[[]uint64](n) },
+		newAList:  func(n int) kvTable[arena.List] { return hashtbl.NewSparse[arena.List](n) },
 		newReduce: func(n int) kvTable[reduceState] { return hashtbl.NewSparse[reduceState](n) },
 	}
 }
@@ -62,6 +72,7 @@ func HashDense() Engine {
 		newCount:  func(n int) kvTable[uint64] { return hashtbl.NewDense[uint64](n) },
 		newAvg:    func(n int) kvTable[avgState] { return hashtbl.NewDense[avgState](n) },
 		newList:   func(n int) kvTable[[]uint64] { return hashtbl.NewDense[[]uint64](n) },
+		newAList:  func(n int) kvTable[arena.List] { return hashtbl.NewDense[arena.List](n) },
 		newReduce: func(n int) kvTable[reduceState] { return hashtbl.NewDense[reduceState](n) },
 	}
 }
@@ -75,9 +86,7 @@ func sizeHint(n int) int { return n }
 
 func (e *hashEngine) VectorCount(keys []uint64) []GroupCount {
 	t := e.newCount(sizeHint(len(keys)))
-	for _, k := range keys {
-		*t.Upsert(k)++
-	}
+	buildCount(t, keys)
 	out := make([]GroupCount, 0, t.Len())
 	t.Iterate(func(k uint64, v *uint64) bool {
 		out = append(out, GroupCount{Key: k, Count: *v})
@@ -88,13 +97,7 @@ func (e *hashEngine) VectorCount(keys []uint64) []GroupCount {
 
 func (e *hashEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 	t := e.newAvg(sizeHint(len(keys)))
-	for i, k := range keys {
-		st := t.Upsert(k)
-		if i < len(vals) {
-			st.sum += vals[i]
-		}
-		st.count++
-	}
+	buildAvg(t, keys, vals)
 	out := make([]GroupFloat, 0, t.Len())
 	t.Iterate(func(k uint64, st *avgState) bool {
 		out = append(out, GroupFloat{Key: k, Val: st.avg()})
@@ -104,21 +107,7 @@ func (e *hashEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 }
 
 func (e *hashEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
-	t := e.newList(sizeHint(len(keys)))
-	for i, k := range keys {
-		lst := t.Upsert(k)
-		var v uint64
-		if i < len(vals) {
-			v = vals[i]
-		}
-		*lst = append(*lst, v)
-	}
-	out := make([]GroupFloat, 0, t.Len())
-	t.Iterate(func(k uint64, lst *[]uint64) bool {
-		out = append(out, GroupFloat{Key: k, Val: Median(*lst)})
-		return true
-	})
-	return out
+	return e.VectorHolistic(keys, vals, MedianFunc)
 }
 
 // ScalarMedian is unsupported: a hash table cannot enumerate keys in order

@@ -32,21 +32,13 @@ func CountPhases(e Engine, keys []uint64) (rows []GroupCount, build, iterate tim
 	switch eng := e.(type) {
 	case *hashEngine:
 		t := eng.newCount(sizeHint(len(keys)))
-		build = timePhase(func() {
-			for _, k := range keys {
-				*t.Upsert(k)++
-			}
-		})
+		build = timePhase(func() { buildCount(t, keys) })
 		iterate = timePhase(func() { rows = emitCounts(t) })
 		return rows, build, iterate, true
 
 	case *treeEngine:
 		t := eng.newCount()
-		build = timePhase(func() {
-			for _, k := range keys {
-				*t.Upsert(k)++
-			}
-		})
+		build = timePhase(func() { buildCount(t, keys) })
 		iterate = timePhase(func() { rows = emitCounts(t) })
 		return rows, build, iterate, true
 
@@ -142,9 +134,7 @@ func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, itera
 		parallelDo(p, func(w int) {
 			lo, hi := len(keys)*w/p, len(keys)*(w+1)/p
 			t := hashtbl.NewLinearProbe[uint64](hi - lo)
-			for _, k := range keys[lo:hi] {
-				*t.Upsert(k)++
-			}
+			lpBuildCount(t, keys[lo:hi])
 			locals[w] = t
 		})
 	})
@@ -175,11 +165,7 @@ func (e *radixEngine) countPhased(keys []uint64) (rows []GroupCount, build, iter
 	workers := e.workers()
 	if len(keys) < rxSerialCutoff || workers == 1 {
 		t := hashtbl.NewLinearProbe[uint64](sizeHint(len(keys)))
-		build = timePhase(func() {
-			for _, k := range keys {
-				*t.Upsert(k)++
-			}
-		})
+		build = timePhase(func() { lpBuildCount(t, keys) })
 		iterate = timePhase(func() { rows = emitCounts(t) })
 		return rows, build, iterate
 	}
@@ -194,9 +180,7 @@ func (e *radixEngine) countPhased(keys []uint64) (rows []GroupCount, build, iter
 				return
 			}
 			t := hashtbl.NewLinearProbe[uint64](sizeHint(len(pk)))
-			for _, k := range pk {
-				*t.Upsert(k)++
-			}
+			lpBuildCount(t, pk)
 			tables[q] = t
 		})
 	})

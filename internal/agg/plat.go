@@ -90,11 +90,28 @@ func platRun[T any, R any](
 	parallelDo(p, func(w int) {
 		parts[w] = mergePart(w, locals)
 	})
-	var out []R
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	out := make([]R, 0, total)
 	for _, part := range parts {
 		out = append(out, part...)
 	}
 	return out
+}
+
+// valSlice clamps vals to the chunk [lo, hi): the values column may be
+// shorter than keys (missing values aggregate as zero via valueAt), so the
+// local-chunk slice must not index past len(vals).
+func valSlice(vals []uint64, lo, hi int) []uint64 {
+	if lo >= len(vals) {
+		return nil
+	}
+	if hi > len(vals) {
+		hi = len(vals)
+	}
+	return vals[lo:hi]
 }
 
 func (e *platEngine) VectorCount(keys []uint64) []GroupCount {
@@ -102,9 +119,7 @@ func (e *platEngine) VectorCount(keys []uint64) []GroupCount {
 	return platRun(e, keys,
 		func(lo, hi int) *hashtbl.LinearProbe[uint64] {
 			t := hashtbl.NewLinearProbe[uint64](hi - lo)
-			for _, k := range keys[lo:hi] {
-				*t.Upsert(k)++
-			}
+			lpBuildCount(t, keys[lo:hi])
 			return t
 		},
 		func(w int, locals []*hashtbl.LinearProbe[uint64]) []GroupCount {
@@ -147,11 +162,7 @@ func (e *platEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 	return platRun(e, keys,
 		func(lo, hi int) *hashtbl.LinearProbe[avgState] {
 			t := hashtbl.NewLinearProbe[avgState](hi - lo)
-			for i := lo; i < hi; i++ {
-				st := t.Upsert(keys[i])
-				st.sum += valueAt(vals, i)
-				st.count++
-			}
+			lpBuildAvg(t, keys[lo:hi], valSlice(vals, lo, hi))
 			return t
 		},
 		func(w int, locals []*hashtbl.LinearProbe[avgState]) []GroupFloat {
@@ -184,10 +195,7 @@ func (e *platEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []Grou
 	return platRun(e, keys,
 		func(lo, hi int) *hashtbl.LinearProbe[[]uint64] {
 			t := hashtbl.NewLinearProbe[[]uint64](hi - lo)
-			for i := lo; i < hi; i++ {
-				lst := t.Upsert(keys[i])
-				*lst = append(*lst, valueAt(vals, i))
-			}
+			lpBuildList(t, keys[lo:hi], valSlice(vals, lo, hi))
 			return t
 		},
 		func(w int, locals []*hashtbl.LinearProbe[[]uint64]) []GroupFloat {
@@ -215,9 +223,7 @@ func (e *platEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint 
 	return platRun(e, keys,
 		func(lo, hi int) *hashtbl.LinearProbe[reduceState] {
 			t := hashtbl.NewLinearProbe[reduceState](hi - lo)
-			for i := lo; i < hi; i++ {
-				t.Upsert(keys[i]).fold(op, valueAt(vals, i))
-			}
+			lpBuildReduce(t, keys[lo:hi], valSlice(vals, lo, hi), op)
 			return t
 		},
 		func(w int, locals []*hashtbl.LinearProbe[reduceState]) []GroupUint {

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"memagg/internal/arena"
 	"memagg/internal/hashtbl"
 	"memagg/internal/radix"
 )
@@ -32,6 +33,7 @@ import (
 // predicts, measurable with `aggbench -exp rx`.
 type radixEngine struct {
 	threads int
+	alloc   Allocator
 }
 
 // HashRX returns the radix-partitioned parallel engine ("Hash_RX")
@@ -182,9 +184,7 @@ func rxEachPartition(workers, p int, f func(q int)) {
 func (e *radixEngine) VectorCount(keys []uint64) []GroupCount {
 	return rxRun(e, keys, nil, func(pkeys, _ []uint64) []GroupCount {
 		t := hashtbl.NewLinearProbe[uint64](sizeHint(len(pkeys)))
-		for _, k := range pkeys {
-			*t.Upsert(k)++
-		}
+		lpBuildCount(t, pkeys)
 		out := make([]GroupCount, 0, t.Len())
 		t.Iterate(func(k uint64, v *uint64) bool {
 			out = append(out, GroupCount{Key: k, Count: *v})
@@ -197,11 +197,7 @@ func (e *radixEngine) VectorCount(keys []uint64) []GroupCount {
 func (e *radixEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 	return rxRun(e, keys, vals, func(pkeys, pvals []uint64) []GroupFloat {
 		t := hashtbl.NewLinearProbe[avgState](sizeHint(len(pkeys)))
-		for i, k := range pkeys {
-			st := t.Upsert(k)
-			st.sum += valueAt(pvals, i)
-			st.count++
-		}
+		lpBuildAvg(t, pkeys, pvals)
 		out := make([]GroupFloat, 0, t.Len())
 		t.Iterate(func(k uint64, st *avgState) bool {
 			out = append(out, GroupFloat{Key: k, Val: st.avg()})
@@ -218,28 +214,32 @@ func (e *radixEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
 // VectorHolistic buffers each group's values inside its partition — a key
 // never spans partitions, so the buffered list is already complete when
 // the partition finishes and no cross-table concatenation is needed.
+//
+// Under AllocArena each partition build borrows a private arena from the
+// shared pool (the per-worker shards: at most `workers` arenas are live at
+// once, and the pool recycles them from partition to partition and from
+// query to query).
 func (e *radixEngine) VectorHolistic(keys, vals []uint64, fn HolisticFunc) []GroupFloat {
+	if e.alloc == AllocArena {
+		return rxRun(e, keys, vals, func(pkeys, pvals []uint64) []GroupFloat {
+			ar := arenas.Get()
+			defer arenas.Put(ar)
+			t := hashtbl.NewLinearProbe[arena.List](sizeHint(len(pkeys)))
+			lpBuildArenaList(t, ar, pkeys, pvals)
+			return emitHolisticArena(t, ar, fn)
+		})
+	}
 	return rxRun(e, keys, vals, func(pkeys, pvals []uint64) []GroupFloat {
 		t := hashtbl.NewLinearProbe[[]uint64](sizeHint(len(pkeys)))
-		for i, k := range pkeys {
-			lst := t.Upsert(k)
-			*lst = append(*lst, valueAt(pvals, i))
-		}
-		out := make([]GroupFloat, 0, t.Len())
-		t.Iterate(func(k uint64, lst *[]uint64) bool {
-			out = append(out, GroupFloat{Key: k, Val: fn(*lst)})
-			return true
-		})
-		return out
+		lpBuildList(t, pkeys, pvals)
+		return emitHolistic(t, fn)
 	})
 }
 
 func (e *radixEngine) VectorReduce(keys, vals []uint64, op ReduceOp) []GroupUint {
 	return rxRun(e, keys, vals, func(pkeys, pvals []uint64) []GroupUint {
 		t := hashtbl.NewLinearProbe[reduceState](sizeHint(len(pkeys)))
-		for i, k := range pkeys {
-			t.Upsert(k).fold(op, valueAt(pvals, i))
-		}
+		lpBuildReduce(t, pkeys, pvals, op)
 		out := make([]GroupUint, 0, t.Len())
 		t.Iterate(func(k uint64, st *reduceState) bool {
 			out = append(out, GroupUint{Key: k, Val: st.val})

@@ -12,8 +12,14 @@ import (
 // phase is the run scan. Both distributive and holistic functions use the
 // identical build, which is why sorting wins on holistic queries: the
 // values arrive grouped for free.
+//
+// The allocator knob (Dimension 6) controls the working copies: under
+// AllocArena the key and key/value buffers — the sort engines' only large
+// allocations — come from the shared SlicePools and are recycled across
+// queries instead of re-allocated per query.
 type sortEngine struct {
 	name   string
+	alloc  Allocator
 	sortU  func([]uint64) // key-only sort
 	sortKV func([]xsort.KV)
 }
@@ -51,13 +57,50 @@ func SortQSLB(p int) Engine {
 func (e *sortEngine) Name() string       { return e.name }
 func (e *sortEngine) Category() Category { return SortBased }
 
+// copyKeys returns a private working copy of keys — pooled under the arena
+// allocator, freshly heap-allocated otherwise. Pooled copies must be
+// returned with releaseKeys once no result references them.
+func (e *sortEngine) copyKeys(keys []uint64) []uint64 {
+	if e.alloc == AllocArena {
+		buf := u64Pool.Get(len(keys))
+		copy(buf, keys)
+		return buf
+	}
+	return append([]uint64(nil), keys...)
+}
+
+func (e *sortEngine) releaseKeys(buf []uint64) {
+	if e.alloc == AllocArena {
+		u64Pool.Put(buf)
+	}
+}
+
+// copyKV zips keys and vals into a private record buffer (see makeKV),
+// pooled under the arena allocator.
+func (e *sortEngine) copyKV(keys, vals []uint64) []xsort.KV {
+	if e.alloc != AllocArena {
+		return makeKV(keys, vals)
+	}
+	buf := kvPool.Get(len(keys))
+	fillKV(buf, keys, vals)
+	return buf
+}
+
+func (e *sortEngine) releaseKV(buf []xsort.KV) {
+	if e.alloc == AllocArena {
+		kvPool.Put(buf)
+	}
+}
+
 func (e *sortEngine) VectorCount(keys []uint64) []GroupCount {
 	if len(keys) == 0 {
 		return nil
 	}
-	buf := append([]uint64(nil), keys...)
+	buf := e.copyKeys(keys)
 	e.sortU(buf)
-	return countRuns(buf)
+	out := countRuns(buf)
+	e.releaseKeys(buf)
+	return out
 }
 
 // countRuns scans an ascending slice and emits one GroupCount per run.
@@ -78,7 +121,7 @@ func (e *sortEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 	if len(keys) == 0 {
 		return nil
 	}
-	buf := makeKV(keys, vals)
+	buf := e.copyKV(keys, vals)
 	e.sortKV(buf)
 	var out []GroupFloat
 	cur := buf[0].K
@@ -91,63 +134,57 @@ func (e *sortEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 		st.sum += r.V
 		st.count++
 	}
-	return append(out, GroupFloat{Key: cur, Val: st.avg()})
+	out = append(out, GroupFloat{Key: cur, Val: st.avg()})
+	e.releaseKV(buf)
+	return out
 }
 
 func (e *sortEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
-	if len(keys) == 0 {
-		return nil
-	}
-	buf := makeKV(keys, vals)
-	e.sortKV(buf)
-	var out []GroupFloat
-	scratch := make([]uint64, 0, 64)
-	start := 0
-	for i := 1; i <= len(buf); i++ {
-		if i == len(buf) || buf[i].K != buf[start].K {
-			scratch = scratch[:0]
-			for _, r := range buf[start:i] {
-				scratch = append(scratch, r.V)
-			}
-			out = append(out, GroupFloat{Key: buf[start].K, Val: Median(scratch)})
-			start = i
-		}
-	}
-	return out
+	return e.VectorHolistic(keys, vals, MedianFunc)
 }
 
 func (e *sortEngine) ScalarMedian(keys []uint64) (float64, error) {
 	if len(keys) == 0 {
 		return 0, nil
 	}
-	buf := append([]uint64(nil), keys...)
+	buf := e.copyKeys(keys)
 	e.sortU(buf)
-	return MedianSorted(buf), nil
+	m := MedianSorted(buf)
+	e.releaseKeys(buf)
+	return m, nil
 }
 
 func (e *sortEngine) VectorCountRange(keys []uint64, lo, hi uint64) ([]GroupCount, error) {
 	if len(keys) == 0 || lo > hi {
 		return nil, nil
 	}
-	buf := append([]uint64(nil), keys...)
+	buf := e.copyKeys(keys)
 	e.sortU(buf)
 	i := sort.Search(len(buf), func(i int) bool { return buf[i] >= lo })
 	j := sort.Search(len(buf), func(i int) bool { return buf[i] > hi })
-	if i >= j {
-		return nil, nil
+	var out []GroupCount
+	if i < j {
+		out = countRuns(buf[i:j])
 	}
-	return countRuns(buf[i:j]), nil
+	e.releaseKeys(buf)
+	return out, nil
 }
 
 // makeKV zips keys and vals into records. vals may be shorter (missing
 // values aggregate as zero), which keeps callers that only have keys legal.
 func makeKV(keys, vals []uint64) []xsort.KV {
 	buf := make([]xsort.KV, len(keys))
+	fillKV(buf, keys, vals)
+	return buf
+}
+
+func fillKV(buf []xsort.KV, keys, vals []uint64) {
 	for i, k := range keys {
 		buf[i].K = k
 		if i < len(vals) {
 			buf[i].V = vals[i]
+		} else {
+			buf[i].V = 0
 		}
 	}
-	return buf
 }

@@ -1,6 +1,7 @@
 package agg
 
 import (
+	"memagg/internal/arena"
 	"memagg/internal/art"
 	"memagg/internal/btree"
 	"memagg/internal/judy"
@@ -19,9 +20,11 @@ type rangeTable[V any] interface {
 // the scalar-median and range queries natively answerable.
 type treeEngine struct {
 	name      string
+	alloc     Allocator
 	newCount  func() rangeTable[uint64]
 	newAvg    func() rangeTable[avgState]
 	newList   func() rangeTable[[]uint64]
+	newAList  func() rangeTable[arena.List]
 	newReduce func() rangeTable[reduceState]
 }
 
@@ -32,6 +35,7 @@ func ART() Engine {
 		newCount:  func() rangeTable[uint64] { return art.New[uint64]() },
 		newAvg:    func() rangeTable[avgState] { return art.New[avgState]() },
 		newList:   func() rangeTable[[]uint64] { return art.New[[]uint64]() },
+		newAList:  func() rangeTable[arena.List] { return art.New[arena.List]() },
 		newReduce: func() rangeTable[reduceState] { return art.New[reduceState]() },
 	}
 }
@@ -43,6 +47,7 @@ func Judy() Engine {
 		newCount:  func() rangeTable[uint64] { return judy.New[uint64]() },
 		newAvg:    func() rangeTable[avgState] { return judy.New[avgState]() },
 		newList:   func() rangeTable[[]uint64] { return judy.New[[]uint64]() },
+		newAList:  func() rangeTable[arena.List] { return judy.New[arena.List]() },
 		newReduce: func() rangeTable[reduceState] { return judy.New[reduceState]() },
 	}
 }
@@ -54,6 +59,7 @@ func Btree() Engine {
 		newCount:  func() rangeTable[uint64] { return btree.New[uint64]() },
 		newAvg:    func() rangeTable[avgState] { return btree.New[avgState]() },
 		newList:   func() rangeTable[[]uint64] { return btree.New[[]uint64]() },
+		newAList:  func() rangeTable[arena.List] { return btree.New[arena.List]() },
 		newReduce: func() rangeTable[reduceState] { return btree.New[reduceState]() },
 	}
 }
@@ -67,6 +73,7 @@ func Ttree() Engine {
 		newCount:  func() rangeTable[uint64] { return ttree.New[uint64]() },
 		newAvg:    func() rangeTable[avgState] { return ttree.New[avgState]() },
 		newList:   func() rangeTable[[]uint64] { return ttree.New[[]uint64]() },
+		newAList:  func() rangeTable[arena.List] { return ttree.New[arena.List]() },
 		newReduce: func() rangeTable[reduceState] { return ttree.New[reduceState]() },
 	}
 }
@@ -76,9 +83,7 @@ func (e *treeEngine) Category() Category { return TreeBased }
 
 func (e *treeEngine) VectorCount(keys []uint64) []GroupCount {
 	t := e.newCount()
-	for _, k := range keys {
-		*t.Upsert(k)++
-	}
+	buildCount(t, keys)
 	out := make([]GroupCount, 0, t.Len())
 	t.Iterate(func(k uint64, v *uint64) bool {
 		out = append(out, GroupCount{Key: k, Count: *v})
@@ -89,13 +94,7 @@ func (e *treeEngine) VectorCount(keys []uint64) []GroupCount {
 
 func (e *treeEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 	t := e.newAvg()
-	for i, k := range keys {
-		st := t.Upsert(k)
-		if i < len(vals) {
-			st.sum += vals[i]
-		}
-		st.count++
-	}
+	buildAvg(t, keys, vals)
 	out := make([]GroupFloat, 0, t.Len())
 	t.Iterate(func(k uint64, st *avgState) bool {
 		out = append(out, GroupFloat{Key: k, Val: st.avg()})
@@ -105,21 +104,7 @@ func (e *treeEngine) VectorAvg(keys, vals []uint64) []GroupFloat {
 }
 
 func (e *treeEngine) VectorMedian(keys, vals []uint64) []GroupFloat {
-	t := e.newList()
-	for i, k := range keys {
-		lst := t.Upsert(k)
-		var v uint64
-		if i < len(vals) {
-			v = vals[i]
-		}
-		*lst = append(*lst, v)
-	}
-	out := make([]GroupFloat, 0, t.Len())
-	t.Iterate(func(k uint64, lst *[]uint64) bool {
-		out = append(out, GroupFloat{Key: k, Val: Median(*lst)})
-		return true
-	})
-	return out
+	return e.VectorHolistic(keys, vals, MedianFunc)
 }
 
 // ScalarMedian builds a key → count tree and walks it in order to the
@@ -131,9 +116,7 @@ func (e *treeEngine) ScalarMedian(keys []uint64) (float64, error) {
 		return 0, nil
 	}
 	t := e.newCount()
-	for _, k := range keys {
-		*t.Upsert(k)++
-	}
+	buildCount(t, keys)
 	n := uint64(len(keys))
 	// 0-based middle ranks: (n-1)/2 and n/2 (equal when n is odd).
 	r1, r2 := (n-1)/2, n/2
@@ -166,9 +149,7 @@ func (e *treeEngine) VectorCountRange(keys []uint64, lo, hi uint64) ([]GroupCoun
 		return nil, nil
 	}
 	t := e.newCount()
-	for _, k := range keys {
-		*t.Upsert(k)++
-	}
+	buildCount(t, keys)
 	var out []GroupCount
 	t.Range(lo, hi, func(k uint64, v *uint64) bool {
 		out = append(out, GroupCount{Key: k, Count: *v})

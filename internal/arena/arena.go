@@ -1,0 +1,184 @@
+// Package arena implements the allocation layer of the paper's Dimension 6
+// (the memory allocator): its §6 experiments show that swapping the general
+// allocator for a pooling one swings aggregation throughput by large
+// factors, because the aggregation hot path — above all the holistic
+// queries, which buffer every group's value multiset — otherwise performs
+// one small heap allocation per group growth step and leaves the garbage
+// collector to chase millions of short-lived objects.
+//
+// The package provides three pieces, all query-lifetime scoped:
+//
+//   - Arena — a chunked bump allocator over uint64 words. Chunks are
+//     fixed-size pointer-free []uint64 blocks, so the GC neither scans nor
+//     individually tracks anything allocated here; Reset rewinds the bump
+//     cursor and keeps the chunks, so the next query reuses the same memory
+//     with zero further allocation.
+//
+//   - List — a chunked per-group value list allocated from an Arena: the
+//     replacement for the `append`-grown []uint64 the holistic operators
+//     keep per group. Blocks grow geometrically (4 → 8 → … → 4096 words)
+//     and are linked by in-arena indices, not pointers.
+//
+//   - Pool / SlicePool — reset-and-reuse lifecycles. Pool hands out private
+//     Arenas (one per worker in the partitioned engines — the per-worker
+//     shards); SlicePool recycles the large contiguous scratch buffers
+//     (sort copies, key/value zips) that cannot live in a chunked arena.
+//
+// Concurrency: an Arena is single-owner (one goroutine appends at a time);
+// concurrent readers of completed lists are safe. Pool and SlicePool are
+// safe for concurrent use.
+package arena
+
+const (
+	chunkShift = 16
+	// chunkWords is the fixed chunk size: 64Ki words = 512 KiB, large
+	// enough that even allocation-heavy queries touch few chunks, small
+	// enough that a retained arena is cheap.
+	chunkWords = 1 << chunkShift
+	chunkMask  = chunkWords - 1
+
+	// firstBlockWords and maxBlockWords bound the geometric block-size
+	// schedule of a List: 4, 8, 16, …, 4096 words. Small first blocks keep
+	// sparse groups cheap; the cap keeps any single block well under a
+	// chunk.
+	firstBlockWords = 4
+	maxBlockWords   = 1 << 12
+
+	// noBlock terminates a List's block chain.
+	noBlock = ^uint64(0)
+)
+
+// Arena is a chunked bump allocator over uint64 words. The zero value is
+// ready to use. Not safe for concurrent mutation; use one Arena per worker
+// (see Pool).
+type Arena struct {
+	chunks [][]uint64 // every chunk has exactly chunkWords words
+	cur    int        // index of the chunk the cursor is in
+	off    int        // next free word within chunks[cur]
+}
+
+// New returns an empty arena. Equivalent to new(Arena); provided for
+// symmetry with Pool.Get.
+func New() *Arena { return &Arena{} }
+
+// take bump-allocates n contiguous words (n <= chunkWords) and returns the
+// global word index of the first. The words are NOT zeroed: after a Reset
+// they retain whatever the previous query wrote, so callers must fully
+// initialize what they take.
+func (a *Arena) take(n int) uint64 {
+	for {
+		if a.cur < len(a.chunks) {
+			if a.off+n <= chunkWords {
+				idx := uint64(a.cur)<<chunkShift | uint64(a.off)
+				a.off += n
+				return idx
+			}
+			a.cur++
+			a.off = 0
+			continue
+		}
+		a.chunks = append(a.chunks, make([]uint64, chunkWords))
+	}
+}
+
+// word returns a pointer to the word at global index i.
+func (a *Arena) word(i uint64) *uint64 {
+	return &a.chunks[i>>chunkShift][i&chunkMask]
+}
+
+// Reset rewinds the allocator, invalidating every List allocated from it,
+// while keeping the chunks for reuse: a reset arena serves its next query
+// without touching the heap. The memory is not zeroed.
+func (a *Arena) Reset() {
+	a.cur, a.off = 0, 0
+}
+
+// FootprintBytes returns the memory the arena holds (allocated chunks,
+// used or not).
+func (a *Arena) FootprintBytes() int { return len(a.chunks) * chunkWords * 8 }
+
+// UsedWords returns the number of words the bump cursor has passed,
+// counting per-chunk tail waste. Diagnostics only.
+func (a *Arena) UsedWords() int {
+	if a.cur >= len(a.chunks) {
+		return len(a.chunks) * chunkWords
+	}
+	return a.cur*chunkWords + a.off
+}
+
+// List is a chunked uint64 list living in an Arena: the per-group value
+// buffer of the holistic operators. The zero List is empty. A List is a
+// plain value (28 bytes of indices and counters) — it is stored directly in
+// hash-table and tree slots and copied freely; the values live in the
+// arena. All operations go through the owning Arena, and a Reset of that
+// arena invalidates the List.
+type List struct {
+	head, tail uint64 // global word indices of the first/last block header
+	n          uint32 // total values
+	tailLen    uint32 // values in the tail block
+	tailCap    uint32 // capacity of the tail block
+}
+
+// Len returns the number of values appended.
+func (l List) Len() int { return int(l.n) }
+
+// Append appends v to l, growing l's block chain from the arena as needed.
+//
+// Block layout: one header word holding the global index of the next block
+// (noBlock for the tail), followed by cap payload words. Capacities follow
+// the fixed geometric schedule, so walks re-derive them instead of storing
+// them.
+func (a *Arena) Append(l *List, v uint64) {
+	if l.n == 0 {
+		idx := a.take(1 + firstBlockWords)
+		*a.word(idx) = noBlock
+		l.head, l.tail = idx, idx
+		l.tailCap, l.tailLen = firstBlockWords, 0
+	} else if l.tailLen == l.tailCap {
+		c := l.tailCap * 2
+		if c > maxBlockWords {
+			c = maxBlockWords
+		}
+		idx := a.take(1 + int(c))
+		*a.word(idx) = noBlock
+		*a.word(l.tail) = idx
+		l.tail = idx
+		l.tailCap, l.tailLen = c, 0
+	}
+	p := l.tail + 1 + uint64(l.tailLen)
+	a.chunks[p>>chunkShift][p&chunkMask] = v
+	l.tailLen++
+	l.n++
+}
+
+// AppendTo appends l's values, in insertion order, to dst and returns the
+// extended slice — the contiguous read-out holistic functions need (Median
+// selects in place, so it cannot run over the chunked form directly).
+func (a *Arena) AppendTo(dst []uint64, l List) []uint64 {
+	if l.n == 0 {
+		return dst
+	}
+	if need := len(dst) + int(l.n); cap(dst) < need {
+		grown := make([]uint64, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	blockCap := uint32(firstBlockWords)
+	idx := l.head
+	for {
+		chunk := a.chunks[idx>>chunkShift]
+		off := idx & chunkMask
+		cnt := blockCap
+		if idx == l.tail {
+			cnt = l.tailLen
+		}
+		dst = append(dst, chunk[off+1:off+1+uint64(cnt)]...)
+		if idx == l.tail {
+			return dst
+		}
+		idx = chunk[off]
+		if blockCap *= 2; blockCap > maxBlockWords {
+			blockCap = maxBlockWords
+		}
+	}
+}

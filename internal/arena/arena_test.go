@@ -1,0 +1,209 @@
+package arena
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestListRoundTrip grows many interleaved lists across block-size
+// doublings and chunk boundaries and checks AppendTo reproduces every list
+// exactly, in insertion order.
+func TestListRoundTrip(t *testing.T) {
+	a := New()
+	rng := rand.New(rand.NewSource(1))
+	const lists = 64
+	var (
+		ls  [lists]List
+		ref [lists][]uint64
+	)
+	// ~1.5M appends: far beyond one chunk, with list sizes spanning the
+	// whole block schedule (some lists get 64× more traffic than others).
+	for i := 0; i < 1_500_000; i++ {
+		w := rng.Intn(lists)
+		if w%2 == 0 {
+			w = rng.Intn(lists)
+		}
+		v := rng.Uint64()
+		a.Append(&ls[w], v)
+		ref[w] = append(ref[w], v)
+	}
+	if len(a.chunks) < 2 {
+		t.Fatalf("want multiple chunks, got %d", len(a.chunks))
+	}
+	var scratch []uint64
+	for w := range ls {
+		if ls[w].Len() != len(ref[w]) {
+			t.Fatalf("list %d: Len=%d want %d", w, ls[w].Len(), len(ref[w]))
+		}
+		scratch = a.AppendTo(scratch[:0], ls[w])
+		if len(scratch) != len(ref[w]) {
+			t.Fatalf("list %d: collected %d values want %d", w, len(scratch), len(ref[w]))
+		}
+		for i, v := range scratch {
+			if v != ref[w][i] {
+				t.Fatalf("list %d: value[%d]=%d want %d", w, i, v, ref[w][i])
+			}
+		}
+	}
+}
+
+// TestAppendToExtends checks AppendTo appends after existing dst content.
+func TestAppendToExtends(t *testing.T) {
+	a := New()
+	var l List
+	for v := uint64(10); v < 15; v++ {
+		a.Append(&l, v)
+	}
+	got := a.AppendTo([]uint64{1, 2}, l)
+	want := []uint64{1, 2, 10, 11, 12, 13, 14}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestResetReuse verifies the reset-and-reuse lifecycle: after Reset, the
+// same workload runs in the same footprint with no new chunks, and the
+// recycled (non-zeroed) memory produces correct lists.
+func TestResetReuse(t *testing.T) {
+	a := New()
+	run := func(salt uint64) {
+		var ls [8]List
+		for i := 0; i < 300_000; i++ {
+			a.Append(&ls[i%8], salt+uint64(i))
+		}
+		var scratch []uint64
+		for w := range ls {
+			scratch = a.AppendTo(scratch[:0], ls[w])
+			for i, v := range scratch {
+				if want := salt + uint64(i*8+w); v != want {
+					t.Fatalf("salt %d list %d: value[%d]=%d want %d", salt, w, i, v, want)
+				}
+			}
+		}
+	}
+	run(0)
+	foot := a.FootprintBytes()
+	if foot == 0 {
+		t.Fatal("expected nonzero footprint")
+	}
+	for salt := uint64(1); salt < 4; salt++ {
+		a.Reset()
+		if a.UsedWords() != 0 {
+			t.Fatalf("UsedWords=%d after Reset", a.UsedWords())
+		}
+		run(salt * 1e9)
+		if got := a.FootprintBytes(); got != foot {
+			t.Fatalf("footprint grew across reuse: %d -> %d", foot, got)
+		}
+	}
+}
+
+// TestChunkGrowth drives a single allocation pattern that forces block
+// allocations to straddle chunk ends (blocks never split across chunks;
+// the tail gap is wasted and the block starts in the next chunk).
+func TestChunkGrowth(t *testing.T) {
+	a := New()
+	var big List
+	n := chunkWords * 3 // guarantees several chunk crossings at max block size
+	for i := 0; i < n; i++ {
+		a.Append(&big, uint64(i))
+	}
+	got := a.AppendTo(nil, big)
+	if len(got) != n {
+		t.Fatalf("len=%d want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("value[%d]=%d", i, v)
+		}
+	}
+	if want := n / chunkWords; len(a.chunks) < want {
+		t.Fatalf("chunks=%d want >=%d", len(a.chunks), want)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool
+	a := p.Get()
+	var l List
+	a.Append(&l, 7)
+	foot := a.FootprintBytes()
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Fatal("pool did not recycle the arena")
+	}
+	if b.UsedWords() != 0 || b.FootprintBytes() != foot {
+		t.Fatalf("recycled arena not reset: used=%d foot=%d want 0/%d",
+			b.UsedWords(), b.FootprintBytes(), foot)
+	}
+}
+
+func TestSlicePool(t *testing.T) {
+	var p SlicePool[uint64]
+	s := p.Get(1000)
+	if len(s) != 1000 {
+		t.Fatalf("len=%d", len(s))
+	}
+	p.Put(s)
+	u := p.Get(500)
+	if len(u) != 500 || cap(u) < 1000 {
+		t.Fatalf("expected recycled buffer, len=%d cap=%d", len(u), cap(u))
+	}
+	// A larger request than anything shelved allocates fresh.
+	v := p.Get(5000)
+	if len(v) != 5000 {
+		t.Fatalf("len=%d", len(v))
+	}
+}
+
+// FuzzListAppend drives random append streams over a small set of lists —
+// including a Reset mid-stream — against a plain [][]uint64 model.
+func FuzzListAppend(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 255, 0, 1, 2})
+	f.Add([]byte{9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := New()
+		const lists = 4
+		var ls [lists]List
+		ref := make([][]uint64, lists)
+		check := func() {
+			var scratch []uint64
+			for w := range ls {
+				scratch = a.AppendTo(scratch[:0], ls[w])
+				if len(scratch) != len(ref[w]) {
+					t.Fatalf("list %d: %d values want %d", w, len(scratch), len(ref[w]))
+				}
+				for i, v := range scratch {
+					if v != ref[w][i] {
+						t.Fatalf("list %d: value[%d]=%d want %d", w, i, v, ref[w][i])
+					}
+				}
+			}
+		}
+		for i, b := range data {
+			if b == 255 {
+				// Reset invalidates all lists: verify first, then reuse.
+				check()
+				a.Reset()
+				ls = [lists]List{}
+				ref = make([][]uint64, lists)
+				continue
+			}
+			w := int(b) % lists
+			// Bursts make individual lists cross block boundaries.
+			burst := int(b)/lists%7 + 1
+			for j := 0; j < burst; j++ {
+				v := uint64(i)<<16 | uint64(b)<<8 | uint64(j)
+				a.Append(&ls[w], v)
+				ref[w] = append(ref[w], v)
+			}
+		}
+		check()
+	})
+}

@@ -1,0 +1,80 @@
+package arena
+
+import "sync"
+
+// maxPooled bounds how many idle objects a pool retains; beyond it, Put
+// drops the object for the GC. Worker counts are small, so a handful of
+// retained arenas covers the steady state without hoarding a burst.
+const maxPooled = 32
+
+// Pool is the reset-and-reuse lifecycle for Arenas: Get hands out a private
+// arena (per query, or per worker in the partitioned engines), Put resets
+// it and shelves it for the next query. After the first few queries the
+// steady state allocates nothing — the property the paper's allocator
+// dimension measures. Safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Arena
+}
+
+// Get returns an empty arena — recycled if one is shelved, fresh otherwise.
+func (p *Pool) Get() *Arena {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return a
+	}
+	p.mu.Unlock()
+	return New()
+}
+
+// Put resets a and shelves it for reuse. The caller must no longer hold
+// Lists allocated from a.
+func (p *Pool) Put(a *Arena) {
+	a.Reset()
+	p.mu.Lock()
+	if len(p.free) < maxPooled {
+		p.free = append(p.free, a)
+	}
+	p.mu.Unlock()
+}
+
+// SlicePool recycles large contiguous scratch slices — the sort engines'
+// input copies and key/value zip buffers, which must stay contiguous and
+// so cannot come from the chunked arena. Safe for concurrent use.
+type SlicePool[T any] struct {
+	mu   sync.Mutex
+	free [][]T
+}
+
+// Get returns a slice of length n with unspecified contents, reusing a
+// shelved buffer when one is large enough.
+func (p *SlicePool[T]) Get(n int) []T {
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= n {
+			s := p.free[i]
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			return s[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]T, n)
+}
+
+// Put shelves s for reuse. The caller must not use s afterwards.
+func (p *SlicePool[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < maxPooled {
+		p.free = append(p.free, s[:0])
+	}
+	p.mu.Unlock()
+}

@@ -100,6 +100,15 @@ func (t *LinearProbe[V]) Cap() int { return len(t.keys) }
 // Upsert returns a pointer to the value for key, inserting a zero value if
 // the key is absent. The pointer is valid until the next mutating call.
 func (t *LinearProbe[V]) Upsert(key uint64) *V {
+	return t.UpsertH(key, Mix(key))
+}
+
+// UpsertH is Upsert with a caller-supplied hash (which must be Mix(key)).
+// The build kernels batch hash computation over blocks of rows — filling a
+// small hash buffer first, then probing — so the multiply chains of Mix
+// overlap across rows instead of serializing with each probe's dependent
+// loads; this is the entry point that makes the batching possible.
+func (t *LinearProbe[V]) UpsertH(key, h uint64) *V {
 	if key == 0 {
 		t.hasZero = true
 		return &t.zeroVal
@@ -107,7 +116,7 @@ func (t *LinearProbe[V]) Upsert(key uint64) *V {
 	if t.size >= t.grow {
 		t.rehash(len(t.keys) * 2)
 	}
-	i := t.slot(Mix(key))
+	i := t.slot(h)
 	for {
 		k := t.keys[i]
 		if k == key {

@@ -73,12 +73,39 @@ func Backends() []Backend {
 	}
 }
 
+// Allocator selects the memory-allocation strategy backing query-lifetime
+// state — the paper's Dimension 6, where allocator choice alone swings
+// aggregation throughput by large factors.
+type Allocator string
+
+const (
+	// AllocGoRuntime (the default, also selected by the empty string) uses
+	// plain Go heap allocations collected by the GC.
+	AllocGoRuntime Allocator = "go-runtime"
+
+	// AllocArena routes hot-path allocations through a pooled bump
+	// allocator: holistic per-group value buffers become chunked arena
+	// lists and the sort backends' working copies are recycled across
+	// queries. Honoured by the hash, tree, sort and Hash_RX backends (and
+	// Adaptive); the shared-table concurrent backends (Hash_LC,
+	// Hash_TBBSC, Hash_PLAT) ignore it — their groups are appended by many
+	// workers at once, which a single-owner arena cannot serve.
+	AllocArena Allocator = "arena"
+)
+
+// Allocators lists the selectable allocation strategies.
+func Allocators() []Allocator { return []Allocator{AllocGoRuntime, AllocArena} }
+
 // Options configures an Aggregator.
 type Options struct {
 	// Threads sets the build parallelism of the concurrent backends
 	// (Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB, Hash_PLAT, Hash_RX).
 	// <= 0 means GOMAXPROCS. Serial backends ignore it.
 	Threads int
+
+	// Allocator selects the allocation strategy (Dimension 6). The zero
+	// value selects AllocGoRuntime.
+	Allocator Allocator
 }
 
 // GroupCount is one row of a vector COUNT result.
@@ -106,6 +133,14 @@ func New(b Backend, opts Options) (*Aggregator, error) {
 	e, err := engineFor(b, opts)
 	if err != nil {
 		return nil, err
+	}
+	switch opts.Allocator {
+	case "", AllocGoRuntime:
+		// agg.AllocGoRuntime is the engines' zero value.
+	case AllocArena:
+		e = agg.WithAllocator(e, agg.AllocArena)
+	default:
+		return nil, fmt.Errorf("memagg: unknown allocator %q", opts.Allocator)
 	}
 	return &Aggregator{backend: b, engine: e}, nil
 }

@@ -10,3 +10,9 @@ go vet ./...
 go test ./...
 
 go test -race ./internal/agg/... ./internal/radix/...
+
+# Allocs-regression smoke check: the arena-backed holistic Q3 must stay
+# within its recorded allocs/op budget (and keep its >=10x margin over the
+# go-runtime allocator). Catches per-row/per-group allocations creeping
+# back into the monomorphized build kernels.
+go test -run 'TestQ3AllocBudget' -count=1 ./internal/agg
