@@ -1,0 +1,162 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+
+	"memagg/internal/arena"
+)
+
+// TestPartialMatchesDirectFold feeds one value stream through a single
+// Partial and checks every readout against the plain slice kernels.
+func TestPartialMatchesDirectFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]uint64, 10_001)
+	for i := range vals {
+		vals[i] = rng.Uint64() % 1_000_000
+	}
+
+	ar := arena.New()
+	var p Partial
+	for _, v := range vals {
+		p.Observe(v)
+		p.Buffer(ar, v)
+	}
+
+	if p.Count() != uint64(len(vals)) {
+		t.Fatalf("Count = %d want %d", p.Count(), len(vals))
+	}
+	if p.Sum() != Sum(vals) {
+		t.Fatalf("Sum = %d want %d", p.Sum(), Sum(vals))
+	}
+	wantMin, _ := Min(vals)
+	if got, ok := p.Min(); !ok || got != wantMin {
+		t.Fatalf("Min = %d,%v want %d", got, ok, wantMin)
+	}
+	wantMax, _ := Max(vals)
+	if got, ok := p.Max(); !ok || got != wantMax {
+		t.Fatalf("Max = %d,%v want %d", got, ok, wantMax)
+	}
+	if p.Avg() != Avg(vals) {
+		t.Fatalf("Avg = %v want %v", p.Avg(), Avg(vals))
+	}
+	for _, op := range []ReduceOp{OpCount, OpSum, OpMin, OpMax} {
+		var st reduceState
+		for _, v := range vals {
+			st.fold(op, v)
+		}
+		if p.Reduce(op) != st.val {
+			t.Fatalf("Reduce(%v) = %d want %d", op, p.Reduce(op), st.val)
+		}
+	}
+	got := p.AppendValues(ar, nil)
+	want := append([]uint64(nil), vals...)
+	if Median(got) != Median(want) {
+		t.Fatalf("median over buffered values = %v want %v", Median(got), Median(want))
+	}
+}
+
+// TestPartialMergeEquivalence splits a stream into random fragments, folds
+// each fragment into its own Partial (with its own arena), merges them in
+// random shapes, and checks the merged readouts — including holistic
+// functions over the merged value lists — match the unsplit fold for every
+// ReduceOp. This is the property the streaming subsystem rests on.
+func TestPartialMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 20; round++ {
+		n := 1 + rng.Intn(5000)
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() % 10_000
+		}
+
+		// Reference: one partial over the whole stream.
+		refAr := arena.New()
+		var ref Partial
+		for _, v := range vals {
+			ref.Observe(v)
+			ref.Buffer(refAr, v)
+		}
+
+		// Fragments: random cut points, one partial+arena per fragment
+		// (some fragments may be empty — empty partials must merge as
+		// identities).
+		frags := 1 + rng.Intn(8)
+		parts := make([]*Partial, frags)
+		ars := make([]*arena.Arena, frags)
+		for f := range parts {
+			parts[f] = new(Partial)
+			ars[f] = arena.New()
+		}
+		for _, v := range vals {
+			f := rng.Intn(frags)
+			parts[f].Observe(v)
+			parts[f].Buffer(ars[f], v)
+		}
+
+		// Merge all fragments into a fresh partial in a fresh arena.
+		mergedAr := arena.New()
+		var merged Partial
+		for f := range parts {
+			merged.Merge(parts[f])
+			merged.MergeValues(mergedAr, parts[f], ars[f])
+		}
+
+		if merged.Count() != ref.Count() || merged.Sum() != ref.Sum() {
+			t.Fatalf("round %d: merged count/sum = %d/%d want %d/%d",
+				round, merged.Count(), merged.Sum(), ref.Count(), ref.Sum())
+		}
+		for _, op := range []ReduceOp{OpCount, OpSum, OpMin, OpMax} {
+			if merged.Reduce(op) != ref.Reduce(op) {
+				t.Fatalf("round %d: Reduce(%v) = %d want %d",
+					round, op, merged.Reduce(op), ref.Reduce(op))
+			}
+		}
+		if merged.Avg() != ref.Avg() {
+			t.Fatalf("round %d: Avg = %v want %v", round, merged.Avg(), ref.Avg())
+		}
+		if merged.Buffered() != ref.Buffered() {
+			t.Fatalf("round %d: Buffered = %d want %d", round, merged.Buffered(), ref.Buffered())
+		}
+		// Holistic functions are order-insensitive, so the merged multiset
+		// must give identical results even though fragment order differs.
+		got := merged.AppendValues(mergedAr, nil)
+		want := ref.AppendValues(refAr, nil)
+		if Median(got) != Median(want) {
+			t.Fatalf("round %d: merged median = %v want %v", round, Median(got), Median(want))
+		}
+		gq := Quantile(got, 0.9)
+		wq := Quantile(want, 0.9)
+		if gq != wq {
+			t.Fatalf("round %d: merged q90 = %d want %d", round, gq, wq)
+		}
+		gm, gc, _ := Mode(got)
+		wm, wc, _ := Mode(want)
+		if gm != wm || gc != wc {
+			t.Fatalf("round %d: merged mode = %d×%d want %d×%d", round, gm, gc, wm, wc)
+		}
+	}
+}
+
+// TestPartialEmptyMerge checks empty partials are merge identities in both
+// directions.
+func TestPartialEmptyMerge(t *testing.T) {
+	var empty, p Partial
+	p.Observe(5)
+	p.Observe(3)
+
+	q := p // copy
+	q.Merge(&empty)
+	if q != p {
+		t.Fatalf("merge with empty changed the partial: %+v want %+v", q, p)
+	}
+
+	var r Partial
+	r.Merge(&p)
+	if r != p {
+		t.Fatalf("merge into empty = %+v want %+v", r, p)
+	}
+	if mn, ok := r.Min(); !ok || mn != 3 {
+		t.Fatalf("Min after merge-into-empty = %d,%v want 3", mn, ok)
+	}
+}

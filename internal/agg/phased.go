@@ -139,7 +139,7 @@ func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, itera
 		})
 	})
 	iterate = timePhase(func() {
-		parts := make([][]GroupCount, p)
+		parts := make(Result[GroupCount], p)
 		parallelDo(p, func(w int) {
 			merged := hashtbl.NewLinearProbe[uint64](mergeHint(locals, w, p))
 			for _, lt := range locals {
@@ -152,9 +152,7 @@ func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, itera
 			}
 			parts[w] = emitCounts(merged)
 		})
-		for _, part := range parts {
-			rows = append(rows, part...)
-		}
+		rows = parts.Merge()
 	})
 	return rows, build, iterate
 }
@@ -185,22 +183,13 @@ func (e *radixEngine) countPhased(keys []uint64) (rows []GroupCount, build, iter
 		})
 	})
 	iterate = timePhase(func() {
-		total := 0
-		for _, t := range tables {
+		parts := make(Result[GroupCount], len(tables))
+		for q, t := range tables {
 			if t != nil {
-				total += t.Len()
+				parts[q] = emitCounts(t)
 			}
 		}
-		rows = make([]GroupCount, 0, total)
-		for _, t := range tables {
-			if t == nil {
-				continue
-			}
-			t.Iterate(func(k uint64, v *uint64) bool {
-				rows = append(rows, GroupCount{Key: k, Count: *v})
-				return true
-			})
-		}
+		rows = parts.Merge()
 	})
 	return rows, build, iterate
 }

@@ -86,19 +86,11 @@ func platRun[T any, R any](
 		lo, hi := len(keys)*w/p, len(keys)*(w+1)/p
 		locals[w] = buildLocal(lo, hi)
 	})
-	parts := make([][]R, p)
+	parts := make(Result[R], p)
 	parallelDo(p, func(w int) {
 		parts[w] = mergePart(w, locals)
 	})
-	total := 0
-	for _, part := range parts {
-		total += len(part)
-	}
-	out := make([]R, 0, total)
-	for _, part := range parts {
-		out = append(out, part...)
-	}
-	return out
+	return parts.Merge()
 }
 
 // valSlice clamps vals to the chunk [lo, hi): the values column may be

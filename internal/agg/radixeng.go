@@ -143,22 +143,13 @@ func rxRun[R any](e *radixEngine, keys, vals []uint64, buildPart func(pkeys, pva
 	pt := radix.Partition(keys, vals, bits, workers)
 	p := pt.NumPartitions()
 
-	parts := make([][]R, p)
+	parts := make(Result[R], p)
 	rxEachPartition(workers, p, func(q int) {
 		if pk := pt.PartKeys(q); len(pk) > 0 {
 			parts[q] = buildPart(pk, pt.PartVals(q))
 		}
 	})
-
-	total := 0
-	for _, part := range parts {
-		total += len(part)
-	}
-	out := make([]R, 0, total)
-	for _, part := range parts {
-		out = append(out, part...)
-	}
-	return out
+	return parts.Merge()
 }
 
 // rxEachPartition runs f(q) for every partition q in [0, p) across the

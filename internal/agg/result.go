@@ -1,0 +1,32 @@
+package agg
+
+// Result collects the per-partition (or per-worker) output slices a
+// partitioned engine produces before emission: partition p's rows live in
+// r[p]. Because the partitioned schedules assign every key to exactly one
+// partition, the slices are disjoint by key and the full query result is
+// their plain concatenation.
+//
+// Merge performs that concatenation with a single pre-sized allocation. It
+// replaces the hand-rolled total/append loops that rxRun, platRun and the
+// phase-split benchmark paths each carried separately.
+type Result[R any] [][]R
+
+// Rows returns the total row count across all partitions — the exact
+// pre-size Merge allocates.
+func (r Result[R]) Rows() int {
+	total := 0
+	for _, part := range r {
+		total += len(part)
+	}
+	return total
+}
+
+// Merge concatenates the per-partition slices into the final result, in
+// partition order, with one allocation.
+func (r Result[R]) Merge() []R {
+	out := make([]R, 0, r.Rows())
+	for _, part := range r {
+		out = append(out, part...)
+	}
+	return out
+}

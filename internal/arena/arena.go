@@ -151,6 +151,35 @@ func (a *Arena) Append(l *List, v uint64) {
 	l.n++
 }
 
+// Each calls fn for every value of l, in insertion order, without copying —
+// the zero-allocation walk the streaming merger uses to move one arena's
+// value lists into another arena.
+func (a *Arena) Each(l List, fn func(v uint64)) {
+	if l.n == 0 {
+		return
+	}
+	blockCap := uint32(firstBlockWords)
+	idx := l.head
+	for {
+		chunk := a.chunks[idx>>chunkShift]
+		off := idx & chunkMask
+		cnt := blockCap
+		if idx == l.tail {
+			cnt = l.tailLen
+		}
+		for _, v := range chunk[off+1 : off+1+uint64(cnt)] {
+			fn(v)
+		}
+		if idx == l.tail {
+			return
+		}
+		idx = chunk[off]
+		if blockCap *= 2; blockCap > maxBlockWords {
+			blockCap = maxBlockWords
+		}
+	}
+}
+
 // AppendTo appends l's values, in insertion order, to dst and returns the
 // extended slice — the contiguous read-out holistic functions need (Median
 // selects in place, so it cannot run over the chunked form directly).

@@ -207,3 +207,31 @@ func FuzzListAppend(f *testing.F) {
 		check()
 	})
 }
+
+// TestEachMatchesAppendTo checks the no-copy walk visits exactly the values
+// AppendTo collects, in the same order, across block doublings and chunk
+// boundaries.
+func TestEachMatchesAppendTo(t *testing.T) {
+	a := New()
+	rng := rand.New(rand.NewSource(7))
+	var ls [8]List
+	for i := 0; i < 200_000; i++ {
+		a.Append(&ls[rng.Intn(len(ls))], rng.Uint64())
+	}
+	var scratch, walked []uint64
+	for w := range ls {
+		scratch = a.AppendTo(scratch[:0], ls[w])
+		walked = walked[:0]
+		a.Each(ls[w], func(v uint64) { walked = append(walked, v) })
+		if len(walked) != len(scratch) {
+			t.Fatalf("list %d: Each visited %d values want %d", w, len(walked), len(scratch))
+		}
+		for i := range walked {
+			if walked[i] != scratch[i] {
+				t.Fatalf("list %d: Each[%d] = %d want %d", w, i, walked[i], scratch[i])
+			}
+		}
+	}
+	var empty List
+	a.Each(empty, func(uint64) { t.Fatal("Each visited a value of the empty list") })
+}

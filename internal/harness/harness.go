@@ -116,6 +116,7 @@ func Experiments() []Experiment {
 		{"rx", "Extension: parallel designs across cardinality (Hash_RX crossover)", ExtRadix},
 		{"alloc", "Extension: allocator dimension (D6) — go-runtime vs arena", ExtAlloc},
 		{"strings", "Extension: string-key backends on a word-count workload", ExtStrings},
+		{"stream", "Extension: streaming ingest — shard scaling, merge latency, staleness", ExtStream},
 	}
 }
 

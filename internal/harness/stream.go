@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"memagg/internal/dataset"
+	"memagg/internal/stream"
+)
+
+// ExtStream measures the streaming subsystem (internal/stream) along the
+// three axes that matter for a serving deployment: ingest throughput as
+// writer shards scale, background merge latency, and snapshot staleness
+// (rows appended but not yet visible). Each row replays the same
+// high-cardinality dataset — cfg.N rows in 4096-row batches, one producer
+// goroutine per shard — then flushes and reports the stream's own merge
+// accounting. Staleness is sampled concurrently during ingest; its maximum
+// bounds how far behind a snapshot taken at any moment could have been.
+// On a single-CPU host the shard sweep measures overhead, not speedup:
+// producers, shards and the merger time-share one core.
+func ExtStream(cfg Config) error {
+	warm()
+	const batchLen = 4096
+	_, high := cfg.lowHighCards()
+	spec := dataset.Spec{Kind: dataset.RseqShf, N: cfg.N, Cardinality: high, Seed: cfg.Seed}
+	keys := spec.Keys()
+	vals := dataset.Values(len(keys), cfg.Seed)
+
+	tw := newTable(cfg.Out, "shards", "rows_per_s", "merges", "avg_merge_ms", "max_stale_rows", "generations", "groups")
+	for _, shards := range []int{1, 4, 8} {
+		s := stream.New(stream.Config{Shards: shards, QueueDepth: 8, SealRows: 1 << 15})
+
+		// Staleness sampler: polls while producers run.
+		stop := make(chan struct{})
+		var maxStale uint64
+		var samplerWG sync.WaitGroup
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if st := s.Stats(); st.Staleness > maxStale {
+						maxStale = st.Staleness
+					}
+				}
+			}
+		}()
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		per := len(keys) / shards
+		for p := 0; p < shards; p++ {
+			lo, hi := p*per, (p+1)*per
+			if p == shards-1 {
+				hi = len(keys)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for off := lo; off < hi; off += batchLen {
+					end := off + batchLen
+					if end > hi {
+						end = hi
+					}
+					if err := s.Append(keys[off:end], vals[off:end]); err != nil {
+						panic(err)
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		if err := s.Flush(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		close(stop)
+		samplerWG.Wait()
+		if err := s.Close(); err != nil {
+			return err
+		}
+
+		st := s.Stats()
+		avgMerge := time.Duration(0)
+		if st.Merges > 0 {
+			avgMerge = st.MergeTotal / time.Duration(st.Merges)
+		}
+		fmt.Fprintf(tw, "%d\t%.0f\t%d\t%s\t%d\t%d\t%d\n",
+			shards, float64(len(keys))/elapsed.Seconds(), st.Merges, ms(avgMerge),
+			maxStale, st.Generation, st.Groups)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"memagg/internal/dataset"
+)
+
+// BenchmarkStreamIngest measures end-to-end ingest throughput (Append →
+// seal → merge, flushed at the end) on a 1M-row / 100k-group workload, with
+// as many producer goroutines as shards. b.N counts ROWS; the rows/s metric
+// is the headline number for EXPERIMENTS.md.
+//
+//	go test ./internal/stream/ -bench StreamIngest -benchtime 1000000x
+func BenchmarkStreamIngest(b *testing.B) {
+	const groups, batchLen = 100_000, 4096
+	spec := dataset.Spec{Kind: dataset.RseqShf, N: 1_000_000, Cardinality: groups, Seed: 71}
+	keys := spec.Keys()
+	vals := dataset.Values(len(keys), spec.Seed)
+
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(benchName(shards), func(b *testing.B) {
+			s := New(Config{Shards: shards, QueueDepth: 8, SealRows: 1 << 15, MergeBits: 6})
+			b.ResetTimer()
+
+			// Split b.N rows across one producer per shard; each producer
+			// appends batchLen-row slices of the dataset, wrapping as needed.
+			var wg sync.WaitGroup
+			per := b.N / shards
+			for p := 0; p < shards; p++ {
+				n := per
+				if p == shards-1 {
+					n = b.N - per*(shards-1)
+				}
+				wg.Add(1)
+				go func(p, n int) {
+					defer wg.Done()
+					off := (p * per) % len(keys)
+					for n > 0 {
+						m := batchLen
+						if m > n {
+							m = n
+						}
+						if off+m > len(keys) {
+							off = 0
+						}
+						if err := s.Append(keys[off:off+m], vals[off:off+m]); err != nil {
+							b.Error(err)
+							return
+						}
+						off += m
+						n -= m
+					}
+				}(p, n)
+			}
+			wg.Wait()
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "rows/s")
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func benchName(shards int) string {
+	return "shards=" + string(rune('0'+shards))
+}

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"memagg/internal/agg"
+	"memagg/internal/arena"
+	"memagg/internal/hashtbl"
+)
+
+// table pairs a partial-aggregate hash table with the arena its holistic
+// value lists live in. A table is mutated by exactly one goroutine (its
+// shard before sealing, the merger while building a generation) and is
+// immutable once it appears in a view.
+type table struct {
+	t  *hashtbl.LinearProbe[agg.Partial]
+	ar *arena.Arena
+}
+
+// mergeTable folds every group of src into dst — the table-granularity form
+// of agg.Partial.Merge, used by the merger (base partition → new partition)
+// and by snapshots (combining a view's sources).
+func mergeTable(dst, src table, holistic bool) {
+	src.t.Iterate(func(k uint64, p *agg.Partial) bool {
+		np := dst.t.Upsert(k)
+		np.Merge(p)
+		if holistic {
+			np.MergeValues(dst.ar, p, src.ar)
+		}
+		return true
+	})
+}
+
+// delta is one shard's in-progress (then sealed) table plus its row count.
+type delta struct {
+	table
+	rows uint64
+}
+
+// deltaTableCap seeds a fresh delta's table small; LinearProbe doubles as
+// groups arrive, so a low-cardinality delta stays tiny while a
+// high-cardinality one amortizes its growth.
+const deltaTableCap = 1 << 10
+
+// shard is one writer: a goroutine draining a bounded batch queue into a
+// private delta, sealing it into the shared view when it reaches the
+// threshold. Only the shard goroutine touches cur.
+type shard struct {
+	s   *Stream
+	ch  chan batch
+	cur *delta
+}
+
+func (sh *shard) run() {
+	defer sh.s.shardWG.Done()
+	for b := range sh.ch {
+		if hook := sh.s.cfg.testBatchHook; hook != nil {
+			hook()
+		}
+		if b.ack != nil {
+			sh.seal()
+			b.ack <- struct{}{}
+			continue
+		}
+		sh.absorb(b)
+		if sh.cur.rows >= uint64(sh.s.cfg.SealRows) {
+			sh.seal()
+		}
+	}
+	sh.seal() // Close: publish whatever is left
+}
+
+// absorb folds one batch into the current delta. The holistic check is
+// hoisted out of the row loop, kernels-style: the hot path is one Upsert
+// plus one eager fold per row.
+func (sh *shard) absorb(b batch) {
+	if sh.cur == nil {
+		sh.cur = &delta{table: table{
+			t:  hashtbl.NewLinearProbe[agg.Partial](deltaTableCap),
+			ar: arena.New(),
+		}}
+	}
+	t := sh.cur.t
+	if sh.s.cfg.Holistic {
+		ar := sh.cur.ar
+		for i, k := range b.keys {
+			p := t.Upsert(k)
+			p.Observe(b.vals[i])
+			p.Buffer(ar, b.vals[i])
+		}
+	} else {
+		for i, k := range b.keys {
+			t.Upsert(k).Observe(b.vals[i])
+		}
+	}
+	sh.cur.rows += uint64(len(b.keys))
+}
+
+// seal freezes the current delta and publishes it into the queryable view.
+// From here on the delta is immutable: the shard starts a fresh one and the
+// merger/snapshots only read the sealed state.
+func (sh *shard) seal() {
+	if sh.cur == nil || sh.cur.rows == 0 {
+		return
+	}
+	d := sh.cur
+	sh.cur = nil
+	sh.s.publish(d)
+}

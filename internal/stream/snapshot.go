@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+
+	"memagg/internal/agg"
+	"memagg/internal/arena"
+	"memagg/internal/hashtbl"
+)
+
+// Snapshot is a consistent, immutable read view of the stream: the base
+// generation plus every delta sealed before the snapshot was taken, pinned
+// by a single atomic pointer load. All queries over one snapshot see
+// exactly Watermark() rows — ingest and merging proceed untouched
+// underneath, and the pinned state is reclaimed by the GC when the last
+// snapshot referencing it is dropped.
+//
+// Query results use the hash-engine conventions of internal/agg: vector
+// row order is unspecified (sort if you need order — CountRange, which is
+// inherently ordered, returns ascending keys), and results are identical
+// to running the corresponding batch engine over the same rows.
+//
+// A Snapshot is safe for concurrent use; the first query over a snapshot
+// that pins unmerged deltas folds them into a private combined table
+// (cached for the snapshot's remaining queries).
+type Snapshot struct {
+	s *Stream
+	v *view
+
+	once sync.Once
+	srcs []table // disjoint by key: base partitions, or one combined table
+}
+
+// Snapshot pins the current view. Never blocks writers or the merger.
+func (s *Stream) Snapshot() *Snapshot {
+	return &Snapshot{s: s, v: s.view.Load()}
+}
+
+// Watermark returns the number of rows this snapshot covers. Every query
+// result is exactly consistent with these rows.
+func (sn *Snapshot) Watermark() uint64 { return sn.v.watermark }
+
+// sources returns key-disjoint tables jointly holding every group. With no
+// unmerged deltas the base generation's partitions serve directly (zero
+// copy); otherwise the first caller folds base plus deltas into one
+// combined table, reusing the merger's table fold.
+func (sn *Snapshot) sources() []table {
+	sn.once.Do(func() {
+		v := sn.v
+		if len(v.sealed) == 0 {
+			if v.base != nil {
+				sn.srcs = v.base.parts
+			}
+			return
+		}
+		hint := 0
+		if v.base != nil {
+			hint = v.base.groups
+		}
+		for _, d := range v.sealed {
+			hint += d.t.Len()
+		}
+		comb := table{t: hashtbl.NewLinearProbe[agg.Partial](hint), ar: arena.New()}
+		holistic := sn.s.cfg.Holistic
+		if v.base != nil {
+			for _, tb := range v.base.parts {
+				if tb.t != nil {
+					mergeTable(comb, tb, holistic)
+				}
+			}
+		}
+		for _, d := range v.sealed {
+			mergeTable(comb, d.table, holistic)
+		}
+		sn.srcs = []table{comb}
+	})
+	return sn.srcs
+}
+
+// eachGroup visits every group exactly once with its fully merged partial
+// and the arena its buffered values live in.
+func (sn *Snapshot) eachGroup(fn func(k uint64, p *agg.Partial, ar *arena.Arena)) {
+	for _, tb := range sn.sources() {
+		if tb.t == nil {
+			continue
+		}
+		ar := tb.ar
+		tb.t.Iterate(func(k uint64, p *agg.Partial) bool {
+			fn(k, p, ar)
+			return true
+		})
+	}
+}
+
+// Groups returns the number of distinct keys the snapshot covers.
+func (sn *Snapshot) Groups() int {
+	n := 0
+	for _, tb := range sn.sources() {
+		if tb.t != nil {
+			n += tb.t.Len()
+		}
+	}
+	return n
+}
+
+// CountByKey executes Q1: one (key, COUNT(*)) row per distinct key.
+func (sn *Snapshot) CountByKey() []agg.GroupCount {
+	out := make([]agg.GroupCount, 0, sn.Groups())
+	sn.eachGroup(func(k uint64, p *agg.Partial, _ *arena.Arena) {
+		out = append(out, agg.GroupCount{Key: k, Count: p.Count()})
+	})
+	return out
+}
+
+// AvgByKey executes Q2: one (key, AVG(val)) row per distinct key, computed
+// as one float64 division of the exact integer sum — bit-identical to the
+// batch engines.
+func (sn *Snapshot) AvgByKey() []agg.GroupFloat {
+	out := make([]agg.GroupFloat, 0, sn.Groups())
+	sn.eachGroup(func(k uint64, p *agg.Partial, _ *arena.Arena) {
+		out = append(out, agg.GroupFloat{Key: k, Val: p.Avg()})
+	})
+	return out
+}
+
+// Reduce executes the generalized distributive vector query: one
+// (key, op(val)) row per distinct key, for any ReduceOp.
+func (sn *Snapshot) Reduce(op agg.ReduceOp) []agg.GroupUint {
+	out := make([]agg.GroupUint, 0, sn.Groups())
+	sn.eachGroup(func(k uint64, p *agg.Partial, _ *arena.Arena) {
+		out = append(out, agg.GroupUint{Key: k, Val: p.Reduce(op)})
+	})
+	return out
+}
+
+// Holistic executes the generalized holistic vector query: one
+// (key, fn(group's values)) row per distinct key. Requires Config.Holistic;
+// otherwise the value multisets were not retained and the query returns
+// agg.ErrUnsupported.
+func (sn *Snapshot) Holistic(fn agg.HolisticFunc) ([]agg.GroupFloat, error) {
+	if !sn.s.cfg.Holistic {
+		return nil, agg.ErrUnsupported
+	}
+	out := make([]agg.GroupFloat, 0, sn.Groups())
+	var scratch []uint64
+	sn.eachGroup(func(k uint64, p *agg.Partial, ar *arena.Arena) {
+		scratch = p.AppendValues(ar, scratch[:0])
+		out = append(out, agg.GroupFloat{Key: k, Val: fn(scratch)})
+	})
+	return out, nil
+}
+
+// MedianByKey executes Q3 (holistic): one (key, MEDIAN(val)) row per
+// distinct key. Requires Config.Holistic.
+func (sn *Snapshot) MedianByKey() ([]agg.GroupFloat, error) {
+	return sn.Holistic(agg.MedianFunc)
+}
+
+// Count executes Q4: COUNT(*) over the snapshot — the watermark itself.
+func (sn *Snapshot) Count() uint64 { return sn.v.watermark }
+
+// Avg executes Q5: AVG over the value column, as one float64 division of
+// the exact total sum by the exact row count.
+func (sn *Snapshot) Avg() float64 {
+	var sum, count uint64
+	sn.eachGroup(func(_ uint64, p *agg.Partial, _ *arena.Arena) {
+		sum += p.Sum()
+		count += p.Count()
+	})
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
+}
+
+// Median executes Q6: MEDIAN over the key column. Unlike the batch hash
+// engines — which cannot enumerate keys in order and return ErrUnsupported
+// — the snapshot's per-group counts make the scalar median exact: sort the
+// (key, count) pairs and walk cumulative counts to the middle rank(s).
+func (sn *Snapshot) Median() (float64, error) {
+	groups := make([]agg.GroupCount, 0, sn.Groups())
+	var n uint64
+	sn.eachGroup(func(k uint64, p *agg.Partial, _ *arena.Arena) {
+		groups = append(groups, agg.GroupCount{Key: k, Count: p.Count()})
+		n += p.Count()
+	})
+	if n == 0 {
+		return 0, nil
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	if n%2 == 1 {
+		return float64(keyAtRank(groups, n/2)), nil
+	}
+	lo := keyAtRank(groups, n/2-1)
+	hi := keyAtRank(groups, n/2)
+	return (float64(lo) + float64(hi)) / 2, nil
+}
+
+// keyAtRank returns the key at 0-based rank r of the expansion of the
+// sorted (key, count) runs.
+func keyAtRank(groups []agg.GroupCount, r uint64) uint64 {
+	var cum uint64
+	for _, g := range groups {
+		cum += g.Count
+		if r < cum {
+			return g.Key
+		}
+	}
+	return groups[len(groups)-1].Key
+}
+
+// CountRange executes Q7: Q1 restricted to lo <= key <= hi, rows ascending
+// by key (the tree-engine convention — a range query is inherently
+// ordered). The error is always nil; the signature matches the batch
+// engines'.
+func (sn *Snapshot) CountRange(lo, hi uint64) ([]agg.GroupCount, error) {
+	var out []agg.GroupCount
+	sn.eachGroup(func(k uint64, p *agg.Partial, _ *arena.Arena) {
+		if lo <= k && k <= hi {
+			out = append(out, agg.GroupCount{Key: k, Count: p.Count()})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

@@ -1,0 +1,313 @@
+// Package stream is the streaming aggregation subsystem: it maintains the
+// repo's aggregate queries while rows keep arriving, instead of requiring a
+// complete dataset up front like the batch engines in internal/agg.
+//
+// The design is a miniature LSM for aggregate state, built from three
+// pieces the repo already has:
+//
+//   - Sharded ingest. N writer shards each own a private delta table
+//     (hashtbl.LinearProbe over agg.Partial — every group's distributive
+//     folds maintained eagerly, plus arena-backed value lists when holistic
+//     queries are enabled). Appends are batched and flow through a bounded
+//     channel per shard: when a shard falls behind, Append blocks — the
+//     backpressure contract; rows are never dropped.
+//
+//   - Sealed deltas and merged generations. When a delta reaches the seal
+//     threshold its shard freezes it and publishes it into the queryable
+//     view; a background merger folds batches of sealed deltas into a new
+//     immutable base generation, radix-partitioned by internal/radix so the
+//     fold parallelizes over disjoint key partitions (the Hash_RX
+//     discipline: every key lives in exactly one partition, so partitions
+//     merge independently with no locks). Partitions untouched by a merge
+//     cycle are shared structurally with the previous generation.
+//
+//   - Snapshot queries. Snapshot atomically pins the current view — one
+//     base generation plus the sealed deltas not yet merged — with a plain
+//     atomic pointer load: no stop-the-world, no reader/writer locks.
+//     Everything a view references is immutable, so readers compute any
+//     Q1–Q7 result consistent with the view's row-count watermark while
+//     writers and the merger proceed; superseded state is reclaimed by the
+//     garbage collector once the last snapshot drops it (GC is the epoch
+//     scheme).
+//
+// Mergeability is what makes the whole scheme sound: agg.Partial.Merge is
+// exact for every distributive ReduceOp and for the algebraic avg, and the
+// holistic functions are order-insensitive over the merged value multiset,
+// so any interleaving of shards, seals and merges yields results identical
+// to a batch engine run over the same rows (the stream-vs-batch equivalence
+// gate in equiv_test.go checks exactly that).
+package stream
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memagg/internal/radix"
+)
+
+// ErrClosed is returned by Append and Flush after Close.
+var ErrClosed = errors.New("stream: closed")
+
+// Config sizes a Stream. The zero value is usable; every field has a
+// sensible default.
+type Config struct {
+	// Shards is the number of writer shards (private delta tables fed by
+	// independent queues). <= 0 uses GOMAXPROCS.
+	Shards int
+
+	// QueueDepth bounds each shard's ingest channel, in batches. A full
+	// queue blocks Append — backpressure, not loss. <= 0 means 8.
+	QueueDepth int
+
+	// SealRows is the delta size (rows) that triggers a seal: the shard
+	// freezes the delta, publishes it to the queryable view, and starts a
+	// fresh one. Smaller values lower snapshot staleness but merge more
+	// often. <= 0 means 32768.
+	SealRows int
+
+	// MergeBits is the radix fan-out of the base generation: groups are
+	// partitioned by the top MergeBits of the shared hash finalizer, and
+	// merge cycles rebuild only the partitions that received delta rows.
+	// Fixed for the stream's lifetime. <= 0 means 6 (64 partitions);
+	// clamped to [1, radix.MaxBits].
+	MergeBits int
+
+	// MergeWorkers is the parallelism of a merge cycle (the radix scatter
+	// and the per-partition folds). <= 0 uses GOMAXPROCS.
+	MergeWorkers int
+
+	// Holistic retains every group's value multiset (arena-backed lists),
+	// enabling median/quantile/mode snapshot queries at the memory cost
+	// holistic functions always carry. Off, holistic queries return
+	// agg.ErrUnsupported.
+	Holistic bool
+
+	// testBatchHook, when set, runs in the shard goroutine for every batch
+	// received. Test-only: it lets the backpressure test stall a shard
+	// deterministically.
+	testBatchHook func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.SealRows <= 0 {
+		c.SealRows = 1 << 15
+	}
+	if c.MergeBits <= 0 {
+		c.MergeBits = 6
+	}
+	if c.MergeBits > radix.MaxBits {
+		c.MergeBits = radix.MaxBits
+	}
+	if c.MergeWorkers <= 0 {
+		c.MergeWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Stream is a live streaming aggregation: Append feeds it, Snapshot reads
+// it. Append is safe for concurrent use by multiple producers; Snapshot and
+// Stats are safe from any goroutine at any time. Close must not race
+// Append or Flush.
+type Stream struct {
+	cfg    Config
+	shards []*shard
+
+	// view is the queryable state: an immutable (base, sealed deltas,
+	// watermark) triple swapped atomically. viewMu serializes installs
+	// (seals and merge publications); readers never take it.
+	view   atomic.Pointer[view]
+	viewMu sync.Mutex
+
+	wake chan struct{} // merger doorbell (capacity 1)
+
+	rr       atomic.Uint64 // round-robin shard cursor
+	ingested atomic.Uint64 // rows accepted by Append
+	closed   atomic.Bool
+
+	shardWG  sync.WaitGroup
+	mergerWG sync.WaitGroup
+
+	merges     atomic.Uint64
+	mergeNanos atomic.Int64
+	lastMerge  atomic.Int64
+}
+
+// view is one immutable queryable state. watermark is the number of rows
+// the view covers: base.rows plus the sealed deltas' rows. Rows still in
+// shard queues or unsealed deltas are not yet visible.
+type view struct {
+	base      *generation
+	sealed    []*delta
+	watermark uint64
+}
+
+// batch is one ingest unit: either rows (keys/vals, equal length) or a
+// flush marker (ack non-nil).
+type batch struct {
+	keys, vals []uint64
+	ack        chan<- struct{}
+}
+
+// New starts a stream: Shards writer goroutines plus one merger.
+func New(cfg Config) *Stream {
+	cfg = cfg.withDefaults()
+	s := &Stream{cfg: cfg, wake: make(chan struct{}, 1)}
+	s.view.Store(&view{})
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh := &shard{s: s, ch: make(chan batch, cfg.QueueDepth)}
+		s.shards[i] = sh
+		s.shardWG.Add(1)
+		go sh.run()
+	}
+	s.mergerWG.Add(1)
+	go s.mergerLoop()
+	return s
+}
+
+// Append ingests one batch of rows: vals[i] belongs to keys[i], and a short
+// vals slice zero-extends, matching the batch operators. The batch is
+// copied (the caller may reuse its slices) and handed to one shard,
+// round-robin; if that shard's queue is full, Append blocks until the shard
+// drains — rows are never dropped. Rows become visible to snapshots once
+// their delta seals (see Flush).
+func (s *Stream) Append(keys, vals []uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	buf := make([]uint64, 2*n)
+	bk, bv := buf[:n], buf[n:]
+	copy(bk, keys)
+	copy(bv, vals) // zero-extended: buf starts zeroed
+	// Count before the send: a fast shard may seal these rows the moment
+	// they land, and the watermark must never be observed ahead of the
+	// ingested count (rows waiting in a queue are "ingested, not visible").
+	s.ingested.Add(uint64(n))
+	sh := s.shards[int(s.rr.Add(1)-1)%len(s.shards)]
+	sh.ch <- batch{keys: bk, vals: bv}
+	return nil
+}
+
+// Flush seals every shard's current delta and returns once the rows of all
+// batches this caller appended before the call are visible to snapshots
+// (the per-shard queues are FIFO, so the flush markers drain behind them).
+// It does not wait for the merger; sealed deltas are already queryable.
+func (s *Stream) Flush() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	ack := make(chan struct{}, len(s.shards))
+	for _, sh := range s.shards {
+		sh.ch <- batch{ack: ack}
+	}
+	for range s.shards {
+		<-ack
+	}
+	return nil
+}
+
+// Close seals all remaining rows, waits for the merger to fold every
+// sealed delta into a final base generation, and stops the background
+// goroutines. The stream stays queryable (Snapshot/Stats) after Close;
+// further Append/Flush calls return ErrClosed. Close must not be called
+// concurrently with Append or Flush.
+func (s *Stream) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.shardWG.Wait()
+	close(s.wake)
+	s.mergerWG.Wait()
+	return nil
+}
+
+// install publishes nv as the current view. Callers hold viewMu. The
+// watermark is append-only state, so it must never move backwards — a
+// regression here would hand snapshots an inconsistent row count.
+func (s *Stream) install(nv *view) {
+	if cur := s.view.Load(); cur != nil && nv.watermark < cur.watermark {
+		panic("stream: watermark moved backwards")
+	}
+	s.view.Store(nv)
+}
+
+// publish appends a freshly sealed delta to the view (making its rows
+// visible) and rings the merger's doorbell.
+func (s *Stream) publish(d *delta) {
+	s.viewMu.Lock()
+	v := s.view.Load()
+	sealed := make([]*delta, len(v.sealed)+1)
+	copy(sealed, v.sealed)
+	sealed[len(v.sealed)] = d
+	s.install(&view{base: v.base, sealed: sealed, watermark: v.watermark + d.rows})
+	s.viewMu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stats is a point-in-time report of the stream's ingest and merge state.
+type Stats struct {
+	Shards   int
+	Holistic bool
+
+	// Ingested counts rows accepted by Append; Watermark counts rows
+	// visible to a Snapshot taken now; Staleness is their difference (rows
+	// still in shard queues or unsealed deltas).
+	Ingested  uint64
+	Watermark uint64
+	Staleness uint64
+
+	// SealedPending is the number of sealed deltas awaiting merge;
+	// Generation counts base generations built; Groups is the group count
+	// of the current base (excluding unmerged deltas).
+	SealedPending int
+	Generation    uint64
+	Groups        int
+
+	// Merges counts merge cycles; MergeTotal/MergeLast time them.
+	Merges     uint64
+	MergeTotal time.Duration
+	MergeLast  time.Duration
+}
+
+// Stats reports the stream's current state. Safe from any goroutine.
+func (s *Stream) Stats() Stats {
+	v := s.view.Load()
+	ing := s.ingested.Load()
+	st := Stats{
+		Shards:        len(s.shards),
+		Holistic:      s.cfg.Holistic,
+		Ingested:      ing,
+		Watermark:     v.watermark,
+		SealedPending: len(v.sealed),
+		Merges:        s.merges.Load(),
+		MergeTotal:    time.Duration(s.mergeNanos.Load()),
+		MergeLast:     time.Duration(s.lastMerge.Load()),
+	}
+	if ing > v.watermark {
+		st.Staleness = ing - v.watermark
+	}
+	if v.base != nil {
+		st.Generation = v.base.seq
+		st.Groups = v.base.groups
+	}
+	return st
+}

@@ -11,6 +11,12 @@ go test ./...
 
 go test -race ./internal/agg/... ./internal/radix/...
 
+# The streaming subsystem's whole design is concurrent (sharded writers,
+# background merger, lock-free snapshot pinning), so its entire suite —
+# including the stream-vs-batch equivalence gate — runs under the race
+# detector.
+go test -race ./internal/stream/...
+
 # Allocs-regression smoke check: the arena-backed holistic Q3 must stay
 # within its recorded allocs/op budget (and keep its >=10x margin over the
 # go-runtime allocator). Catches per-row/per-group allocations creeping

@@ -1,0 +1,236 @@
+package memagg
+
+import (
+	"memagg/internal/agg"
+	"memagg/internal/stream"
+)
+
+// StreamOptions configures a Stream. The zero value is usable: it serves
+// distributive and algebraic queries with one shard per CPU.
+//
+// Workload reuses Recommend's workload model to size the stream instead of
+// the batch backend choice: Function == Holistic retains value multisets,
+// Multithreaded toggles sharded ingest, and EstimatedGroups sizes the
+// merge fan-out so each base partition stays cache-sized. Explicit fields
+// override what Workload derives.
+type StreamOptions struct {
+	// Workload describes the queries this stream will serve; see Recommend.
+	Workload Workload
+
+	// Shards is the number of writer shards. <= 0 derives it from the
+	// workload: GOMAXPROCS when Workload.Multithreaded, otherwise 1.
+	Shards int
+
+	// QueueDepth bounds each shard's ingest queue, in batches; a full queue
+	// blocks Append (backpressure, not loss). <= 0 means 8.
+	QueueDepth int
+
+	// SealRows is the delta size that triggers publication to the queryable
+	// view. Smaller values lower snapshot staleness. <= 0 means 32768.
+	SealRows int
+
+	// MergeWorkers is the parallelism of background merge cycles. <= 0
+	// means GOMAXPROCS.
+	MergeWorkers int
+
+	// Holistic retains every group's value multiset, enabling
+	// MedianByKey/QuantileByKey/ModeByKey on snapshots. Also implied by
+	// Workload.Function == Holistic.
+	Holistic bool
+}
+
+// streamMergeBits sizes the base generation's radix fan-out from the
+// expected group count, targeting ~4Ki groups per partition (the
+// cache-sized-table discipline Hash_RX uses); 0 lets the stream default
+// apply. The stream clamps to the partitioner's maximum.
+func streamMergeBits(estimatedGroups int) int {
+	bits := 0
+	for g := estimatedGroups; g > 4096; g >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// Stream is a live streaming aggregation: rows Append-ed in batches become
+// visible to Snapshot queries once sealed, while a background merger folds
+// sealed state into an immutable, radix-partitioned base generation.
+// Append is safe for concurrent producers; Snapshot and Stats are safe
+// from any goroutine. See internal/stream for the full design.
+type Stream struct {
+	s      *stream.Stream
+	advice Advice
+}
+
+// NewStream starts a streaming aggregation sized by opts.
+func NewStream(opts StreamOptions) *Stream {
+	holistic := opts.Holistic || opts.Workload.Function == Holistic
+	shards := opts.Shards
+	if shards <= 0 && !opts.Workload.Multithreaded {
+		shards = 1
+	}
+	cfg := stream.Config{
+		Shards:       shards, // <= 0 (multithreaded workload): GOMAXPROCS
+		QueueDepth:   opts.QueueDepth,
+		SealRows:     opts.SealRows,
+		MergeBits:    streamMergeBits(opts.Workload.EstimatedGroups),
+		MergeWorkers: opts.MergeWorkers,
+		Holistic:     holistic,
+	}
+	return &Stream{s: stream.New(cfg), advice: Recommend(opts.Workload)}
+}
+
+// Advice reports what Recommend selects for this stream's workload — the
+// batch backend the paper's experiments favour for the same queries,
+// useful when deciding between streaming and batch execution.
+func (s *Stream) Advice() Advice { return s.advice }
+
+// Append ingests one batch of rows: values[i] belongs to keys[i], and a
+// short values slice treats missing values as zero (the batch operators'
+// convention). The slices are copied; the caller may reuse them. Append
+// blocks when the receiving shard's queue is full and returns ErrClosed
+// after Close. Rows become visible to snapshots once their delta seals;
+// call Flush for an immediate visibility barrier.
+func (s *Stream) Append(keys, values []uint64) error { return s.s.Append(keys, values) }
+
+// Flush makes every row this caller appended before the call visible to
+// subsequent snapshots.
+func (s *Stream) Flush() error { return s.s.Flush() }
+
+// Close seals all remaining rows, folds everything into a final base
+// generation, and stops the background goroutines. The stream remains
+// queryable after Close. Close must not race Append or Flush.
+func (s *Stream) Close() error { return s.s.Close() }
+
+// Snapshot pins the current queryable state — every row sealed so far,
+// exactly Watermark() of them — without blocking writers or the merger.
+func (s *Stream) Snapshot() *StreamSnapshot { return &StreamSnapshot{sn: s.s.Snapshot()} }
+
+// StreamStats is a point-in-time report of a stream's ingest and merge
+// state.
+type StreamStats struct {
+	// Shards and Holistic echo the stream's configuration.
+	Shards   int
+	Holistic bool
+
+	// Ingested counts rows accepted by Append; Watermark counts rows
+	// visible to a snapshot taken now; Staleness is their difference —
+	// rows still queued or in unsealed deltas.
+	Ingested  uint64
+	Watermark uint64
+	Staleness uint64
+
+	// SealedPending counts sealed deltas awaiting the merger; Generation
+	// counts base generations built; Groups is the current base's group
+	// count (unmerged deltas excluded).
+	SealedPending int
+	Generation    uint64
+	Groups        int
+
+	// Merges counts completed merge cycles; MergeTotalNanos and
+	// MergeLastNanos time them.
+	Merges          uint64
+	MergeTotalNanos int64
+	MergeLastNanos  int64
+}
+
+// Stats reports the stream's current state. Safe from any goroutine.
+func (s *Stream) Stats() StreamStats {
+	st := s.s.Stats()
+	return StreamStats{
+		Shards:          st.Shards,
+		Holistic:        st.Holistic,
+		Ingested:        st.Ingested,
+		Watermark:       st.Watermark,
+		Staleness:       st.Staleness,
+		SealedPending:   st.SealedPending,
+		Generation:      st.Generation,
+		Groups:          st.Groups,
+		Merges:          st.Merges,
+		MergeTotalNanos: int64(st.MergeTotal),
+		MergeLastNanos:  int64(st.MergeLast),
+	}
+}
+
+// StreamSnapshot answers the full Q1–Q7 query set over one consistent
+// point of the stream: every query sees exactly Watermark() rows, no
+// matter how long the snapshot is held or what writers do meanwhile.
+// Vector row order is unspecified except CountRange (ascending by key).
+type StreamSnapshot struct {
+	sn *stream.Snapshot
+}
+
+// Watermark returns the number of rows this snapshot covers.
+func (sn *StreamSnapshot) Watermark() uint64 { return sn.sn.Watermark() }
+
+// Groups returns the number of distinct keys this snapshot covers.
+func (sn *StreamSnapshot) Groups() int { return sn.sn.Groups() }
+
+// CountByKey executes Q1: one (key, COUNT(*)) row per distinct key.
+func (sn *StreamSnapshot) CountByKey() []GroupCount { return toCounts(sn.sn.CountByKey()) }
+
+// AvgByKey executes Q2: one (key, AVG(values)) row per distinct key.
+func (sn *StreamSnapshot) AvgByKey() []GroupValue { return toValues(sn.sn.AvgByKey()) }
+
+// MedianByKey executes Q3 (holistic): one (key, MEDIAN(values)) row per
+// distinct key. Requires a holistic stream (StreamOptions.Holistic or a
+// holistic workload); otherwise ErrUnsupported.
+func (sn *StreamSnapshot) MedianByKey() ([]GroupValue, error) {
+	rows, err := sn.sn.MedianByKey()
+	if err != nil {
+		return nil, err
+	}
+	return toValues(rows), nil
+}
+
+// QuantileByKey returns one (key, q-quantile of values) row per distinct
+// key by the nearest-rank method. Holistic streams only.
+func (sn *StreamSnapshot) QuantileByKey(q float64) ([]GroupValue, error) {
+	rows, err := sn.sn.Holistic(agg.QuantileFunc(q))
+	if err != nil {
+		return nil, err
+	}
+	return toValues(rows), nil
+}
+
+// ModeByKey returns one (key, most frequent value) row per distinct key.
+// Holistic streams only.
+func (sn *StreamSnapshot) ModeByKey() ([]GroupValue, error) {
+	rows, err := sn.sn.Holistic(agg.ModeFunc)
+	if err != nil {
+		return nil, err
+	}
+	return toValues(rows), nil
+}
+
+// Count executes Q4: COUNT(*) over the snapshot — its watermark.
+func (sn *StreamSnapshot) Count() uint64 { return sn.sn.Count() }
+
+// Avg executes Q5: AVG over the value column.
+func (sn *StreamSnapshot) Avg() float64 { return sn.sn.Avg() }
+
+// Median executes Q6: MEDIAN over the key column. Always supported — the
+// snapshot's per-group counts stand in for the ordered enumeration the
+// batch hash backends lack.
+func (sn *StreamSnapshot) Median() (float64, error) { return sn.sn.Median() }
+
+// CountRange executes Q7: Q1 restricted to lo <= key <= hi, rows
+// ascending by key.
+func (sn *StreamSnapshot) CountRange(lo, hi uint64) ([]GroupCount, error) {
+	rows, err := sn.sn.CountRange(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return toCounts(rows), nil
+}
+
+// SumByKey returns one (key, SUM(values)) row per distinct key.
+func (sn *StreamSnapshot) SumByKey() []GroupStat { return toStats(sn.sn.Reduce(agg.OpSum)) }
+
+// MinByKey returns one (key, MIN(values)) row per distinct key.
+func (sn *StreamSnapshot) MinByKey() []GroupStat { return toStats(sn.sn.Reduce(agg.OpMin)) }
+
+// MaxByKey returns one (key, MAX(values)) row per distinct key.
+func (sn *StreamSnapshot) MaxByKey() []GroupStat { return toStats(sn.sn.Reduce(agg.OpMax)) }
+
+// ErrStreamClosed reports an Append or Flush on a closed stream.
+var ErrStreamClosed = stream.ErrClosed
