@@ -5,28 +5,33 @@
 //
 // Endpoints:
 //
-//	POST /ingest  {"keys":[1,2,1],"vals":[10,20,30]}   append one batch
-//	POST /flush                                        visibility barrier
+//	POST /ingest      {"keys":[1,2,1],"vals":[10,20,30]}   append one batch
+//	POST /flush                                            visibility barrier
 //	GET  /query?q=q1|q2|...|q7|sum|min|max|quantile|mode
-//	GET  /stats                                        ingest/merge state
+//	GET  /stats                                            ingest/merge state
+//	GET  /metrics                                          Prometheus text format
+//	GET  /debug/vars                                       expvar-style JSON
 //
 // Query aliases: q1=count_by_key q2=avg_by_key q3=median_by_key q4=count
 // q5=avg q6=median q7=range (with lo= and hi=); quantile takes p=0.9.
 // Every query runs over a snapshot: a consistent state tagged with the
 // row-count watermark it covers, taken without pausing ingest.
+//
+// /metrics serves three metric groups in one scrape: the process-global
+// instruments (engine phase timings, arena accounting), the stream's
+// (ingest rows/batches, append latency, backpressure blocked time, seals,
+// merges, snapshot staleness), and the server's own per-route request
+// counters and latency histograms.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"syscall"
 	"time"
 
@@ -47,13 +52,7 @@ func main() {
 		Holistic: *holistic,
 	})
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) { handleIngest(s, w, r) })
-	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) { handleFlush(s, w, r) })
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) { handleQuery(s, w, r) })
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) { writeJSON(w, s.Stats()) })
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: newServer(s)}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -66,8 +65,8 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("aggserve: shutdown: %v", err)
 		}
-		// In-flight handlers have drained: safe to close the stream (Close
-		// must not race Append/Flush).
+		// In-flight handlers have drained; any that race the close observe
+		// ErrClosed (Close is safe against concurrent Append/Flush).
 		if err := s.Close(); err != nil {
 			log.Printf("aggserve: close: %v", err)
 		}
@@ -78,139 +77,4 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
-}
-
-type ingestRequest struct {
-	Keys []uint64 `json:"keys"`
-	Vals []uint64 `json:"vals"`
-}
-
-func handleIngest(s *memagg.Stream, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var req ingestRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	if len(req.Vals) > len(req.Keys) {
-		httpError(w, http.StatusBadRequest, "more vals than keys")
-		return
-	}
-	if err := s.Append(req.Keys, req.Vals); err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
-	writeJSON(w, map[string]any{"appended": len(req.Keys), "ingested": s.Stats().Ingested})
-}
-
-func handleFlush(s *memagg.Stream, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	if err := s.Flush(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
-	writeJSON(w, map[string]any{"watermark": s.Stats().Watermark})
-}
-
-// queryResponse tags every result with the snapshot watermark it is
-// consistent with.
-type queryResponse struct {
-	Query     string `json:"query"`
-	Watermark uint64 `json:"watermark"`
-	Result    any    `json:"result"`
-}
-
-func handleQuery(s *memagg.Stream, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	q := r.URL.Query().Get("q")
-	sn := s.Snapshot()
-	var (
-		result any
-		err    error
-	)
-	switch q {
-	case "q1", "count_by_key":
-		result = sn.CountByKey()
-	case "q2", "avg_by_key":
-		result = sn.AvgByKey()
-	case "q3", "median_by_key":
-		result, err = sn.MedianByKey()
-	case "q4", "count":
-		result = sn.Count()
-	case "q5", "avg":
-		result = sn.Avg()
-	case "q6", "median":
-		result, err = sn.Median()
-	case "q7", "range":
-		var lo, hi uint64
-		if lo, err = queryUint(r, "lo"); err == nil {
-			if hi, err = queryUint(r, "hi"); err == nil {
-				result, err = sn.CountRange(lo, hi)
-			}
-		}
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-	case "sum":
-		result = sn.SumByKey()
-	case "min":
-		result = sn.MinByKey()
-	case "max":
-		result = sn.MaxByKey()
-	case "quantile":
-		p, perr := strconv.ParseFloat(r.URL.Query().Get("p"), 64)
-		if perr != nil {
-			httpError(w, http.StatusBadRequest, "quantile needs p=0..1")
-			return
-		}
-		result, err = sn.QuantileByKey(p)
-	case "mode":
-		result, err = sn.ModeByKey()
-	case "":
-		httpError(w, http.StatusBadRequest, "missing q parameter")
-		return
-	default:
-		httpError(w, http.StatusBadRequest, "unknown query "+strconv.Quote(q))
-		return
-	}
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, memagg.ErrUnsupported) {
-			status = http.StatusUnprocessableEntity
-		}
-		httpError(w, status, err.Error())
-		return
-	}
-	writeJSON(w, queryResponse{Query: q, Watermark: sn.Watermark(), Result: result})
-}
-
-func queryUint(r *http.Request, name string) (uint64, error) {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return 0, fmt.Errorf("range needs %s=", name)
-	}
-	return strconv.ParseUint(v, 10, 64)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("aggserve: encode: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

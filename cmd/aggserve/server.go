@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"memagg"
+	"memagg/internal/obs"
+)
+
+// statusClientClosedRequest reports a request whose client disconnected
+// before the response was ready (the nginx convention; Go's standard
+// status list stops at 511).
+const statusClientClosedRequest = 499
+
+// server wires one memagg.Stream to the HTTP API. Every route passes
+// through the metrics middleware (per-route request counters by status
+// code, per-route latency histograms), and /metrics serves those families
+// next to the process-global registry (engine phases, arena accounting)
+// and the stream's own (ingest, seal, merge, snapshot instruments).
+type server struct {
+	stream   *memagg.Stream
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+}
+
+func newServer(s *memagg.Stream) *server {
+	reg := obs.NewRegistry()
+	srv := &server{
+		stream: s,
+		mux:    http.NewServeMux(),
+		reg:    reg,
+		requests: reg.NewCounterVec("memagg_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		latency: reg.NewHistogramVec("memagg_http_request_seconds",
+			"HTTP request latency, by route.", "route"),
+	}
+	srv.handle("/ingest", srv.handleIngest)
+	srv.handle("/flush", srv.handleFlush)
+	srv.handle("/query", srv.handleQuery)
+	srv.handle("/stats", srv.handleStats)
+	regs := []*obs.Registry{obs.Default, s.MetricsRegistry(), reg}
+	srv.mux.Handle("/metrics", obs.Handler(regs...))
+	srv.mux.Handle("/debug/vars", obs.VarsHandler(regs...))
+	return srv
+}
+
+func (srv *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	srv.mux.ServeHTTP(w, r)
+}
+
+// statusWriter captures the status code a handler writes (200 when the
+// handler never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers h under route behind the metrics middleware.
+func (srv *server) handle(route string, h http.HandlerFunc) {
+	lat := srv.latency.With(route)
+	srv.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		mk := obs.Start()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		mk.Tick(lat)
+		srv.requests.With(route, strconv.Itoa(sw.status)).Inc()
+	})
+}
+
+type ingestRequest struct {
+	Keys []uint64 `json:"keys"`
+	Vals []uint64 `json:"vals"`
+}
+
+func (srv *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Vals) > len(req.Keys) {
+		httpError(w, http.StatusBadRequest, "more vals than keys")
+		return
+	}
+	if err := srv.stream.Append(req.Keys, req.Vals); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"appended": len(req.Keys), "ingested": srv.stream.Stats().Ingested})
+}
+
+func (srv *server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := srv.stream.Flush(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"watermark": srv.stream.Stats().Watermark})
+}
+
+func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, srv.stream.Stats())
+}
+
+// queryResponse tags every result with the snapshot watermark it is
+// consistent with.
+type queryResponse struct {
+	Query     string `json:"query"`
+	Watermark uint64 `json:"watermark"`
+	Result    any    `json:"result"`
+}
+
+// outcome is one finished query: result on success, status+message on
+// failure (status 0 means success).
+type outcome struct {
+	result any
+	status int
+	errMsg string
+}
+
+func (srv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	sn := srv.stream.Snapshot()
+	done := make(chan outcome, 1)
+	go func() { done <- runQuery(sn, q, r.URL.Query()) }()
+	select {
+	case <-r.Context().Done():
+		// The client went away or the server is draining: stop waiting.
+		// The snapshot query finishes in the background and is discarded —
+		// snapshots are read-only, so there is nothing to undo.
+		httpError(w, statusClientClosedRequest, "request canceled: "+r.Context().Err().Error())
+	case o := <-done:
+		if o.status != 0 {
+			httpError(w, o.status, o.errMsg)
+			return
+		}
+		writeJSON(w, queryResponse{Query: q, Watermark: sn.Watermark(), Result: o.result})
+	}
+}
+
+// runQuery executes one named query over a pinned snapshot.
+func runQuery(sn *memagg.StreamSnapshot, q string, params url.Values) outcome {
+	var (
+		result any
+		err    error
+	)
+	switch q {
+	case "q1", "count_by_key":
+		result = sn.CountByKey()
+	case "q2", "avg_by_key":
+		result = sn.AvgByKey()
+	case "q3", "median_by_key":
+		result, err = sn.MedianByKey()
+	case "q4", "count":
+		result = sn.Count()
+	case "q5", "avg":
+		result = sn.Avg()
+	case "q6", "median":
+		result, err = sn.Median()
+	case "q7", "range":
+		lo, lerr := queryUint(params, "lo")
+		hi, herr := queryUint(params, "hi")
+		if lerr != nil {
+			return outcome{status: http.StatusBadRequest, errMsg: lerr.Error()}
+		}
+		if herr != nil {
+			return outcome{status: http.StatusBadRequest, errMsg: herr.Error()}
+		}
+		result, err = sn.CountRange(lo, hi)
+	case "sum":
+		result = sn.SumByKey()
+	case "min":
+		result = sn.MinByKey()
+	case "max":
+		result = sn.MaxByKey()
+	case "quantile":
+		p, perr := strconv.ParseFloat(params.Get("p"), 64)
+		if perr != nil {
+			return outcome{status: http.StatusBadRequest, errMsg: "quantile needs p=0..1"}
+		}
+		result, err = sn.QuantileByKey(p)
+	case "mode":
+		result, err = sn.ModeByKey()
+	default:
+		return outcome{status: http.StatusBadRequest, errMsg: "unknown query " + strconv.Quote(q)}
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, memagg.ErrUnsupportedQuery) {
+			status = http.StatusUnprocessableEntity
+		}
+		return outcome{status: status, errMsg: err.Error()}
+	}
+	return outcome{result: result}
+}
+
+func queryUint(params url.Values, name string) (uint64, error) {
+	v := params.Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("range needs %s=", name)
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("aggserve: encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

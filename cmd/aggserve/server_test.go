@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"memagg"
+)
+
+// newTestServer starts a holistic stream with a tiny seal threshold so
+// flushed rows become visible immediately, wrapped in the HTTP server.
+func newTestServer(t *testing.T) (*server, *memagg.Stream) {
+	t.Helper()
+	s := memagg.NewStream(memagg.StreamOptions{Shards: 2, SealRows: 4, Holistic: true})
+	t.Cleanup(func() { _ = s.Close() })
+	return newServer(s), s
+}
+
+func do(t *testing.T, srv *server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	return w
+}
+
+func TestIngestFlushQueryRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	w := do(t, srv, http.MethodPost, "/ingest", `{"keys":[1,2,1,3],"vals":[10,20,30,40]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, srv, http.MethodPost, "/flush", ""); w.Code != http.StatusOK {
+		t.Fatalf("flush = %d: %s", w.Code, w.Body)
+	}
+
+	w = do(t, srv, http.MethodGet, "/query?q=q1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("query q1 = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Query     string `json:"query"`
+		Watermark uint64 `json:"watermark"`
+		Result    []struct {
+			Key   uint64 `json:"Key"`
+			Count uint64 `json:"Count"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("q1 response: %v", err)
+	}
+	if resp.Watermark != 4 || len(resp.Result) != 3 {
+		t.Fatalf("q1 = watermark %d, %d groups; want 4, 3", resp.Watermark, len(resp.Result))
+	}
+	counts := map[uint64]uint64{}
+	for _, r := range resp.Result {
+		counts[r.Key] = r.Count
+	}
+	if counts[1] != 2 || counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("q1 counts = %v", counts)
+	}
+
+	// A holistic stream answers q3 over the same snapshot state.
+	if w := do(t, srv, http.MethodGet, "/query?q=q3", ""); w.Code != http.StatusOK {
+		t.Fatalf("query q3 = %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	cases := []struct {
+		target string
+		want   int
+	}{
+		{"/query?q=", http.StatusBadRequest},
+		{"/query?q=nonsense", http.StatusBadRequest},
+		{"/query?q=q7", http.StatusBadRequest},       // missing lo/hi
+		{"/query?q=quantile", http.StatusBadRequest}, // missing p
+		{"/query?q=q7&lo=9&hi=3", http.StatusOK},     // empty range is legal
+		{"/query?q=q1&extra=1", http.StatusOK},
+	}
+	for _, c := range cases {
+		if w := do(t, srv, http.MethodGet, c.target, ""); w.Code != c.want {
+			t.Errorf("GET %s = %d want %d (%s)", c.target, w.Code, c.want, w.Body)
+		}
+	}
+	if w := do(t, srv, http.MethodPost, "/query?q=q1", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /query = %d want 405", w.Code)
+	}
+	if w := do(t, srv, http.MethodPost, "/ingest", `{bad json`); w.Code != http.StatusBadRequest {
+		t.Errorf("bad ingest body = %d want 400", w.Code)
+	}
+	if w := do(t, srv, http.MethodPost, "/ingest", `{"keys":[1],"vals":[1,2]}`); w.Code != http.StatusBadRequest {
+		t.Errorf("more vals than keys = %d want 400", w.Code)
+	}
+}
+
+func TestUnsupportedQueryOnDistributiveStream(t *testing.T) {
+	s := memagg.NewStream(memagg.StreamOptions{Shards: 1, SealRows: 4})
+	t.Cleanup(func() { _ = s.Close() })
+	srv := newServer(s)
+	if w := do(t, srv, http.MethodGet, "/query?q=q3", ""); w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("q3 on distributive stream = %d want 422 (%s)", w.Code, w.Body)
+	}
+}
+
+func TestQueryCanceledContext(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := httptest.NewRequest(http.MethodGet, "/query?q=q1", nil).WithContext(ctx)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("canceled query = %d want %d (%s)", w.Code, statusClientClosedRequest, w.Body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Generate some traffic first so the route counters have values.
+	do(t, srv, http.MethodPost, "/ingest", `{"keys":[1,2],"vals":[1,2]}`)
+	do(t, srv, http.MethodPost, "/flush", "")
+	do(t, srv, http.MethodGet, "/query?q=q1", "")
+
+	w := do(t, srv, http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE memagg_engine_phase_seconds histogram", // global: engine phases (header even when empty)
+		"# TYPE memagg_arena_chunks_total counter",     // global: arena accounting
+		"memagg_stream_rows_total 2",                   // stream: ingest counter
+		"# TYPE memagg_stream_append_seconds histogram",
+		`memagg_http_requests_total{route="/ingest",code="200"} 1`, // server: route counters
+		`memagg_http_request_seconds_bucket{route="/query",`,
+		"memagg_stream_seals_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Prometheus text format sanity: every non-comment line is
+	// "name{labels} value" with a parseable float value.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+	}
+}
+
+func TestVarsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	do(t, srv, http.MethodPost, "/ingest", `{"keys":[7],"vals":[1]}`)
+	w := do(t, srv, http.MethodGet, "/debug/vars", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", w.Code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if v, ok := vars["memagg_stream_rows_total"]; !ok || v.(float64) != 1 {
+		t.Fatalf("memagg_stream_rows_total = %v (present=%v)", v, ok)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	do(t, srv, http.MethodPost, "/ingest", `{"keys":[1,1,2],"vals":[1,2,3]}`)
+	do(t, srv, http.MethodPost, "/flush", "")
+	w := do(t, srv, http.MethodGet, "/stats", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", w.Code)
+	}
+	var st memagg.StreamStats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/stats not JSON: %v", err)
+	}
+	if st.Ingested != 3 || st.Watermark != 3 || st.Batches != 1 || st.Seals == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,71 @@
+package memagg
+
+import (
+	"errors"
+	"fmt"
+
+	"memagg/internal/agg"
+	"memagg/internal/stream"
+)
+
+// Sentinel errors. Constructors and queries return errors that wrap these,
+// so callers branch with errors.Is instead of string matching:
+//
+//	if _, err := memagg.New(b, opts); errors.Is(err, memagg.ErrUnknownBackend) { ... }
+var (
+	// ErrUnknownBackend reports a Backend no constructor recognises —
+	// returned (wrapped) by New for a name outside Backends() and by
+	// NewIndex for a non-tree backend.
+	ErrUnknownBackend = errors.New("memagg: unknown backend")
+
+	// ErrUnknownAllocator reports an Options.Allocator outside Allocators().
+	ErrUnknownAllocator = errors.New("memagg: unknown allocator")
+
+	// ErrUnsupportedQuery reports a query the chosen backend cannot
+	// execute (hash backends answering Median or CountRange, holistic
+	// queries on a distributive stream). It is the same value as
+	// ErrUnsupported, under the name the rest of the error set uses.
+	ErrUnsupportedQuery = agg.ErrUnsupported
+
+	// ErrClosed reports an Append, Flush or repeated Close on a closed
+	// Stream. Identical to ErrStreamClosed.
+	ErrClosed = stream.ErrClosed
+)
+
+// QueryError reports a query an Aggregator's backend cannot execute,
+// carrying which backend and which query for error reports that span many
+// backends (the harness, the HTTP server). It wraps ErrUnsupportedQuery:
+// errors.Is(err, memagg.ErrUnsupportedQuery) holds.
+type QueryError struct {
+	Backend Backend
+	Query   string
+	Err     error
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("memagg: %s on backend %s: %v", e.Query, e.Backend, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// queryErr wraps an engine error in a QueryError naming this aggregator's
+// backend.
+func (a *Aggregator) queryErr(query string, err error) error {
+	return &QueryError{Backend: a.backend, Query: query, Err: err}
+}
+
+// wrapped pairs a sentinel with a free-form message: errors.Is matches the
+// sentinel while the message stays exactly what the call site wants (the
+// sentinel text need not be a prefix of it, which fmt.Errorf("%w ...")
+// would require).
+type wrapped struct {
+	msg string
+	err error
+}
+
+func (e *wrapped) Error() string { return e.msg }
+func (e *wrapped) Unwrap() error { return e.err }
+
+func wrapErr(sentinel error, format string, args ...any) error {
+	return &wrapped{msg: fmt.Sprintf(format, args...), err: sentinel}
+}

@@ -1,8 +1,6 @@
 package memagg
 
 import (
-	"fmt"
-
 	"memagg/internal/art"
 	"memagg/internal/btree"
 	"memagg/internal/judy"
@@ -45,7 +43,8 @@ func NewIndex(b Backend) (*Index, error) {
 	case Btree:
 		t = btree.New[uint64]()
 	default:
-		return nil, fmt.Errorf("memagg: Index requires a tree backend (ART, Judy, Btree), got %q", b)
+		return nil, wrapErr(ErrUnknownBackend,
+			"memagg: Index requires a tree backend (ART, Judy, Btree), got %q", b)
 	}
 	return &Index{backend: b, tree: t}, nil
 }

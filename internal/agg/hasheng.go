@@ -3,6 +3,7 @@ package agg
 import (
 	"memagg/internal/arena"
 	"memagg/internal/hashtbl"
+	"memagg/internal/obs"
 )
 
 // kvTable is the subset of the hash table surface the operators need. Each
@@ -85,13 +86,17 @@ func (e *hashEngine) Category() Category { return HashBased }
 func sizeHint(n int) int { return n }
 
 func (e *hashEngine) VectorCount(keys []uint64) []GroupCount {
+	ph := phasesFor(e.name)
+	m := obs.Start()
 	t := e.newCount(sizeHint(len(keys)))
 	buildCount(t, keys)
+	m = m.Tick(ph.build)
 	out := make([]GroupCount, 0, t.Len())
 	t.Iterate(func(k uint64, v *uint64) bool {
 		out = append(out, GroupCount{Key: k, Count: *v})
 		return true
 	})
+	m.Tick(ph.iterate)
 	return out
 }
 

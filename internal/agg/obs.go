@@ -1,0 +1,96 @@
+package agg
+
+import (
+	"sync"
+	"time"
+
+	"memagg/internal/obs"
+)
+
+// Engine phase instrumentation: the always-on generalization of the
+// CountPhases one-off. Every Q1 execution records its build / merge /
+// iterate split into a per-engine histogram family in obs.Default, using
+// the paper's Section 3 phase conventions:
+//
+//   - build:   folding records into the backing structure (upsert loop,
+//     sort, or radix scatter + partition builds);
+//   - merge:   combining per-worker state where the design has any
+//     (Hash_PLAT's partition-parallel merge; zero elsewhere — Hash_RX's
+//     partitions are disjoint by construction and need no merge);
+//   - iterate: reading the result out (table scan, run scan, or
+//     partition concatenation).
+//
+// Recording costs two to four time.Now calls per *query* (not per row),
+// which is noise next to any real aggregation; obs.SetDisabled removes
+// even that.
+var enginePhaseSeconds = obs.Default.NewHistogramVec(
+	"memagg_engine_phase_seconds",
+	"Aggregation engine phase durations (build/merge/iterate), per engine.",
+	"engine", "phase",
+)
+
+// phaseSet caches one engine's three phase histograms so the per-query
+// cost is a single sync.Map load (phasesFor) instead of three.
+type phaseSet struct {
+	build, merge, iterate *obs.Histogram
+}
+
+var phaseSets sync.Map // engine name -> *phaseSet
+
+// phasesFor returns the phase histograms for the named engine, creating
+// them on first use.
+func phasesFor(engine string) *phaseSet {
+	if ps, ok := phaseSets.Load(engine); ok {
+		return ps.(*phaseSet)
+	}
+	ps := &phaseSet{
+		build:   enginePhaseSeconds.With(engine, "build"),
+		merge:   enginePhaseSeconds.With(engine, "merge"),
+		iterate: enginePhaseSeconds.With(engine, "iterate"),
+	}
+	actual, _ := phaseSets.LoadOrStore(engine, ps)
+	return actual.(*phaseSet)
+}
+
+// recordPhases folds an externally measured split (CountPhases, the
+// harness) into the same histograms the inline instrumentation feeds.
+func recordPhases(engine string, build, merge, iterate time.Duration) {
+	if obs.Disabled() {
+		return
+	}
+	ps := phasesFor(engine)
+	ps.build.Observe(build)
+	if merge > 0 {
+		ps.merge.Observe(merge)
+	}
+	if iterate > 0 {
+		ps.iterate.Observe(iterate)
+	}
+}
+
+// PhaseStat is one engine×phase row of the recorded phase metrics — the
+// typed form behind memagg.Stats().
+type PhaseStat struct {
+	Engine string
+	Phase  string
+	// Count is the number of recorded executions of this phase;
+	// TotalNanos their summed duration.
+	Count      uint64
+	TotalNanos int64
+}
+
+// PhaseStats returns every recorded engine×phase series, in first-use
+// order. Phases that never ran (e.g. merge on a serial engine) report a
+// zero Count.
+func PhaseStats() []PhaseStat {
+	var out []PhaseStat
+	enginePhaseSeconds.Each(func(labels []string, h *obs.Histogram) {
+		out = append(out, PhaseStat{
+			Engine:     labels[0],
+			Phase:      labels[1],
+			Count:      h.Count(),
+			TotalNanos: int64(h.SumNanos()),
+		})
+	})
+	return out
+}

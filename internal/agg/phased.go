@@ -28,23 +28,35 @@ import (
 //   - Hash_RX: build = partition scatter + per-partition tables,
 //     iterate = row emission;
 //   - Adaptive: the phases of whichever engine the sample routes to.
+//
+// Every call also records the measured split into the engine's phase
+// histograms (see obs.go) — CountPhases is the precise, explicit-split
+// form of the always-on instrumentation the operators carry inline.
 func CountPhases(e Engine, keys []uint64) (rows []GroupCount, build, iterate time.Duration, ok bool) {
+	rows, build, merge, iterate, ok := countPhases(e, keys)
+	recordPhases(e.Name(), build, merge, iterate)
+	// The public split keeps its historical two-phase form: everything
+	// after the build (merge re-scans included) reads the result out.
+	return rows, build, merge + iterate, ok
+}
+
+func countPhases(e Engine, keys []uint64) (rows []GroupCount, build, merge, iterate time.Duration, ok bool) {
 	switch eng := e.(type) {
 	case *hashEngine:
 		t := eng.newCount(sizeHint(len(keys)))
 		build = timePhase(func() { buildCount(t, keys) })
 		iterate = timePhase(func() { rows = emitCounts(t) })
-		return rows, build, iterate, true
+		return rows, build, 0, iterate, true
 
 	case *treeEngine:
 		t := eng.newCount()
 		build = timePhase(func() { buildCount(t, keys) })
 		iterate = timePhase(func() { rows = emitCounts(t) })
-		return rows, build, iterate, true
+		return rows, build, 0, iterate, true
 
 	case *sortEngine:
 		if len(keys) == 0 {
-			return nil, 0, 0, true
+			return nil, 0, 0, 0, true
 		}
 		var buf []uint64
 		build = timePhase(func() {
@@ -52,7 +64,7 @@ func CountPhases(e Engine, keys []uint64) (rows []GroupCount, build, iterate tim
 			eng.sortU(buf)
 		})
 		iterate = timePhase(func() { rows = countRuns(buf) })
-		return rows, build, iterate, true
+		return rows, build, 0, iterate, true
 
 	case *cuckooEngine:
 		m := cuckoo.New[uint64](sizeHint(len(keys)))
@@ -70,7 +82,7 @@ func CountPhases(e Engine, keys []uint64) (rows []GroupCount, build, iterate tim
 				return true
 			})
 		})
-		return rows, build, iterate, true
+		return rows, build, 0, iterate, true
 
 	case *tbbEngine:
 		m := chash.New[uint64](sizeHint(len(keys)), 0)
@@ -88,21 +100,21 @@ func CountPhases(e Engine, keys []uint64) (rows []GroupCount, build, iterate tim
 				return true
 			})
 		})
-		return rows, build, iterate, true
+		return rows, build, 0, iterate, true
 
 	case *platEngine:
-		rows, build, iterate = eng.countPhased(keys)
-		return rows, build, iterate, true
+		rows, build, merge, iterate = eng.countPhased(keys)
+		return rows, build, merge, iterate, true
 
 	case *radixEngine:
 		rows, build, iterate = eng.countPhased(keys)
-		return rows, build, iterate, true
+		return rows, build, 0, iterate, true
 
 	case *adaptiveEngine:
-		return CountPhases(eng.choose(keys), keys)
+		return countPhases(eng.choose(keys), keys)
 	}
 	build = timePhase(func() { rows = e.VectorCount(keys) })
-	return rows, build, 0, false
+	return rows, build, 0, 0, false
 }
 
 func timePhase(f func()) time.Duration {
@@ -121,10 +133,11 @@ func emitCounts(t kvTable[uint64]) []GroupCount {
 	return out
 }
 
-// countPhased is platRun's Q1 with the phase boundary between local-table
-// construction (build) and the partition-parallel merge + emission
-// (iterate).
-func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, iterate time.Duration) {
+// countPhased is platRun's Q1 with the phase boundaries between local-table
+// construction (build), the partition-parallel merge re-scan including each
+// partition's row emission (merge), and the final concatenation (iterate) —
+// the same convention platRun's inline instrumentation uses.
+func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, merge, iterate time.Duration) {
 	p := e.workers()
 	if p > len(keys) {
 		p = 1
@@ -138,8 +151,8 @@ func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, itera
 			locals[w] = t
 		})
 	})
-	iterate = timePhase(func() {
-		parts := make(Result[GroupCount], p)
+	parts := make(Result[GroupCount], p)
+	merge = timePhase(func() {
 		parallelDo(p, func(w int) {
 			merged := hashtbl.NewLinearProbe[uint64](mergeHint(locals, w, p))
 			for _, lt := range locals {
@@ -152,9 +165,9 @@ func (e *platEngine) countPhased(keys []uint64) (rows []GroupCount, build, itera
 			}
 			parts[w] = emitCounts(merged)
 		})
-		rows = parts.Merge()
 	})
-	return rows, build, iterate
+	iterate = timePhase(func() { rows = parts.Merge() })
+	return rows, build, merge, iterate
 }
 
 // countPhased is rxRun's Q1 with the phase boundary between the radix

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"memagg/internal/hashtbl"
+	"memagg/internal/obs"
 )
 
 // parallelDo runs f(0)..f(p-1) concurrently and waits for all of them.
@@ -77,6 +78,8 @@ func platRun[T any, R any](
 	buildLocal func(lo, hi int) T,
 	mergePart func(w int, locals []T) []R,
 ) []R {
+	ph := phasesFor(e.Name())
+	m := obs.Start()
 	p := e.workers()
 	if p > len(keys) {
 		p = 1
@@ -86,11 +89,18 @@ func platRun[T any, R any](
 		lo, hi := len(keys)*w/p, len(keys)*(w+1)/p
 		locals[w] = buildLocal(lo, hi)
 	})
+	m = m.Tick(ph.build)
 	parts := make(Result[R], p)
 	parallelDo(p, func(w int) {
 		parts[w] = mergePart(w, locals)
 	})
-	return parts.Merge()
+	// merge covers the partition-parallel fold of the p local tables
+	// (including each partition's row emission, which mergePart fuses);
+	// iterate is the final concatenation.
+	m = m.Tick(ph.merge)
+	out := parts.Merge()
+	m.Tick(ph.iterate)
+	return out
 }
 
 // valSlice clamps vals to the chunk [lo, hi): the values column may be

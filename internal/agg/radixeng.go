@@ -6,6 +6,7 @@ import (
 
 	"memagg/internal/arena"
 	"memagg/internal/hashtbl"
+	"memagg/internal/obs"
 	"memagg/internal/radix"
 )
 
@@ -135,9 +136,16 @@ func chooseBits(n, workers, estGroups int) int {
 // the whole input as one partition, which keeps both code paths
 // behaviourally identical.
 func rxRun[R any](e *radixEngine, keys, vals []uint64, buildPart func(pkeys, pvals []uint64) []R) []R {
+	ph := phasesFor(e.Name())
+	m := obs.Start()
 	workers := e.workers()
 	if len(keys) < rxSerialCutoff || workers == 1 {
-		return buildPart(keys, vals)
+		// The serial fallback fuses build and emit inside buildPart; the
+		// whole duration is recorded as build (CountPhases reports the
+		// finer split when asked).
+		out := buildPart(keys, vals)
+		m.Tick(ph.build)
+		return out
 	}
 	bits := chooseBits(len(keys), workers, estimateGroups(keys))
 	pt := radix.Partition(keys, vals, bits, workers)
@@ -149,7 +157,14 @@ func rxRun[R any](e *radixEngine, keys, vals []uint64, buildPart func(pkeys, pva
 			parts[q] = buildPart(pk, pt.PartVals(q))
 		}
 	})
-	return parts.Merge()
+	// build covers the radix scatter plus the per-partition table builds
+	// (and their row emission, which buildPart fuses); iterate is the
+	// final partition concatenation. Hash_RX has no merge phase —
+	// partitions are key-disjoint by construction.
+	m = m.Tick(ph.build)
+	out := parts.Merge()
+	m.Tick(ph.iterate)
+	return out
 }
 
 // rxEachPartition runs f(q) for every partition q in [0, p) across the

@@ -3,6 +3,7 @@ package agg
 import (
 	"sort"
 
+	"memagg/internal/obs"
 	"memagg/internal/xsort"
 )
 
@@ -96,9 +97,13 @@ func (e *sortEngine) VectorCount(keys []uint64) []GroupCount {
 	if len(keys) == 0 {
 		return nil
 	}
+	ph := phasesFor(e.name)
+	m := obs.Start()
 	buf := e.copyKeys(keys)
 	e.sortU(buf)
+	m = m.Tick(ph.build)
 	out := countRuns(buf)
+	m.Tick(ph.iterate)
 	e.releaseKeys(buf)
 	return out
 }

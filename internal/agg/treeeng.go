@@ -5,6 +5,7 @@ import (
 	"memagg/internal/art"
 	"memagg/internal/btree"
 	"memagg/internal/judy"
+	"memagg/internal/obs"
 	"memagg/internal/ttree"
 )
 
@@ -82,13 +83,17 @@ func (e *treeEngine) Name() string       { return e.name }
 func (e *treeEngine) Category() Category { return TreeBased }
 
 func (e *treeEngine) VectorCount(keys []uint64) []GroupCount {
+	ph := phasesFor(e.name)
+	m := obs.Start()
 	t := e.newCount()
 	buildCount(t, keys)
+	m = m.Tick(ph.build)
 	out := make([]GroupCount, 0, t.Len())
 	t.Iterate(func(k uint64, v *uint64) bool {
 		out = append(out, GroupCount{Key: k, Count: *v})
 		return true
 	})
+	m.Tick(ph.iterate)
 	return out
 }
 

@@ -78,6 +78,8 @@ func (a *Arena) take(n int) uint64 {
 			continue
 		}
 		a.chunks = append(a.chunks, make([]uint64, chunkWords))
+		chunksTotal.Inc()
+		chunkBytesTotal.Add(chunkWords * 8)
 	}
 }
 
@@ -91,6 +93,7 @@ func (a *Arena) word(i uint64) *uint64 {
 // without touching the heap. The memory is not zeroed.
 func (a *Arena) Reset() {
 	a.cur, a.off = 0, 0
+	resetsTotal.Inc()
 }
 
 // FootprintBytes returns the memory the arena holds (allocated chunks,

@@ -1,0 +1,34 @@
+package arena
+
+import "memagg/internal/obs"
+
+// Allocation accounting lives in the process-global registry: arenas are
+// many, per-worker and short-lived, so the useful signal is the aggregate
+// chunk traffic — how much memory the allocation layer pulled from the heap
+// versus how often a reset recycled it for free (the Dimension 6 story in
+// one ratio). Counters record unconditionally; both sites are far off the
+// per-row hot path (one event per 512 KiB chunk or per query).
+var (
+	chunksTotal = obs.Default.NewCounter("memagg_arena_chunks_total",
+		"Arena chunks allocated from the heap (each 512 KiB).")
+	chunkBytesTotal = obs.Default.NewCounter("memagg_arena_chunk_bytes_total",
+		"Bytes of arena chunk memory allocated from the heap.")
+	resetsTotal = obs.Default.NewCounter("memagg_arena_resets_total",
+		"Arena resets: cursor rewinds that recycle chunks without heap allocation.")
+)
+
+// Stats is a point-in-time copy of the allocation-layer counters.
+type Stats struct {
+	Chunks     uint64 // chunks allocated from the heap, process-wide
+	ChunkBytes uint64 // bytes those chunks hold
+	Resets     uint64 // arena resets (chunk reuse events)
+}
+
+// ReadStats reports the process-wide allocation counters.
+func ReadStats() Stats {
+	return Stats{
+		Chunks:     chunksTotal.Value(),
+		ChunkBytes: chunkBytesTotal.Value(),
+		Resets:     resetsTotal.Value(),
+	}
+}

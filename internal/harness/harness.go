@@ -117,6 +117,7 @@ func Experiments() []Experiment {
 		{"alloc", "Extension: allocator dimension (D6) — go-runtime vs arena", ExtAlloc},
 		{"strings", "Extension: string-key backends on a word-count workload", ExtStrings},
 		{"stream", "Extension: streaming ingest — shard scaling, merge latency, staleness", ExtStream},
+		{"obs", "Extension: observability — recorded phase splits vs external timing", ExtObs},
 	}
 }
 

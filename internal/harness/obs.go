@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"memagg/internal/agg"
+	"memagg/internal/dataset"
+	"memagg/internal/obs"
+	"memagg/internal/stream"
+)
+
+// phaseKey indexes the recorded phase series by engine and phase.
+type phaseKey struct{ engine, phase string }
+
+func phaseTotals() map[phaseKey]agg.PhaseStat {
+	out := make(map[phaseKey]agg.PhaseStat)
+	for _, p := range agg.PhaseStats() {
+		out[phaseKey{p.Engine, p.Phase}] = p
+	}
+	return out
+}
+
+// ExtObs validates the observability layer against the harness's own
+// methodology: CountPhases measures an execution's build/merge/iterate
+// split externally (the results_rx.txt discipline) and simultaneously
+// records it into the engine phase histograms, so the recorded deltas must
+// reproduce the externally measured durations exactly — drift would mean
+// the always-on instrumentation and the paper-style measurement disagree
+// about what a phase is. The second section exercises the stream's ingest
+// instruments (rows, batches, seals, merges, append latency) and checks
+// them against the known workload shape.
+func ExtObs(cfg Config) error {
+	warm()
+	p := maxThreads(cfg)
+	lp, err := agg.ByName("Hash_LP")
+	if err != nil {
+		return err
+	}
+	engines := []agg.Engine{lp, agg.Introsort(), agg.HashPLAT(p), agg.HashRX(p)}
+	phases := []string{"build", "merge", "iterate"}
+
+	tw := newTable(cfg.Out, "cardinality", "algorithm",
+		"build_ms", "merge_ms", "iterate_ms", "external_ms", "drift_ns")
+	low, high := cfg.lowHighCards()
+	for _, card := range []int{low, high} {
+		keys := keysFor(cfg, dataset.RseqShf, card)
+		for _, e := range engines {
+			before := phaseTotals()
+			_, build, iterate, _ := agg.CountPhases(e, keys)
+			after := phaseTotals()
+
+			var rec [3]time.Duration
+			var recTotal time.Duration
+			for i, ph := range phases {
+				k := phaseKey{e.Name(), ph}
+				rec[i] = time.Duration(after[k].TotalNanos - before[k].TotalNanos)
+				recTotal += rec[i]
+			}
+			external := build + iterate
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%d\n",
+				card, e.Name(), ms(rec[0]), ms(rec[1]), ms(rec[2]),
+				ms(external), int64(recTotal-external))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Stream ingest instruments over a known workload: N rows in fixed-size
+	// batches through 4 shards. Rows/batches/seals are exact counts, so
+	// they are checked, not just printed.
+	const batchLen = 4096
+	s := stream.New(stream.Config{Shards: 4, SealRows: 1 << 14})
+	keys := keysFor(cfg, dataset.RseqShf, low)
+	vals := dataset.Values(cfg.N, cfg.Seed)
+	for i := 0; i < len(keys); i += batchLen {
+		j := i + batchLen
+		if j > len(keys) {
+			j = len(keys)
+		}
+		if err := s.Append(keys[i:j], vals[i:j]); err != nil {
+			return err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	st := s.Stats()
+	lat := s.AppendLatency()
+	wantBatches := uint64((len(keys) + batchLen - 1) / batchLen)
+	ok := st.Ingested == uint64(len(keys)) && st.Batches == wantBatches &&
+		st.Watermark == st.Ingested && lat.Count == st.Batches
+	fmt.Fprintf(cfg.Out,
+		"\nstream instruments: rows=%d batches=%d seals=%d merges=%d blocked=%v append_p50<=%v exact=%v\n",
+		st.Ingested, st.Batches, st.Seals, st.Merges, st.Blocked,
+		histP50(lat), ok)
+	if !ok {
+		return fmt.Errorf("obs: stream instruments disagree with workload: %+v (append count %d)",
+			st, lat.Count)
+	}
+	return nil
+}
+
+// histP50 returns the upper bound of the bucket holding the median
+// observation — a bucketed p50, good enough to sanity-read a latency level.
+func histP50(s obs.HistogramSnapshot) time.Duration {
+	half := (s.Count + 1) / 2
+	if half == 0 {
+		return 0
+	}
+	var seen uint64
+	for i, c := range s.Buckets {
+		seen += c
+		if seen >= half {
+			if b := obs.BucketBound(i); b >= 0 {
+				return time.Duration(b)
+			}
+			return time.Duration(-1)
+		}
+	}
+	return 0
+}

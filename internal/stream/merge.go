@@ -60,9 +60,10 @@ func (s *Stream) mergeOnce() bool {
 	s.install(&view{base: g, sealed: cur.sealed[n:], watermark: cur.watermark})
 	s.viewMu.Unlock()
 
-	s.merges.Add(1)
-	s.mergeNanos.Add(int64(elapsed))
-	s.lastMerge.Store(int64(elapsed))
+	s.m.merges.Inc()
+	s.m.mergeNs.Add(uint64(elapsed))
+	s.m.lastMerge.Set(int64(elapsed))
+	s.m.mergeLat.Observe(elapsed)
 	return true
 }
 

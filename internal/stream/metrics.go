@@ -1,0 +1,99 @@
+package stream
+
+import "memagg/internal/obs"
+
+// metrics is one Stream's instrument set, backed by a private obs.Registry
+// so independent streams (tests, multiple embedded servers) never share a
+// counter. Serve it next to the process-global registry with
+// obs.WritePrometheus(w, obs.Default, s.Registry()).
+//
+// The counters double as the stream's load-bearing bookkeeping — the
+// watermark/staleness arithmetic and Stats read them — so they record
+// unconditionally; only the latency histograms honour obs.SetDisabled
+// (that split is what the ingest overhead guard measures).
+type metrics struct {
+	reg *obs.Registry
+
+	rows      *obs.Counter // rows accepted by Append
+	batches   *obs.Counter // Append calls that carried rows
+	blockedNs *obs.Counter // nanoseconds Append spent blocked on full queues
+	seals     *obs.Counter // deltas frozen and published
+	merges    *obs.Counter // merge cycles completed
+	mergeNs   *obs.Counter // total merge-cycle nanoseconds
+	snapshots *obs.Counter // snapshots taken
+	lastMerge *obs.Gauge   // duration of the most recent merge cycle (ns)
+
+	appendLat *obs.Histogram // Append call latency
+	mergeLat  *obs.Histogram // merge cycle duration
+}
+
+func newMetrics(s *Stream) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		rows: reg.NewCounter("memagg_stream_rows_total",
+			"Rows accepted by Append."),
+		batches: reg.NewCounter("memagg_stream_batches_total",
+			"Append calls that carried rows."),
+		blockedNs: reg.NewCounter("memagg_stream_append_blocked_nanos_total",
+			"Nanoseconds Append spent blocked on full shard queues (backpressure)."),
+		seals: reg.NewCounter("memagg_stream_seals_total",
+			"Delta seals: frozen shard tables published into the queryable view."),
+		merges: reg.NewCounter("memagg_stream_merges_total",
+			"Merge cycles folding sealed deltas into a base generation."),
+		mergeNs: reg.NewCounter("memagg_stream_merge_nanos_total",
+			"Total merge-cycle duration in nanoseconds."),
+		snapshots: reg.NewCounter("memagg_stream_snapshots_total",
+			"Snapshots taken."),
+		lastMerge: reg.NewGauge("memagg_stream_merge_last_nanos",
+			"Duration of the most recent merge cycle in nanoseconds."),
+		appendLat: reg.NewHistogram("memagg_stream_append_seconds",
+			"Append call latency (copy, hand-off, and any backpressure wait)."),
+		mergeLat: reg.NewHistogram("memagg_stream_merge_seconds",
+			"Merge cycle duration (delta flatten, scatter, partition folds)."),
+	}
+	// View-derived state is served as scrape-time gauges rather than
+	// double-maintained counters: the view pointer already is the truth.
+	reg.NewGaugeFunc("memagg_stream_watermark_rows",
+		"Rows visible to a snapshot taken now.", func() int64 {
+			return int64(s.view.Load().watermark)
+		})
+	reg.NewGaugeFunc("memagg_stream_staleness_rows",
+		"Rows ingested but not yet visible (queued or in unsealed deltas).",
+		func() int64 {
+			ing, wm := m.rows.Value(), s.view.Load().watermark
+			if ing > wm {
+				return int64(ing - wm)
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("memagg_stream_sealed_pending",
+		"Sealed deltas awaiting merge.", func() int64 {
+			return int64(len(s.view.Load().sealed))
+		})
+	reg.NewGaugeFunc("memagg_stream_generation",
+		"Sequence number of the current base generation.", func() int64 {
+			if v := s.view.Load(); v.base != nil {
+				return int64(v.base.seq)
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("memagg_stream_groups",
+		"Groups in the current base generation (unmerged deltas excluded).",
+		func() int64 {
+			if v := s.view.Load(); v.base != nil {
+				return int64(v.base.groups)
+			}
+			return 0
+		})
+	return m
+}
+
+// Registry exposes the stream's private metric registry for serving.
+func (s *Stream) Registry() *obs.Registry { return s.m.reg }
+
+// AppendLatency returns the Append-call latency histogram's current state.
+func (s *Stream) AppendLatency() obs.HistogramSnapshot { return s.m.appendLat.Snapshot() }
+
+// MergeLatency returns the merge-cycle duration histogram's current state.
+func (s *Stream) MergeLatency() obs.HistogramSnapshot { return s.m.mergeLat.Snapshot() }

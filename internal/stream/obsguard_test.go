@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"memagg/internal/dataset"
+	"memagg/internal/obs"
+)
+
+// ingestOnce pushes the whole dataset through a fresh stream with one
+// producer per shard and returns the wall time from first Append to Flush
+// return. SealRows is set past the dataset so no seal/merge cycles run:
+// the guard isolates the Append hot path, where the timing instruments
+// live, from the background pipeline's scheduling noise.
+func ingestOnce(tb testing.TB, keys, vals []uint64, shards, batchLen int) time.Duration {
+	s := New(Config{Shards: shards, QueueDepth: 8, SealRows: 1 << 21, MergeBits: 6})
+	defer func() {
+		if err := s.Close(); err != nil {
+			tb.Fatal(err)
+		}
+	}()
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := len(keys) / shards
+	for p := 0; p < shards; p++ {
+		lo, hi := p*per, (p+1)*per
+		if p == shards-1 {
+			hi = len(keys)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i += batchLen {
+				j := i + batchLen
+				if j > hi {
+					j = hi
+				}
+				if err := s.Append(keys[i:j], vals[i:j]); err != nil {
+					tb.Error(err)
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// TestObsOverheadGuard proves the timing instrumentation is cheap: it
+// ingests the same workload with the timing layer on and off
+// (obs.SetDisabled) and fails when the instrumented run is more than 5%
+// slower than the disabled one (budget: <2% expected, 5% allowed for
+// scheduler noise). Wall-clock ratios are inherently noisy, so the guard
+// only runs when MEMAGG_OBS_GUARD=1 — scripts/ci.sh sets it; a plain
+// `go test ./...` skips.
+func TestObsOverheadGuard(t *testing.T) {
+	if os.Getenv("MEMAGG_OBS_GUARD") != "1" {
+		t.Skip("set MEMAGG_OBS_GUARD=1 to run the obs overhead guard")
+	}
+	const shards, batchLen = 1, 4096
+	spec := dataset.Spec{Kind: dataset.RseqShf, N: 1_000_000, Cardinality: 100_000, Seed: 71}
+	keys := spec.Keys()
+	vals := dataset.Values(len(keys), spec.Seed)
+
+	// One writer shard keeps the run near-deterministic (no producer/merger
+	// time-sharing to randomize the clock); a GC before each run stops one
+	// mode from paying the other's garbage. Warm both paths once, then keep
+	// the per-mode minimum: the least interfered-with run is the honest
+	// cost of each configuration.
+	ingestOnce(t, keys, vals, shards, batchLen)
+	measure := func(rounds int) float64 {
+		best := map[bool]time.Duration{}
+		for r := 0; r < rounds; r++ {
+			for _, disabled := range []bool{false, true} {
+				obs.SetDisabled(disabled)
+				runtime.GC()
+				el := ingestOnce(t, keys, vals, shards, batchLen)
+				if cur, ok := best[disabled]; !ok || el < cur {
+					best[disabled] = el
+				}
+			}
+		}
+		ratio := float64(best[false]) / float64(best[true])
+		t.Logf("instrumented=%v disabled=%v ratio=%.4f", best[false], best[true], ratio)
+		return ratio
+	}
+	defer obs.SetDisabled(false)
+
+	ratio := measure(7)
+	if ratio > 1.05 {
+		// A real regression reproduces; a scheduler hiccup does not. Confirm
+		// over a longer pass before failing.
+		ratio = measure(14)
+	}
+	if ratio > 1.05 {
+		t.Fatalf("instrumented ingest is %.1f%% slower than disabled (budget 5%%, confirmed twice)",
+			(ratio-1)*100)
+	}
+}
+
+// BenchmarkStreamIngestDisabled is BenchmarkStreamIngest's counterpart
+// with the timing instruments off — diff the two to read the overhead
+// directly:
+//
+//	go test ./internal/stream/ -bench 'StreamIngest(Disabled)?/shards=4' -benchtime 1000000x
+func BenchmarkStreamIngestDisabled(b *testing.B) {
+	obs.SetDisabled(true)
+	defer obs.SetDisabled(false)
+	BenchmarkStreamIngest(b)
+}

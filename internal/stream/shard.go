@@ -103,5 +103,6 @@ func (sh *shard) seal() {
 	}
 	d := sh.cur
 	sh.cur = nil
+	sh.s.m.seals.Inc()
 	sh.s.publish(d)
 }

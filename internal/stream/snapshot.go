@@ -34,6 +34,7 @@ type Snapshot struct {
 
 // Snapshot pins the current view. Never blocks writers or the merger.
 func (s *Stream) Snapshot() *Snapshot {
+	s.m.snapshots.Inc()
 	return &Snapshot{s: s, v: s.view.Load()}
 }
 

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memagg/internal/obs"
 	"memagg/internal/radix"
 )
 
@@ -115,11 +116,12 @@ func (c Config) withDefaults() Config {
 
 // Stream is a live streaming aggregation: Append feeds it, Snapshot reads
 // it. Append is safe for concurrent use by multiple producers; Snapshot and
-// Stats are safe from any goroutine at any time. Close must not race
-// Append or Flush.
+// Stats are safe from any goroutine at any time; Close is idempotent and
+// safe to race with Append and Flush (concurrent callers get ErrClosed).
 type Stream struct {
 	cfg    Config
 	shards []*shard
+	m      *metrics
 
 	// view is the queryable state: an immutable (base, sealed deltas,
 	// watermark) triple swapped atomically. viewMu serializes installs
@@ -129,16 +131,17 @@ type Stream struct {
 
 	wake chan struct{} // merger doorbell (capacity 1)
 
-	rr       atomic.Uint64 // round-robin shard cursor
-	ingested atomic.Uint64 // rows accepted by Append
-	closed   atomic.Bool
+	rr     atomic.Uint64 // round-robin shard cursor
+	closed atomic.Bool
+
+	// closeMu fences Append/Flush (read side) against Close (write side):
+	// Close cannot close the shard channels while a send is in flight, and
+	// a call that loses the race observes closed and returns ErrClosed
+	// instead of panicking on a closed channel.
+	closeMu sync.RWMutex
 
 	shardWG  sync.WaitGroup
 	mergerWG sync.WaitGroup
-
-	merges     atomic.Uint64
-	mergeNanos atomic.Int64
-	lastMerge  atomic.Int64
 }
 
 // view is one immutable queryable state. watermark is the number of rows
@@ -161,6 +164,7 @@ type batch struct {
 func New(cfg Config) *Stream {
 	cfg = cfg.withDefaults()
 	s := &Stream{cfg: cfg, wake: make(chan struct{}, 1)}
+	s.m = newMetrics(s)
 	s.view.Store(&view{})
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
@@ -181,6 +185,8 @@ func New(cfg Config) *Stream {
 // drains — rows are never dropped. Rows become visible to snapshots once
 // their delta seals (see Flush).
 func (s *Stream) Append(keys, vals []uint64) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -188,6 +194,7 @@ func (s *Stream) Append(keys, vals []uint64) error {
 	if n == 0 {
 		return nil
 	}
+	mk := obs.Start()
 	buf := make([]uint64, 2*n)
 	bk, bv := buf[:n], buf[n:]
 	copy(bk, keys)
@@ -195,9 +202,20 @@ func (s *Stream) Append(keys, vals []uint64) error {
 	// Count before the send: a fast shard may seal these rows the moment
 	// they land, and the watermark must never be observed ahead of the
 	// ingested count (rows waiting in a queue are "ingested, not visible").
-	s.ingested.Add(uint64(n))
+	s.m.rows.Add(uint64(n))
+	s.m.batches.Inc()
 	sh := s.shards[int(s.rr.Add(1)-1)%len(s.shards)]
-	sh.ch <- batch{keys: bk, vals: bv}
+	select {
+	case sh.ch <- batch{keys: bk, vals: bv}:
+	default:
+		// Queue full: the backpressure path. Time the blocking send so the
+		// blocked-nanos counter exposes how long producers stall. The fast
+		// path above pays only a channel try-send for this accounting.
+		start := time.Now()
+		sh.ch <- batch{keys: bk, vals: bv}
+		s.m.blockedNs.Add(uint64(time.Since(start)))
+	}
+	mk.Tick(s.m.appendLat)
 	return nil
 }
 
@@ -206,6 +224,8 @@ func (s *Stream) Append(keys, vals []uint64) error {
 // (the per-shard queues are FIFO, so the flush markers drain behind them).
 // It does not wait for the merger; sealed deltas are already queryable.
 func (s *Stream) Flush() error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -222,15 +242,22 @@ func (s *Stream) Flush() error {
 // Close seals all remaining rows, waits for the merger to fold every
 // sealed delta into a final base generation, and stops the background
 // goroutines. The stream stays queryable (Snapshot/Stats) after Close;
-// further Append/Flush calls return ErrClosed. Close must not be called
-// concurrently with Append or Flush.
+// further Append/Flush calls return ErrClosed, as does a second Close —
+// it is idempotent and safe to call concurrently with Append and Flush
+// (in-flight calls complete first; late callers get ErrClosed).
 func (s *Stream) Close() error {
+	s.closeMu.Lock()
 	if !s.closed.CompareAndSwap(false, true) {
+		s.closeMu.Unlock()
 		return ErrClosed
 	}
+	// With the write lock held no Append/Flush send is in flight and none
+	// can start (they observe closed under the read lock), so closing the
+	// shard channels cannot race a send.
 	for _, sh := range s.shards {
 		close(sh.ch)
 	}
+	s.closeMu.Unlock()
 	s.shardWG.Wait()
 	close(s.wake)
 	s.mergerWG.Wait()
@@ -275,6 +302,15 @@ type Stats struct {
 	Watermark uint64
 	Staleness uint64
 
+	// Batches counts Append calls that carried rows; Seals counts deltas
+	// frozen and published; Snapshots counts Snapshot calls; Blocked is
+	// the total time Append spent stalled on full shard queues
+	// (backpressure).
+	Batches   uint64
+	Seals     uint64
+	Snapshots uint64
+	Blocked   time.Duration
+
 	// SealedPending is the number of sealed deltas awaiting merge;
 	// Generation counts base generations built; Groups is the group count
 	// of the current base (excluding unmerged deltas).
@@ -288,19 +324,24 @@ type Stats struct {
 	MergeLast  time.Duration
 }
 
-// Stats reports the stream's current state. Safe from any goroutine.
+// Stats reports the stream's current state, read from the same obs-backed
+// instruments /metrics serves. Safe from any goroutine.
 func (s *Stream) Stats() Stats {
 	v := s.view.Load()
-	ing := s.ingested.Load()
+	ing := s.m.rows.Value()
 	st := Stats{
 		Shards:        len(s.shards),
 		Holistic:      s.cfg.Holistic,
 		Ingested:      ing,
 		Watermark:     v.watermark,
+		Batches:       s.m.batches.Value(),
+		Seals:         s.m.seals.Value(),
+		Snapshots:     s.m.snapshots.Value(),
+		Blocked:       time.Duration(s.m.blockedNs.Value()),
 		SealedPending: len(v.sealed),
-		Merges:        s.merges.Load(),
-		MergeTotal:    time.Duration(s.mergeNanos.Load()),
-		MergeLast:     time.Duration(s.lastMerge.Load()),
+		Merges:        s.m.merges.Value(),
+		MergeTotal:    time.Duration(s.m.mergeNs.Value()),
+		MergeLast:     time.Duration(s.m.lastMerge.Value()),
 	}
 	if ing > v.watermark {
 		st.Staleness = ing - v.watermark

@@ -22,8 +22,6 @@
 package memagg
 
 import (
-	"fmt"
-
 	"memagg/internal/agg"
 	"memagg/internal/dataset"
 )
@@ -140,7 +138,7 @@ func New(b Backend, opts Options) (*Aggregator, error) {
 	case AllocArena:
 		e = agg.WithAllocator(e, agg.AllocArena)
 	default:
-		return nil, fmt.Errorf("memagg: unknown allocator %q", opts.Allocator)
+		return nil, wrapErr(ErrUnknownAllocator, "memagg: unknown allocator %q", opts.Allocator)
 	}
 	return &Aggregator{backend: b, engine: e}, nil
 }
@@ -168,7 +166,7 @@ func engineFor(b Backend, opts Options) (agg.Engine, error) {
 	default:
 		e, err := agg.ByName(string(b))
 		if err != nil {
-			return nil, fmt.Errorf("memagg: unknown backend %q", b)
+			return nil, wrapErr(ErrUnknownBackend, "memagg: unknown backend %q", b)
 		}
 		return e, nil
 	}
@@ -204,17 +202,23 @@ func (a *Aggregator) Count(keys []uint64) uint64 { return agg.ScalarCount(keys) 
 func (a *Aggregator) Avg(values []uint64) float64 { return agg.ScalarAvg(values) }
 
 // Median executes Q6: MEDIAN over the key column. Hash-based backends
-// return ErrUnsupported (they cannot enumerate keys in order).
+// cannot enumerate keys in order: they return a QueryError wrapping
+// ErrUnsupportedQuery.
 func (a *Aggregator) Median(keys []uint64) (float64, error) {
-	return a.engine.ScalarMedian(keys)
+	v, err := a.engine.ScalarMedian(keys)
+	if err != nil {
+		return 0, a.queryErr("Median", err)
+	}
+	return v, nil
 }
 
 // CountRange executes Q7: Q1 restricted to lo <= key <= hi. Hash-based
-// backends return ErrUnsupported (no native range search).
+// backends have no native range search: they return a QueryError wrapping
+// ErrUnsupportedQuery.
 func (a *Aggregator) CountRange(keys []uint64, lo, hi uint64) ([]GroupCount, error) {
 	rows, err := a.engine.VectorCountRange(keys, lo, hi)
 	if err != nil {
-		return nil, err
+		return nil, a.queryErr("CountRange", err)
 	}
 	return toCounts(rows), nil
 }
@@ -253,32 +257,36 @@ func (a *Aggregator) ModeByKey(keys, values []uint64) []GroupValue {
 	return toValues(agg.AsReducer(a.engine).VectorHolistic(keys, values, agg.ModeFunc))
 }
 
-func toStats(rows []agg.GroupUint) []GroupStat {
-	out := make([]GroupStat, len(rows))
+// ErrUnsupported reports a query the chosen backend cannot execute (see
+// Median and CountRange). Same value as ErrUnsupportedQuery.
+var ErrUnsupported = agg.ErrUnsupported
+
+// convertRows maps an internal result-row slice onto its public mirror —
+// the one copy loop behind every to* converter.
+func convertRows[I, O any](rows []I, conv func(I) O) []O {
+	out := make([]O, len(rows))
 	for i, r := range rows {
-		out[i] = GroupStat{Key: r.Key, Value: r.Val}
+		out[i] = conv(r)
 	}
 	return out
 }
 
-// ErrUnsupported reports a query the chosen backend cannot execute (see
-// Median and CountRange).
-var ErrUnsupported = agg.ErrUnsupported
+func toStats(rows []agg.GroupUint) []GroupStat {
+	return convertRows(rows, func(r agg.GroupUint) GroupStat {
+		return GroupStat{Key: r.Key, Value: r.Val}
+	})
+}
 
 func toCounts(rows []agg.GroupCount) []GroupCount {
-	out := make([]GroupCount, len(rows))
-	for i, r := range rows {
-		out[i] = GroupCount{Key: r.Key, Count: r.Count}
-	}
-	return out
+	return convertRows(rows, func(r agg.GroupCount) GroupCount {
+		return GroupCount{Key: r.Key, Count: r.Count}
+	})
 }
 
 func toValues(rows []agg.GroupFloat) []GroupValue {
-	out := make([]GroupValue, len(rows))
-	for i, r := range rows {
-		out[i] = GroupValue{Key: r.Key, Value: r.Val}
-	}
-	return out
+	return convertRows(rows, func(r agg.GroupFloat) GroupValue {
+		return GroupValue{Key: r.Key, Value: r.Val}
+	})
 }
 
 // --- dataset generation --------------------------------------------------------

@@ -2,6 +2,7 @@ package memagg
 
 import (
 	"memagg/internal/agg"
+	"memagg/internal/obs"
 	"memagg/internal/stream"
 )
 
@@ -98,7 +99,9 @@ func (s *Stream) Flush() error { return s.s.Flush() }
 
 // Close seals all remaining rows, folds everything into a final base
 // generation, and stops the background goroutines. The stream remains
-// queryable after Close. Close must not race Append or Flush.
+// queryable after Close. Close is idempotent — a second call returns
+// ErrClosed — and safe to call concurrently with Append and Flush
+// (in-flight calls complete first; late callers get ErrClosed).
 func (s *Stream) Close() error { return s.s.Close() }
 
 // Snapshot pins the current queryable state — every row sealed so far,
@@ -119,6 +122,15 @@ type StreamStats struct {
 	Watermark uint64
 	Staleness uint64
 
+	// Batches counts Append calls that carried rows; Seals counts deltas
+	// frozen and published; Snapshots counts Snapshot calls; BlockedNanos
+	// is the total time Append spent stalled on full shard queues
+	// (backpressure).
+	Batches      uint64
+	Seals        uint64
+	Snapshots    uint64
+	BlockedNanos int64
+
 	// SealedPending counts sealed deltas awaiting the merger; Generation
 	// counts base generations built; Groups is the current base's group
 	// count (unmerged deltas excluded).
@@ -133,7 +145,9 @@ type StreamStats struct {
 	MergeLastNanos  int64
 }
 
-// Stats reports the stream's current state. Safe from any goroutine.
+// Stats reports the stream's current state, read from the same obs-backed
+// instruments the stream's /metrics families serve. Safe from any
+// goroutine.
 func (s *Stream) Stats() StreamStats {
 	st := s.s.Stats()
 	return StreamStats{
@@ -142,6 +156,10 @@ func (s *Stream) Stats() StreamStats {
 		Ingested:        st.Ingested,
 		Watermark:       st.Watermark,
 		Staleness:       st.Staleness,
+		Batches:         st.Batches,
+		Seals:           st.Seals,
+		Snapshots:       st.Snapshots,
+		BlockedNanos:    int64(st.Blocked),
 		SealedPending:   st.SealedPending,
 		Generation:      st.Generation,
 		Groups:          st.Groups,
@@ -232,5 +250,12 @@ func (sn *StreamSnapshot) MinByKey() []GroupStat { return toStats(sn.sn.Reduce(a
 // MaxByKey returns one (key, MAX(values)) row per distinct key.
 func (sn *StreamSnapshot) MaxByKey() []GroupStat { return toStats(sn.sn.Reduce(agg.OpMax)) }
 
-// ErrStreamClosed reports an Append or Flush on a closed stream.
+// MetricsRegistry exposes the stream's metric registry for embedding in a
+// metrics endpoint: serve it alongside the process-global registry with
+// obs.WritePrometheus (see cmd/aggserve). Typed access goes through
+// Metrics and Stats instead.
+func (s *Stream) MetricsRegistry() *obs.Registry { return s.s.Registry() }
+
+// ErrStreamClosed reports an Append or Flush on a closed stream. Same
+// value as ErrClosed.
 var ErrStreamClosed = stream.ErrClosed
