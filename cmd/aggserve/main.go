@@ -2,6 +2,15 @@
 // minimal serving front-end for the internal/stream subsystem.
 //
 //	aggserve -addr :8080 -shards 4 -holistic
+//	aggserve -data-dir /var/lib/memagg -sync always
+//
+// With -data-dir the stream is durable: every sealed delta is written to a
+// write-ahead log before it becomes queryable, checkpoints bound replay,
+// and a restart recovers the previous watermark (the boot log reports how
+// many rows were recovered and how long it took). -sync picks the fsync
+// policy (none | interval | always) and -checkpoint-every the checkpoint
+// cadence in rows. If the log becomes unwritable the server degrades to
+// read-only: /ingest and /flush return 503 while queries keep serving.
 //
 // Endpoints:
 //
@@ -43,14 +52,35 @@ func main() {
 	shards := flag.Int("shards", 0, "writer shards (0 = one per CPU)")
 	holistic := flag.Bool("holistic", false, "retain value multisets (median/quantile/mode queries)")
 	seal := flag.Int("seal", 0, "rows per delta before it becomes visible (0 = default)")
+	dataDir := flag.String("data-dir", "", "durability root (WAL + checkpoints); empty = volatile")
+	syncPolicy := flag.String("sync", "interval", "WAL fsync policy: none | interval | always")
+	checkpointEvery := flag.Int("checkpoint-every", 0,
+		"rows between checkpoints (0 = default 1Mi, negative = WAL-only)")
 	flag.Parse()
 
-	s := memagg.NewStream(memagg.StreamOptions{
+	opts := memagg.StreamOptions{
 		Workload: memagg.Workload{Output: memagg.Vector, Multithreaded: true},
 		Shards:   *shards,
 		SealRows: *seal,
 		Holistic: *holistic,
-	})
+	}
+	if *dataDir != "" {
+		opts.Durability = memagg.StreamDurability{
+			Dir:             *dataDir,
+			SyncPolicy:      *syncPolicy,
+			CheckpointEvery: *checkpointEvery,
+		}
+	}
+	start := time.Now()
+	s, err := memagg.OpenStream(opts)
+	if err != nil {
+		log.Fatalf("aggserve: open stream: %v", err)
+	}
+	if *dataDir != "" {
+		st := s.Stats()
+		log.Printf("aggserve: recovered %d rows (checkpoint watermark %d) from %s in %v",
+			st.Watermark, st.CheckpointWatermark, *dataDir, time.Since(start).Round(time.Millisecond))
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: newServer(s)}
 	done := make(chan struct{})
@@ -66,9 +96,17 @@ func main() {
 			log.Printf("aggserve: shutdown: %v", err)
 		}
 		// In-flight handlers have drained; any that race the close observe
-		// ErrClosed (Close is safe against concurrent Append/Flush).
+		// ErrClosed and map to 503 (Close is safe against concurrent
+		// Append/Flush). On a durable stream Close also seals remaining
+		// rows into the WAL and writes a final checkpoint, so the next boot
+		// recovers the full watermark without replay.
 		if err := s.Close(); err != nil {
 			log.Printf("aggserve: close: %v", err)
+		}
+		if *dataDir != "" {
+			st := s.Stats()
+			log.Printf("aggserve: final checkpoint at watermark %d (%d checkpoints, %d WAL appends)",
+				st.CheckpointWatermark, st.Checkpoints, st.WALAppends)
 		}
 	}()
 

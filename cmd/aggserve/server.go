@@ -100,10 +100,22 @@ func (srv *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := srv.stream.Append(req.Keys, req.Vals); err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		httpError(w, ingestStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"appended": len(req.Keys), "ingested": srv.stream.Stats().Ingested})
+}
+
+// ingestStatus maps an Append/Flush error to its HTTP status: 503 for the
+// expected refusals — the stream is draining during shutdown (ErrClosed)
+// or has degraded to read-only after a durability fault (ErrDurability) —
+// and 500 for anything else. The explicit errors.Is mapping keeps a future
+// unexpected error from masquerading as routine unavailability.
+func ingestStatus(err error) int {
+	if errors.Is(err, memagg.ErrClosed) || errors.Is(err, memagg.ErrDurability) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 func (srv *server) handleFlush(w http.ResponseWriter, r *http.Request) {
@@ -112,7 +124,7 @@ func (srv *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := srv.stream.Flush(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
+		httpError(w, ingestStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]any{"watermark": srv.stream.Stats().Watermark})

@@ -6,6 +6,7 @@ import (
 
 	"memagg/internal/agg"
 	"memagg/internal/stream"
+	"memagg/internal/wal"
 )
 
 // Sentinel errors. Constructors and queries return errors that wrap these,
@@ -30,6 +31,17 @@ var (
 	// ErrClosed reports an Append, Flush or repeated Close on a closed
 	// Stream. Identical to ErrStreamClosed.
 	ErrClosed = stream.ErrClosed
+
+	// ErrDurability reports that a durable Stream's write-ahead log failed:
+	// the stream has degraded to read-only serving, and Append/Flush return
+	// errors wrapping this sentinel (with the underlying fault attached).
+	ErrDurability = stream.ErrDurability
+
+	// ErrWALCorrupt marks invalid durable state — a torn or bit-flipped
+	// WAL record (repaired automatically: recovery truncates to the longest
+	// valid prefix) or a damaged checkpoint (OpenStream fails rather than
+	// serve wrong aggregates).
+	ErrWALCorrupt = wal.ErrWALCorrupt
 )
 
 // QueryError reports a query an Aggregator's backend cannot execute,

@@ -118,6 +118,7 @@ func Experiments() []Experiment {
 		{"strings", "Extension: string-key backends on a word-count workload", ExtStrings},
 		{"stream", "Extension: streaming ingest — shard scaling, merge latency, staleness", ExtStream},
 		{"obs", "Extension: observability — recorded phase splits vs external timing", ExtObs},
+		{"wal", "Extension: durability — WAL sync-policy cost and recovery time vs log size", ExtWAL},
 	}
 }
 

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"memagg/internal/dataset"
+	"memagg/internal/stream"
+	"memagg/internal/wal"
+)
+
+// walIngest pushes the whole dataset through a fresh stream — durable
+// under dir with the given sync policy when dir is non-empty, volatile
+// otherwise — and returns the stream (closed) plus the wall time from
+// first Append to Flush return. CheckpointEvery is taken as given so
+// the recovery section can choose between WAL-only and checkpointed
+// shutdowns.
+func walIngest(keys, vals []uint64, dir string, policy wal.SyncPolicy, ckptEvery int) (stream.Stats, time.Duration, error) {
+	cfg := stream.Config{Shards: 1, QueueDepth: 8, SealRows: 1 << 14}
+	var s *stream.Stream
+	var err error
+	if dir == "" {
+		s = stream.New(cfg)
+	} else {
+		cfg.Durability = stream.Durability{Dir: dir, SyncPolicy: policy, SegmentBytes: 4 << 20, CheckpointEvery: ckptEvery}
+		if s, err = stream.Open(cfg); err != nil {
+			return stream.Stats{}, 0, err
+		}
+	}
+	const batchLen = 4096
+	start := time.Now()
+	for i := 0; i < len(keys); i += batchLen {
+		j := i + batchLen
+		if j > len(keys) {
+			j = len(keys)
+		}
+		if err := s.Append(keys[i:j], vals[i:j]); err != nil {
+			return stream.Stats{}, 0, err
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return stream.Stats{}, 0, err
+	}
+	elapsed := time.Since(start)
+	st := s.Stats()
+	if err := s.Close(); err != nil {
+		return stream.Stats{}, 0, err
+	}
+	return st, elapsed, nil
+}
+
+// mrows renders a rows/elapsed rate in million rows per second.
+func mrows(rows int, d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(rows)/1e6/d.Seconds())
+}
+
+// ExtWAL measures what durability costs the streaming engine (the D6
+// question asked of the disk instead of the allocator): first ingest
+// throughput under each WAL sync policy against the volatile baseline,
+// then recovery time as a function of how much log a crash leaves
+// behind. The log lives on the real filesystem (a temp dir) — this is
+// the experiment that pays disk prices; the in-tree guard isolates the
+// CPU path on a memory FS.
+func ExtWAL(cfg Config) error {
+	warm()
+	_, high := cfg.lowHighCards()
+	keys := keysFor(cfg, dataset.RseqShf, high)
+	vals := dataset.Values(cfg.N, cfg.Seed)
+
+	root, err := os.MkdirTemp("", "memagg-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// Section 1: ingest throughput by sync policy. WAL-only
+	// (CheckpointEvery < 0) so the table reads as log cost, not
+	// checkpoint cost. Volatile first as the baseline row.
+	tw := newTable(cfg.Out, "mode", "ingest_ms", "mrows_s", "wal_appends", "fsyncs", "rotations")
+	st, el, err := walIngest(keys, vals, "", wal.SyncNone, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "volatile\t%s\t%s\t-\t-\t-\n", ms(el), mrows(cfg.N, el))
+	for _, policy := range []wal.SyncPolicy{wal.SyncNone, wal.SyncInterval, wal.SyncAlways} {
+		dir := fmt.Sprintf("%s/sync-%s", root, policy)
+		st, el, err = walIngest(keys, vals, dir, policy, -1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "wal sync=%s\t%s\t%s\t%d\t%d\t%d\n",
+			policy, ms(el), mrows(cfg.N, el), st.WALAppends, st.WALFsyncs, st.WALSegmentRotations)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Section 2: recovery time vs log size. Each run ingests a prefix of
+	// the dataset WAL-only and closes; the reopen must replay the whole
+	// log. The last row closes with checkpoints enabled instead — the
+	// final checkpoint bounds replay to zero, the shape the graceful-
+	// shutdown path always leaves.
+	fmt.Fprintln(cfg.Out)
+	tw = newTable(cfg.Out, "shutdown", "log_rows", "log_bytes", "recover_ms", "replay_mrows_s")
+	recoverRun := func(label, dir string, rows int, ckptEvery int) error {
+		if _, _, err := walIngest(keys[:rows], vals[:rows], dir, wal.SyncNone, ckptEvery); err != nil {
+			return err
+		}
+		c := stream.Config{Shards: 1, QueueDepth: 8, SealRows: 1 << 14,
+			Durability: stream.Durability{Dir: dir, SyncPolicy: wal.SyncNone, SegmentBytes: 4 << 20, CheckpointEvery: ckptEvery}}
+		start := time.Now()
+		s, err := stream.Open(c)
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		st := s.Stats()
+		if st.Watermark != uint64(rows) {
+			return fmt.Errorf("wal: recovered watermark %d, ingested %d", st.Watermark, rows)
+		}
+		rate := "-"
+		if replayed := rows - int(st.CheckpointWatermark); replayed > 0 {
+			rate = mrows(replayed, el)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\n", label, rows, st.WALSizeBytes, ms(el), rate)
+		return s.Close()
+	}
+	for i, rows := range []int{cfg.N / 4, cfg.N / 2, cfg.N} {
+		if err := recoverRun("wal-only", fmt.Sprintf("%s/recover-%d", root, i), rows, -1); err != nil {
+			return err
+		}
+	}
+	if err := recoverRun("checkpointed", root+"/recover-ckpt", cfg.N, 0); err != nil {
+		return err
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,391 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memagg/internal/agg"
+	"memagg/internal/arena"
+	"memagg/internal/hashtbl"
+	"memagg/internal/wal"
+	"memagg/internal/wal/checkpoint"
+)
+
+// ErrDurability marks errors caused by the durability layer failing: once
+// the WAL cannot be written the stream degrades to read-only serving, and
+// every subsequent Append/Flush returns an error wrapping this sentinel
+// (with the underlying fault attached). Snapshots and Stats keep working.
+var ErrDurability = errors.New("stream: durability degraded, serving read-only")
+
+// Durability configures the stream's write-ahead log and checkpoints. The
+// zero value (empty Dir) disables durability entirely.
+type Durability struct {
+	// Dir is the durability root. The stream keeps the WAL under Dir/wal
+	// and checkpoints under Dir/checkpoint. Empty disables durability.
+	Dir string
+
+	// FS is the filesystem the log and checkpoints write through; nil means
+	// the OS filesystem. Tests inject wal.MemFS / wal.ErrFS here.
+	FS wal.FS
+
+	// SyncPolicy is the WAL fsync discipline (none | interval | always).
+	SyncPolicy wal.SyncPolicy
+
+	// SyncInterval is SyncPolicy=interval's amortization period; <= 0 means
+	// the wal package default (100ms).
+	SyncInterval time.Duration
+
+	// SegmentBytes is the WAL segment rotation size; <= 0 means the wal
+	// package default (16 MiB).
+	SegmentBytes int
+
+	// CheckpointEvery is the checkpoint cadence in rows: a checkpoint is
+	// taken when the base generation has grown this many rows past the last
+	// one. 0 means 1<<20 rows; negative disables checkpointing entirely
+	// (WAL-only durability — recovery replays the whole log).
+	CheckpointEvery int
+}
+
+// Enabled reports whether the config asks for durability.
+func (d Durability) Enabled() bool { return d.Dir != "" }
+
+const defaultCheckpointEvery = 1 << 20
+
+// durable is a Stream's durability state: the open log, the checkpointer,
+// and the degradation latch.
+type durable struct {
+	fs        wal.FS
+	log       *wal.Log
+	ckptDir   string
+	ckptEvery uint64 // 0 = checkpointing disabled
+
+	ckWake chan struct{}
+	ckWG   sync.WaitGroup
+
+	lastCkptWM atomic.Uint64 // watermark of the last durable checkpoint
+	ckptSeq    atomic.Uint64
+
+	// degraded latches on the first WAL failure: the on-disk tail may be
+	// torn, so no further appends are attempted and ingest is refused.
+	degraded atomic.Bool
+	causeMu  sync.Mutex
+	cause    error
+}
+
+func (d *durable) degrade(err error) {
+	d.causeMu.Lock()
+	if d.cause == nil {
+		d.cause = err
+	}
+	d.causeMu.Unlock()
+	d.degraded.Store(true)
+}
+
+// degradedErr returns the Append/Flush error for a degraded stream.
+func (d *durable) degradedErr() error {
+	d.causeMu.Lock()
+	cause := d.cause
+	d.causeMu.Unlock()
+	if cause == nil {
+		return ErrDurability
+	}
+	return fmt.Errorf("%w: %w", ErrDurability, cause)
+}
+
+// ReadOnly reports whether the durability layer has failed and the stream
+// refuses ingest (it keeps serving snapshots).
+func (s *Stream) ReadOnly() bool {
+	return s.dur != nil && s.dur.degraded.Load()
+}
+
+// Open starts a stream like New and, when cfg.Durability is enabled,
+// recovers existing state first: the latest durable checkpoint is loaded
+// as the base generation, the WAL suffix past its watermark is replayed
+// into sealed deltas, and the log is left open for the write-ahead path.
+// A corrupt WAL tail is truncated (longest-valid-prefix recovery); a
+// corrupt checkpoint is an error wrapping wal.ErrWALCorrupt — it never
+// silently drops acknowledged rows.
+func Open(cfg Config) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Durability.Enabled() {
+		s := newStream(cfg)
+		s.start()
+		return s, nil
+	}
+	dcfg := cfg.Durability
+	fs := dcfg.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	start := time.Now()
+
+	ckptDir := filepath.Join(dcfg.Dir, "checkpoint")
+	meta, parts, err := checkpoint.Load(fs, ckptDir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: load checkpoint: %w", err)
+	}
+	var (
+		base   *generation
+		ckptWM uint64
+	)
+	if meta != nil {
+		if meta.Holistic != cfg.Holistic {
+			return nil, fmt.Errorf("stream: checkpoint holistic=%v, config holistic=%v: state mismatch",
+				meta.Holistic, cfg.Holistic)
+		}
+		// The checkpoint's radix fan-out is baked into its partition runs;
+		// the recovered stream adopts it so partition indexes keep lining up.
+		cfg.MergeBits = meta.Bits
+		base = restoreGeneration(meta, parts, cfg.Holistic)
+		ckptWM = meta.Watermark
+	}
+
+	s := newStream(cfg)
+	every := uint64(defaultCheckpointEvery)
+	switch {
+	case dcfg.CheckpointEvery > 0:
+		every = uint64(dcfg.CheckpointEvery)
+	case dcfg.CheckpointEvery < 0:
+		every = 0
+	}
+	s.dur = &durable{fs: fs, ckptDir: ckptDir, ckptEvery: every, ckWake: make(chan struct{}, 1)}
+	s.dur.lastCkptWM.Store(ckptWM)
+	if meta != nil {
+		s.dur.ckptSeq.Store(meta.Seq)
+	}
+
+	// Replay the WAL suffix: each surviving record is one sealed delta,
+	// rebuilt exactly as its shard built it the first time. Records at or
+	// below the checkpoint watermark are already folded into the base.
+	var sealed []*delta
+	replay := func(r wal.Record) error {
+		if r.EndWatermark <= ckptWM {
+			return nil
+		}
+		sealed = append(sealed, replayDelta(r.Keys, r.Vals, cfg.Holistic))
+		return nil
+	}
+	log, err := wal.Open(filepath.Join(dcfg.Dir, "wal"), wal.Options{
+		FS:           fs,
+		SyncPolicy:   dcfg.SyncPolicy,
+		SyncInterval: dcfg.SyncInterval,
+		SegmentBytes: dcfg.SegmentBytes,
+		SkipBelow:    ckptWM,
+		Metrics:      s.m.walMetrics(),
+	}, replay)
+	if err != nil {
+		return nil, err
+	}
+	s.dur.log = log
+
+	wm := ckptWM
+	for _, d := range sealed {
+		wm += d.rows
+	}
+	s.view.Store(&view{base: base, sealed: sealed, watermark: wm})
+
+	s.start()
+	if len(sealed) > 0 {
+		s.wake <- struct{}{}
+	}
+	s.m.recoveryLat.Observe(time.Since(start))
+	return s, nil
+}
+
+// restoreGeneration rebuilds a base generation from a checkpoint's
+// partition runs.
+func restoreGeneration(meta *checkpoint.Meta, parts [][]checkpoint.Group, holistic bool) *generation {
+	g := &generation{
+		parts: make([]table, len(parts)),
+		bits:  meta.Bits,
+		rows:  meta.Watermark,
+		seq:   meta.Seq,
+	}
+	for q, groups := range parts {
+		if len(groups) == 0 {
+			continue
+		}
+		tb := table{t: hashtbl.NewLinearProbe[agg.Partial](len(groups)), ar: arena.New()}
+		for _, gr := range groups {
+			p := tb.t.Upsert(gr.Key)
+			*p = agg.RestorePartial(gr.Count, gr.Sum, gr.Min, gr.Max)
+			if holistic {
+				for _, v := range gr.Vals {
+					p.Buffer(tb.ar, v)
+				}
+			}
+		}
+		g.groups += tb.t.Len()
+		g.parts[q] = tb
+	}
+	return g
+}
+
+// replayDelta rebuilds one sealed delta from a WAL record's raw rows — the
+// same fold absorb performs on the ingest path. Replayed deltas carry no
+// raw-row mirror: their record is already in the log.
+func replayDelta(keys, vals []uint64, holistic bool) *delta {
+	d := &delta{table: table{
+		t:  hashtbl.NewLinearProbe[agg.Partial](deltaTableCap),
+		ar: arena.New(),
+	}}
+	for i, k := range keys {
+		p := d.t.Upsert(k)
+		p.Observe(vals[i])
+		if holistic {
+			p.Buffer(d.ar, vals[i])
+		}
+	}
+	d.rows = uint64(len(keys))
+	return d
+}
+
+// logSeal is publish's write-ahead step, called under viewMu before the
+// sealed delta becomes visible: the record carries the delta's raw rows and
+// the watermark the install is about to publish, so WAL order is exactly
+// seal-publication order and the watermark doubles as the log sequence
+// number. All of the delta's batches commit as this one record — one write,
+// at most one fsync: the group-commit path. A failed append degrades the
+// stream; the delta is still published (visible until the process exits,
+// like every pre-durability row) but ingest stops accepting new rows.
+func (s *Stream) logSeal(d *delta, endWM uint64) (spareKeys, spareVals []uint64) {
+	if s.dur == nil {
+		return nil, nil
+	}
+	// The mirror's only job is this append, and Append copies the record
+	// into the log's own buffer before returning — so the backing arrays
+	// are handed back to the shard for its next delta.
+	spareKeys, spareVals = d.keys, d.vals
+	d.keys, d.vals = nil, nil
+	if s.dur.degraded.Load() {
+		return spareKeys, spareVals
+	}
+	err := s.dur.log.Append(wal.Record{EndWatermark: endWM, Keys: spareKeys, Vals: spareVals})
+	if err != nil {
+		s.dur.degrade(err)
+	}
+	return spareKeys, spareVals
+}
+
+// checkpointLoop runs checkpoints in the background, one per doorbell
+// ring. It owns no ingest-path state: checkpointOnce pins an immutable
+// view, so ingest, seals and merges proceed untouched while it writes.
+func (s *Stream) checkpointLoop() {
+	defer s.dur.ckWG.Done()
+	for range s.dur.ckWake {
+		s.checkpointOnce()
+	}
+}
+
+// maybeCheckpoint rings the checkpointer when the base generation has
+// outgrown the last checkpoint by the configured cadence. Called by the
+// merger after each install.
+func (s *Stream) maybeCheckpoint(g *generation) {
+	d := s.dur
+	if d == nil || d.ckptEvery == 0 {
+		return
+	}
+	if g.rows-d.lastCkptWM.Load() < d.ckptEvery {
+		return
+	}
+	select {
+	case d.ckWake <- struct{}{}:
+	default:
+	}
+}
+
+// checkpointOnce serializes the current base generation as a checkpoint
+// and truncates the WAL below its watermark. The base is immutable, so the
+// whole write happens off the ingest path. Checkpoint failures do not
+// degrade the stream — the WAL still covers every acknowledged row — but a
+// degraded stream writes no checkpoints: its base may already contain rows
+// the torn log tail never made durable, and checkpointing them would claim
+// a watermark the log cannot back.
+func (s *Stream) checkpointOnce() {
+	d := s.dur
+	if d.degraded.Load() {
+		return
+	}
+	base := s.view.Load().base
+	if base == nil || base.rows <= d.lastCkptWM.Load() {
+		return
+	}
+	start := time.Now()
+	meta := checkpoint.Meta{
+		Seq:       d.ckptSeq.Add(1),
+		Watermark: base.rows,
+		Bits:      base.bits,
+		Holistic:  s.cfg.Holistic,
+	}
+	w, err := checkpoint.NewWriter(d.fs, d.ckptDir, meta)
+	if err != nil {
+		return
+	}
+	for q := range base.parts {
+		tb := base.parts[q]
+		err := w.WritePartition(q, func(yield func(checkpoint.Group)) {
+			if tb.t == nil {
+				return
+			}
+			tb.t.Iterate(func(k uint64, p *agg.Partial) bool {
+				g := checkpoint.Group{Key: k, Count: p.Count(), Sum: p.Sum()}
+				g.Min, _ = p.Min()
+				g.Max, _ = p.Max()
+				if s.cfg.Holistic {
+					g.Vals = p.AppendValues(tb.ar, nil)
+				}
+				yield(g)
+				return true
+			})
+		})
+		if err != nil {
+			w.Abort()
+			return
+		}
+	}
+	if err := w.Commit(); err != nil {
+		w.Abort()
+		return
+	}
+	d.lastCkptWM.Store(base.rows)
+	s.m.ckpts.Inc()
+	s.m.ckptLat.Observe(time.Since(start))
+	// Sealed segments fully below the checkpoint are now redundant.
+	_ = d.log.TruncateBelow(base.rows)
+}
+
+// closeDurability finishes the durability layer during Close: stop the
+// checkpointer, take a final checkpoint (the merger has already folded
+// everything into the base, so a reopen loads it and replays nothing), and
+// close the log. A degraded or checkpoint-disabled stream skips the final
+// checkpoint.
+func (s *Stream) closeDurability() {
+	d := s.dur
+	if d == nil {
+		return
+	}
+	close(d.ckWake)
+	d.ckWG.Wait()
+	if d.ckptEvery != 0 {
+		s.checkpointOnce()
+	}
+	_ = d.log.Close()
+}
+
+// walMetrics assembles the wal.Metrics view over the stream's registry
+// instruments.
+func (m *metrics) walMetrics() *wal.Metrics {
+	return &wal.Metrics{
+		Appends:      m.walAppends,
+		AppendBytes:  m.walAppendBytes,
+		Syncs:        m.walSyncs,
+		Rotations:    m.walRotations,
+		SegsDropped:  m.walSegsDropped,
+		ReplayedRows: m.walReplayedRows,
+		SyncLat:      m.walSyncLat,
+	}
+}

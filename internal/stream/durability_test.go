@@ -1,0 +1,383 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"memagg/internal/dataset"
+	"memagg/internal/wal"
+)
+
+// durableConfig is the crash-gate configuration: one shard so publication
+// order equals append order (recovered watermark W ⇒ exactly the first W
+// input rows), small seals so a run exercises many WAL records, sync-always
+// so every published seal is durable, and a low checkpoint cadence so runs
+// cross checkpoint boundaries.
+func durableConfig(fs wal.FS, checkpointEvery int) Config {
+	return Config{
+		Shards:     1,
+		QueueDepth: 4,
+		SealRows:   512,
+		MergeBits:  4,
+		Holistic:   true,
+		Durability: Durability{
+			Dir:             "data",
+			FS:              fs,
+			SyncPolicy:      wal.SyncAlways,
+			SegmentBytes:    8 << 10, // force rotations
+			CheckpointEvery: checkpointEvery,
+		},
+	}
+}
+
+// gateData is the input the recovery tests replay: a skewed key set with
+// enough rows for several seals, rotations and checkpoints.
+func gateData() ([]uint64, []uint64) {
+	spec := dataset.Spec{Kind: dataset.Zipf, N: 12_000, Cardinality: 300, Seed: 71}
+	keys := spec.Keys()
+	return keys, dataset.Values(len(keys), spec.Seed)
+}
+
+// ingestUntilError appends keys/vals in fixed-size batches with periodic
+// flushes, stopping at the first error (the degradation point when a fault
+// is armed). Returns the error, nil when the whole input went in.
+func ingestUntilError(s *Stream, keys, vals []uint64) error {
+	const batchRows = 300
+	for off := 0; off < len(keys); off += batchRows {
+		end := off + batchRows
+		if end > len(keys) {
+			end = len(keys)
+		}
+		if err := s.Append(keys[off:end], vals[off:end]); err != nil {
+			return err
+		}
+		if (off/batchRows)%3 == 2 {
+			if err := s.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return s.Flush()
+}
+
+// checkRecoveredPrefix reopens the durability dir and asserts the
+// recovered state is byte-for-byte the aggregate of the first W input rows
+// for the recovered watermark W — the crash-recovery equivalence property.
+func checkRecoveredPrefix(t *testing.T, label string, fs wal.FS, checkpointEvery int, keys, vals []uint64) uint64 {
+	t.Helper()
+	s, err := Open(durableConfig(fs, checkpointEvery))
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	defer s.Close()
+	sn := s.Snapshot()
+	w := sn.Watermark()
+	if w > uint64(len(keys)) {
+		t.Fatalf("%s: recovered watermark %d exceeds input %d", label, w, len(keys))
+	}
+	if w == 0 {
+		if n := sn.Count(); n != 0 {
+			t.Fatalf("%s: empty watermark but %d rows visible", label, n)
+		}
+		return 0
+	}
+	checkAgainstBatch(t, label, sn, keys[:w], vals[:w])
+	return w
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	keys, vals := gateData()
+	fs := wal.NewMemFS()
+	s, err := Open(durableConfig(fs, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ingestUntilError(s, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if !st.Durable || st.ReadOnly {
+		t.Fatalf("stats: Durable=%v ReadOnly=%v", st.Durable, st.ReadOnly)
+	}
+	if st.WALAppends == 0 || st.WALFsyncs == 0 {
+		t.Fatalf("no WAL activity recorded: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Graceful close wrote a final checkpoint covering everything.
+	if cw := s.Stats().CheckpointWatermark; cw != uint64(len(keys)) {
+		t.Fatalf("final checkpoint watermark %d, want %d", cw, len(keys))
+	}
+	if w := checkRecoveredPrefix(t, "round-trip", fs, 3000, keys, vals); w != uint64(len(keys)) {
+		t.Fatalf("recovered watermark %d, want full %d", w, len(keys))
+	}
+}
+
+func TestWALOnlyRecovery(t *testing.T) {
+	// CheckpointEvery < 0: no checkpoints at all, recovery replays the
+	// entire log.
+	keys, vals := gateData()
+	fs := wal.NewMemFS()
+	s, err := Open(durableConfig(fs, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ingestUntilError(s, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Checkpoints != 0 || st.CheckpointWatermark != 0 {
+		t.Fatalf("WAL-only stream checkpointed: %+v", st)
+	}
+	if w := checkRecoveredPrefix(t, "wal-only", fs, -1, keys, vals); w != uint64(len(keys)) {
+		t.Fatalf("recovered watermark %d, want full %d", w, len(keys))
+	}
+}
+
+func TestReopenContinueReopen(t *testing.T) {
+	// Restart mid-stream: checkpoint + WAL suffix must compose with rows
+	// ingested after the reopen.
+	keys, vals := gateData()
+	half := len(keys) / 2
+	fs := wal.NewMemFS()
+
+	s, err := Open(durableConfig(fs, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ingestUntilError(s, keys[:half], vals[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(durableConfig(fs, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := s2.Snapshot().Watermark(); w != uint64(half) {
+		t.Fatalf("watermark after reopen %d, want %d", w, half)
+	}
+	if err := ingestUntilError(s2, keys[half:], vals[half:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if w := checkRecoveredPrefix(t, "reopen-continue", fs, 3000, keys, vals); w != uint64(len(keys)) {
+		t.Fatalf("recovered watermark %d, want full %d", w, len(keys))
+	}
+}
+
+// TestCrashRecoveryEquivalence is the kill-and-replay gate: a fault is
+// injected at many different points — WAL writes, fsyncs, renames (which
+// hit both segment-rotation manifests and checkpoint CURRENT swaps), with
+// and without torn writes — and after each simulated crash the reopened
+// stream must answer every Q1–Q7 exactly as a batch engine over the first
+// W input rows, where W is whatever watermark recovery reports. The fault
+// filesystem fails everything after the trip, so the bytes the reopen sees
+// are exactly the bytes that reached "disk" before the crash.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	keys, vals := gateData()
+	type scenario struct {
+		op      wal.Op
+		n       int
+		partial bool
+	}
+	var scenarios []scenario
+	for _, n := range []int{1, 2, 5, 12, 30} {
+		scenarios = append(scenarios, scenario{op: wal.OpWrite, n: n})
+	}
+	scenarios = append(scenarios,
+		scenario{op: wal.OpWrite, n: 3, partial: true},
+		scenario{op: wal.OpWrite, n: 17, partial: true},
+		scenario{op: wal.OpSync, n: 1},
+		scenario{op: wal.OpSync, n: 8},
+		// Renames: 1 hits the WAL's opening manifest swap; later counts hit
+		// rotation manifests and checkpoint CURRENT swaps mid-run.
+		scenario{op: wal.OpRename, n: 1},
+		scenario{op: wal.OpRename, n: 2},
+		scenario{op: wal.OpRename, n: 4},
+		scenario{op: wal.OpCreate, n: 3},
+	)
+
+	for _, sc := range scenarios {
+		label := fmt.Sprintf("crash/%v-%d/partial=%v", sc.op, sc.n, sc.partial)
+		t.Run(label, func(t *testing.T) {
+			mem := wal.NewMemFS()
+			efs := wal.NewErrFS(mem)
+			efs.SetPartialWrites(sc.partial)
+			efs.FailAfter(sc.op, sc.n)
+
+			s, err := Open(durableConfig(efs, 3000))
+			if err != nil {
+				// The fault fired during Open itself (e.g. the opening
+				// manifest swap): nothing was acknowledged, recovery from
+				// the untouched FS must yield the empty stream.
+				if w := checkRecoveredPrefix(t, label, mem, 3000, keys, vals); w != 0 {
+					t.Fatalf("rows recovered from a stream that never opened: %d", w)
+				}
+				return
+			}
+			ingestErr := ingestUntilError(s, keys, vals)
+			if ingestErr != nil && !errors.Is(ingestErr, ErrDurability) {
+				t.Fatalf("ingest failed with non-durability error: %v", ingestErr)
+			}
+			if ingestErr != nil {
+				// Degraded, not closed: snapshots must still serve.
+				if !s.ReadOnly() {
+					t.Fatal("ingest refused but ReadOnly() is false")
+				}
+				_ = s.Snapshot().Count()
+				if !s.Stats().ReadOnly {
+					t.Fatal("Stats().ReadOnly is false on a degraded stream")
+				}
+			}
+			// Close releases goroutines; the tripped FS swallows any further
+			// writes, so this is equivalent to a hard kill as far as the
+			// recovered bytes are concerned.
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			w := checkRecoveredPrefix(t, label, mem, 3000, keys, vals)
+			if ingestErr == nil && w != uint64(len(keys)) {
+				t.Fatalf("no fault observed during ingest but only %d/%d rows recovered", w, len(keys))
+			}
+		})
+	}
+}
+
+// TestCorruptTailRecoversPrefix bit-flips the tail of a closed stream's
+// WAL and asserts recovery serves the longest valid prefix — never an
+// error, never wrong aggregates.
+func TestCorruptTailRecoversPrefix(t *testing.T) {
+	keys, vals := gateData()
+	fs := wal.NewMemFS()
+	s, err := Open(durableConfig(fs, -1)) // WAL-only: the log is the state
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ingestUntilError(s, keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the last (active) segment and flip a byte near its end.
+	segs, err := fs.ReadDir("data/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, n := range segs {
+		if n != "MANIFEST" && (last == "" || n > last) {
+			last = n
+		}
+	}
+	name := "data/wal/" + last
+	data := fs.Bytes(name)
+	if len(data) == 0 {
+		t.Fatalf("empty active segment %s", name)
+	}
+	data[len(data)-9] ^= 0x20
+	fs.SetBytes(name, data)
+
+	w := checkRecoveredPrefix(t, "corrupt-tail", fs, -1, keys, vals)
+	if w == 0 || w >= uint64(len(keys)) {
+		t.Fatalf("corrupt tail recovered watermark %d of %d, want a proper prefix", w, len(keys))
+	}
+}
+
+// TestDegradedStreamKeepsServing pins down the graceful-degradation
+// contract: after the WAL becomes unwritable, Append and Flush fail with
+// ErrDurability (carrying the cause), queries and Stats keep working, and
+// Close still succeeds.
+func TestDegradedStreamKeepsServing(t *testing.T) {
+	keys, vals := gateData()
+	mem := wal.NewMemFS()
+	efs := wal.NewErrFS(mem)
+	s, err := Open(durableConfig(efs, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(keys[:1000], vals[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Snapshot().Watermark()
+
+	efs.Cut() // disk dies now
+	// Drive ingest until the seal path observes the failure.
+	var ingestErr error
+	for i := 0; i < 100 && ingestErr == nil; i++ {
+		if err := s.Append(keys[:600], vals[:600]); err != nil {
+			ingestErr = err
+			break
+		}
+		ingestErr = s.Flush()
+	}
+	if !errors.Is(ingestErr, ErrDurability) {
+		t.Fatalf("ingest after disk failure: %v, want ErrDurability", ingestErr)
+	}
+	if !errors.Is(ingestErr, wal.ErrInjected) {
+		t.Fatalf("degradation cause not carried: %v", ingestErr)
+	}
+	if !s.ReadOnly() {
+		t.Fatal("ReadOnly() false after degradation")
+	}
+	if w := s.Snapshot().Watermark(); w < before {
+		t.Fatalf("watermark went backwards after degradation: %d < %d", w, before)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever was durable before the cut recovers cleanly.
+	w := checkRecoveredPrefix(t, "degraded", mem, -1, keys, vals)
+	if w < before {
+		t.Fatalf("recovered %d rows, want at least the %d acknowledged before the cut", w, before)
+	}
+}
+
+// TestHolisticMismatchRejected: a checkpoint written with holistic state
+// cannot be opened by a non-holistic config (or vice versa) — the state
+// shapes differ, and silently dropping value multisets would corrupt Q3.
+func TestHolisticMismatchRejected(t *testing.T) {
+	keys, vals := gateData()
+	fs := wal.NewMemFS()
+	s, err := Open(durableConfig(fs, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ingestUntilError(s, keys[:3000], vals[:3000]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := durableConfig(fs, 3000)
+	cfg.Holistic = false
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("non-holistic Open of a holistic checkpoint succeeded")
+	}
+}
+
+// TestNewPanicsOnDurableConfig: the volatile constructor must refuse a
+// durable config instead of silently ignoring state on disk.
+func TestNewPanicsOnDurableConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a durable config")
+		}
+	}()
+	New(Config{Durability: Durability{Dir: "data"}})
+}

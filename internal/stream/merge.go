@@ -64,6 +64,7 @@ func (s *Stream) mergeOnce() bool {
 	s.m.mergeNs.Add(uint64(elapsed))
 	s.m.lastMerge.Set(int64(elapsed))
 	s.m.mergeLat.Observe(elapsed)
+	s.maybeCheckpoint(g)
 	return true
 }
 

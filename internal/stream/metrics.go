@@ -25,6 +25,21 @@ type metrics struct {
 
 	appendLat *obs.Histogram // Append call latency
 	mergeLat  *obs.Histogram // merge cycle duration
+
+	// Durability instruments. Registered unconditionally (a volatile stream
+	// just leaves them at zero) so the scrape shape is stable; the wal
+	// package records into them via the Metrics view walMetrics builds.
+	walAppends      *obs.Counter // WAL records appended (one per seal)
+	walAppendBytes  *obs.Counter // framed WAL bytes appended
+	walSyncs        *obs.Counter // WAL fsyncs
+	walRotations    *obs.Counter // WAL segment rotations
+	walSegsDropped  *obs.Counter // WAL segments dropped by checkpoint truncation
+	walReplayedRows *obs.Counter // rows replayed from the WAL at Open
+	ckpts           *obs.Counter // checkpoints committed
+
+	walSyncLat  *obs.Histogram // WAL fsync latency
+	ckptLat     *obs.Histogram // checkpoint write+commit duration
+	recoveryLat *obs.Histogram // Open recovery duration (load + replay)
 }
 
 func newMetrics(s *Stream) *metrics {
@@ -51,6 +66,26 @@ func newMetrics(s *Stream) *metrics {
 			"Append call latency (copy, hand-off, and any backpressure wait)."),
 		mergeLat: reg.NewHistogram("memagg_stream_merge_seconds",
 			"Merge cycle duration (delta flatten, scatter, partition folds)."),
+		walAppends: reg.NewCounter("memagg_wal_appends_total",
+			"WAL records appended (one group-committed record per seal)."),
+		walAppendBytes: reg.NewCounter("memagg_wal_append_bytes_total",
+			"Framed bytes appended to the WAL."),
+		walSyncs: reg.NewCounter("memagg_wal_fsyncs_total",
+			"WAL fsync calls."),
+		walRotations: reg.NewCounter("memagg_wal_segment_rotations_total",
+			"WAL segment rotations."),
+		walSegsDropped: reg.NewCounter("memagg_wal_segments_dropped_total",
+			"WAL segments dropped after a checkpoint made their rows durable."),
+		walReplayedRows: reg.NewCounter("memagg_wal_replayed_rows_total",
+			"Rows replayed from the WAL during recovery."),
+		ckpts: reg.NewCounter("memagg_wal_checkpoints_total",
+			"Checkpoints committed (CURRENT swapped)."),
+		walSyncLat: reg.NewHistogram("memagg_wal_fsync_seconds",
+			"WAL fsync latency."),
+		ckptLat: reg.NewHistogram("memagg_wal_checkpoint_seconds",
+			"Checkpoint duration (partition runs, META, CURRENT swap)."),
+		recoveryLat: reg.NewHistogram("memagg_wal_recovery_seconds",
+			"Recovery duration at Open (checkpoint load plus WAL replay)."),
 	}
 	// View-derived state is served as scrape-time gauges rather than
 	// double-maintained counters: the view pointer already is the truth.
@@ -83,6 +118,21 @@ func newMetrics(s *Stream) *metrics {
 		func() int64 {
 			if v := s.view.Load(); v.base != nil {
 				return int64(v.base.groups)
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("memagg_stream_readonly",
+		"1 when the durability layer failed and the stream refuses ingest.",
+		func() int64 {
+			if s.dur != nil && s.dur.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.NewGaugeFunc("memagg_wal_checkpoint_watermark_rows",
+		"Rows covered by the last durable checkpoint.", func() int64 {
+			if s.dur != nil {
+				return int64(s.dur.lastCkptWM.Load())
 			}
 			return 0
 		})

@@ -30,9 +30,14 @@ func mergeTable(dst, src table, holistic bool) {
 }
 
 // delta is one shard's in-progress (then sealed) table plus its row count.
+// On durable streams it also mirrors the raw rows (keys/vals, in arrival
+// order): the seal's WAL record carries rows, not aggregate state, so a
+// replay rebuilds the exact delta. publish drops the mirror once the
+// record is in the log.
 type delta struct {
 	table
-	rows uint64
+	rows       uint64
+	keys, vals []uint64
 }
 
 // deltaTableCap seeds a fresh delta's table small; LinearProbe doubles as
@@ -47,6 +52,10 @@ type shard struct {
 	s   *Stream
 	ch  chan batch
 	cur *delta
+	// spareKeys/spareVals are the previous delta's raw-row mirror arrays,
+	// handed back by publish once the WAL record is written; the next
+	// delta appends into them instead of growing fresh slices.
+	spareKeys, spareVals []uint64
 }
 
 func (sh *shard) run() {
@@ -77,6 +86,10 @@ func (sh *shard) absorb(b batch) {
 			t:  hashtbl.NewLinearProbe[agg.Partial](deltaTableCap),
 			ar: arena.New(),
 		}}
+		if sh.s.dur != nil {
+			sh.cur.keys, sh.cur.vals = sh.spareKeys[:0], sh.spareVals[:0]
+			sh.spareKeys, sh.spareVals = nil, nil
+		}
 	}
 	t := sh.cur.t
 	if sh.s.cfg.Holistic {
@@ -92,6 +105,10 @@ func (sh *shard) absorb(b batch) {
 		}
 	}
 	sh.cur.rows += uint64(len(b.keys))
+	if sh.s.dur != nil {
+		sh.cur.keys = append(sh.cur.keys, b.keys...)
+		sh.cur.vals = append(sh.cur.vals, b.vals...)
+	}
 }
 
 // seal freezes the current delta and publishes it into the queryable view.
@@ -104,5 +121,5 @@ func (sh *shard) seal() {
 	d := sh.cur
 	sh.cur = nil
 	sh.s.m.seals.Inc()
-	sh.s.publish(d)
+	sh.spareKeys, sh.spareVals = sh.s.publish(d)
 }

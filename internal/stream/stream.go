@@ -86,6 +86,11 @@ type Config struct {
 	// agg.ErrUnsupported.
 	Holistic bool
 
+	// Durability enables the write-ahead log and checkpoints (see the
+	// Durability type). Streams with durability enabled must be built with
+	// Open, which recovers existing state; New panics on a durable config.
+	Durability Durability
+
 	// testBatchHook, when set, runs in the shard goroutine for every batch
 	// received. Test-only: it lets the backpressure test stall a shard
 	// deterministically.
@@ -122,6 +127,7 @@ type Stream struct {
 	cfg    Config
 	shards []*shard
 	m      *metrics
+	dur    *durable // nil when durability is disabled
 
 	// view is the queryable state: an immutable (base, sealed deltas,
 	// watermark) triple swapped atomically. viewMu serializes installs
@@ -160,22 +166,44 @@ type batch struct {
 	ack        chan<- struct{}
 }
 
-// New starts a stream: Shards writer goroutines plus one merger.
+// New starts a volatile stream: Shards writer goroutines plus one merger.
+// A config with durability enabled must go through Open (there may be
+// state on disk to recover); New panics on one.
 func New(cfg Config) *Stream {
-	cfg = cfg.withDefaults()
+	if cfg.Durability.Enabled() {
+		panic("stream: config enables durability; use Open, not New")
+	}
+	s := newStream(cfg.withDefaults())
+	s.start()
+	return s
+}
+
+// newStream builds a stream without starting its goroutines, so Open can
+// install recovered state into the view first. cfg must already have
+// defaults applied.
+func newStream(cfg Config) *Stream {
 	s := &Stream{cfg: cfg, wake: make(chan struct{}, 1)}
 	s.m = newMetrics(s)
 	s.view.Store(&view{})
-	s.shards = make([]*shard, cfg.Shards)
+	return s
+}
+
+// start launches the shard writers, the merger, and (when durable) the
+// checkpointer.
+func (s *Stream) start() {
+	s.shards = make([]*shard, s.cfg.Shards)
 	for i := range s.shards {
-		sh := &shard{s: s, ch: make(chan batch, cfg.QueueDepth)}
+		sh := &shard{s: s, ch: make(chan batch, s.cfg.QueueDepth)}
 		s.shards[i] = sh
 		s.shardWG.Add(1)
 		go sh.run()
 	}
 	s.mergerWG.Add(1)
 	go s.mergerLoop()
-	return s
+	if s.dur != nil {
+		s.dur.ckWG.Add(1)
+		go s.checkpointLoop()
+	}
 }
 
 // Append ingests one batch of rows: vals[i] belongs to keys[i], and a short
@@ -189,6 +217,9 @@ func (s *Stream) Append(keys, vals []uint64) error {
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.dur != nil && s.dur.degraded.Load() {
+		return s.dur.degradedErr()
 	}
 	n := len(keys)
 	if n == 0 {
@@ -229,6 +260,9 @@ func (s *Stream) Flush() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if s.dur != nil && s.dur.degraded.Load() {
+		return s.dur.degradedErr()
+	}
 	ack := make(chan struct{}, len(s.shards))
 	for _, sh := range s.shards {
 		sh.ch <- batch{ack: ack}
@@ -261,6 +295,7 @@ func (s *Stream) Close() error {
 	s.shardWG.Wait()
 	close(s.wake)
 	s.mergerWG.Wait()
+	s.closeDurability()
 	return nil
 }
 
@@ -275,10 +310,13 @@ func (s *Stream) install(nv *view) {
 }
 
 // publish appends a freshly sealed delta to the view (making its rows
-// visible) and rings the merger's doorbell.
-func (s *Stream) publish(d *delta) {
+// visible) and rings the merger's doorbell. With durability enabled the
+// delta's record hits the WAL first, still under viewMu — write-ahead: by
+// the time a snapshot can observe the rows, the log already carries them.
+func (s *Stream) publish(d *delta) (spareKeys, spareVals []uint64) {
 	s.viewMu.Lock()
 	v := s.view.Load()
+	spareKeys, spareVals = s.logSeal(d, v.watermark+d.rows)
 	sealed := make([]*delta, len(v.sealed)+1)
 	copy(sealed, v.sealed)
 	sealed[len(v.sealed)] = d
@@ -288,6 +326,7 @@ func (s *Stream) publish(d *delta) {
 	case s.wake <- struct{}{}:
 	default:
 	}
+	return spareKeys, spareVals
 }
 
 // Stats is a point-in-time report of the stream's ingest and merge state.
@@ -322,6 +361,20 @@ type Stats struct {
 	Merges     uint64
 	MergeTotal time.Duration
 	MergeLast  time.Duration
+
+	// Durable reports whether the stream runs with a WAL; ReadOnly whether
+	// the durability layer failed and ingest is refused. The remaining
+	// fields are zero for volatile streams. CheckpointWatermark is the row
+	// count covered by the last durable checkpoint (recovery loads it and
+	// replays only the WAL suffix past it).
+	Durable             bool
+	ReadOnly            bool
+	WALAppends          uint64
+	WALFsyncs           uint64
+	WALSegmentRotations uint64
+	WALSizeBytes        int64
+	Checkpoints         uint64
+	CheckpointWatermark uint64
 }
 
 // Stats reports the stream's current state, read from the same obs-backed
@@ -349,6 +402,18 @@ func (s *Stream) Stats() Stats {
 	if v.base != nil {
 		st.Generation = v.base.seq
 		st.Groups = v.base.groups
+	}
+	if s.dur != nil {
+		st.Durable = true
+		st.ReadOnly = s.dur.degraded.Load()
+		st.WALAppends = s.m.walAppends.Value()
+		st.WALFsyncs = s.m.walSyncs.Value()
+		st.WALSegmentRotations = s.m.walRotations.Value()
+		if s.dur.log != nil {
+			st.WALSizeBytes = s.dur.log.SizeBytes()
+		}
+		st.Checkpoints = s.m.ckpts.Value()
+		st.CheckpointWatermark = s.dur.lastCkptWM.Load()
 	}
 	return st
 }

@@ -1,0 +1,342 @@
+// Package checkpoint serializes a stream's sealed base generation as
+// radix-partitioned runs of encoded partial aggregates — the disk-resident
+// form of the Hash_RX partitioning discipline the literature's spill
+// formats converge on: each run holds the groups of one radix partition,
+// written and read with purely sequential I/O, so recovery rebuilds the
+// partitions independently and the WAL only needs to retain the suffix
+// past the checkpoint's watermark.
+//
+// Layout of a checkpoint root:
+//
+//	root/
+//	  CURRENT           names the durable checkpoint dir, swapped atomically
+//	  ckpt-00000003/
+//	    part-0000.run   one framed run per radix partition
+//	    part-0001.run   ...
+//	    META            framed: seq, watermark, groups, bits, holistic
+//
+// Every file reuses the WAL's [length | CRC32C | payload] frame, so a
+// half-written checkpoint can never be mistaken for a valid one: the
+// CURRENT swap happens only after every run and META are written and
+// synced, and a load validates every frame before handing state back.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"memagg/internal/wal"
+)
+
+// Meta identifies one checkpoint.
+type Meta struct {
+	// Seq is the checkpoint sequence number (monotonic per stream).
+	Seq uint64
+	// Watermark is the number of rows the checkpoint covers: recovery
+	// replays the WAL records past it.
+	Watermark uint64
+	// Groups is the total group count across partitions.
+	Groups uint64
+	// Bits is the radix fan-out of the partitioning; there are 1<<Bits
+	// partition runs. A stream recovering from this checkpoint adopts
+	// these bits for its base generation.
+	Bits int
+	// Holistic records whether the runs carry value multisets.
+	Holistic bool
+}
+
+// Parts returns the number of partition runs.
+func (m Meta) Parts() int { return 1 << m.Bits }
+
+// Group is one group's serialized state: the eager distributive folds
+// plus, for holistic checkpoints, the buffered value multiset.
+type Group struct {
+	Key                  uint64
+	Count, Sum, Min, Max uint64
+	Vals                 []uint64
+}
+
+const (
+	currentName = "CURRENT"
+	metaName    = "META"
+	metaMagic   = "mckp"
+	metaVersion = 1
+)
+
+func ckptDirName(seq uint64) string { return fmt.Sprintf("ckpt-%08d", seq) }
+
+func partName(q int) string { return fmt.Sprintf("part-%04d.run", q) }
+
+// Writer writes one checkpoint: NewWriter creates the directory, one
+// WritePartition call per partition streams the runs, and Commit writes
+// META and atomically swaps CURRENT. Nothing is visible to Load until
+// Commit returns nil.
+type Writer struct {
+	fs     wal.FS
+	root   string
+	dir    string
+	meta   Meta
+	groups uint64
+	buf    []byte
+}
+
+// NewWriter starts checkpoint meta.Seq under root.
+func NewWriter(fs wal.FS, root string, meta Meta) (*Writer, error) {
+	w := &Writer{fs: fs, root: root, dir: filepath.Join(root, ckptDirName(meta.Seq)), meta: meta}
+	if err := fs.MkdirAll(w.dir); err != nil {
+		return nil, fmt.Errorf("checkpoint: mkdir: %w", err)
+	}
+	return w, nil
+}
+
+// WritePartition writes partition q's run. groups yields each group once,
+// in any order; a nil groups writes an empty run (partitions with no
+// groups still get a file, so a load can distinguish "empty" from
+// "missing"). Vals are encoded only for holistic checkpoints.
+func (w *Writer) WritePartition(q int, groups func(yield func(Group))) error {
+	n := uint32(0)
+	payload := make([]byte, 8, 1024)
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(q))
+	if groups != nil {
+		groups(func(g Group) {
+			n++
+			var rec [40]byte
+			binary.LittleEndian.PutUint64(rec[0:8], g.Key)
+			binary.LittleEndian.PutUint64(rec[8:16], g.Count)
+			binary.LittleEndian.PutUint64(rec[16:24], g.Sum)
+			binary.LittleEndian.PutUint64(rec[24:32], g.Min)
+			binary.LittleEndian.PutUint64(rec[32:40], g.Max)
+			payload = append(payload, rec[:]...)
+			if w.meta.Holistic {
+				var nv [4]byte
+				binary.LittleEndian.PutUint32(nv[:], uint32(len(g.Vals)))
+				payload = append(payload, nv[:]...)
+				for _, v := range g.Vals {
+					var b [8]byte
+					binary.LittleEndian.PutUint64(b[:], v)
+					payload = append(payload, b[:]...)
+				}
+			}
+		})
+	}
+	binary.LittleEndian.PutUint32(payload[4:8], n)
+	w.groups += uint64(n)
+	w.buf = wal.AppendFrame(w.buf[:0], payload)
+	return w.writeFile(partName(q), w.buf)
+}
+
+// writeFile creates name under the checkpoint dir, writes data, syncs and
+// closes — every byte durable before Commit's CURRENT swap can reference
+// it.
+func (w *Writer) writeFile(name string, data []byte) error {
+	f, err := w.fs.Create(filepath.Join(w.dir, name))
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", name, err)
+	}
+	return nil
+}
+
+// Commit writes META, then swaps CURRENT to this checkpoint — the atomic
+// publication point — and removes superseded checkpoint directories.
+func (w *Writer) Commit() error {
+	payload := make([]byte, 0, 64)
+	payload = append(payload, metaMagic...)
+	payload = append(payload, metaVersion)
+	var b [8]byte
+	for _, v := range []uint64{w.meta.Seq, w.meta.Watermark, w.groups} {
+		binary.LittleEndian.PutUint64(b[:], v)
+		payload = append(payload, b[:]...)
+	}
+	payload = append(payload, byte(w.meta.Bits))
+	if w.meta.Holistic {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	if err := w.writeFile(metaName, wal.AppendFrame(nil, payload)); err != nil {
+		return err
+	}
+
+	tmp := filepath.Join(w.root, currentName+".tmp")
+	if err := w.writeFileAt(tmp, []byte(ckptDirName(w.meta.Seq)+"\n")); err != nil {
+		return err
+	}
+	if err := w.fs.Rename(tmp, filepath.Join(w.root, currentName)); err != nil {
+		return fmt.Errorf("checkpoint: swap CURRENT: %w", err)
+	}
+	removeStale(w.fs, w.root, ckptDirName(w.meta.Seq))
+	return nil
+}
+
+// writeFileAt is writeFile with an absolute path (for CURRENT.tmp, which
+// lives in the root rather than the checkpoint dir).
+func (w *Writer) writeFileAt(path string, data []byte) error {
+	f, err := w.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Abort removes a checkpoint that will not be committed (a fault midway):
+// best effort, the uncommitted directory is ignorable garbage either way.
+func (w *Writer) Abort() { removeDir(w.fs, w.dir) }
+
+// removeStale deletes every ckpt-* directory under root except keep.
+func removeStale(fs wal.FS, root, keep string) {
+	names, err := fs.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		if strings.HasPrefix(n, "ckpt-") && n != keep {
+			removeDir(fs, filepath.Join(root, n))
+		}
+	}
+}
+
+// removeDir removes a directory's files then the directory itself, best
+// effort (the FS interface has no recursive remove).
+func removeDir(fs wal.FS, dir string) {
+	if names, err := fs.ReadDir(dir); err == nil {
+		for _, n := range names {
+			_ = fs.Remove(filepath.Join(dir, n))
+		}
+	}
+	_ = fs.Remove(dir)
+}
+
+// Load reads the durable checkpoint under root. It returns (nil, nil,
+// nil) when no checkpoint exists; a checkpoint that fails validation
+// returns an error wrapping wal.ErrWALCorrupt — the caller decides
+// whether to fail recovery or start empty.
+func Load(fs wal.FS, root string) (*Meta, [][]Group, error) {
+	f, err := fs.Open(filepath.Join(root, currentName))
+	if err != nil {
+		return nil, nil, nil // no checkpoint yet
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: read CURRENT: %w", err)
+	}
+	dir := filepath.Join(root, strings.TrimSpace(string(data)))
+
+	meta, err := loadMeta(fs, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts := make([][]Group, meta.Parts())
+	for q := range parts {
+		groups, err := loadPartition(fs, dir, q, meta.Holistic)
+		if err != nil {
+			return nil, nil, err
+		}
+		parts[q] = groups
+	}
+	return meta, parts, nil
+}
+
+func loadMeta(fs wal.FS, dir string) (*Meta, error) {
+	payload, err := readFramedFile(fs, filepath.Join(dir, metaName))
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) != 31 || string(payload[:4]) != metaMagic || payload[4] != metaVersion {
+		return nil, fmt.Errorf("checkpoint: bad META: %w", wal.ErrWALCorrupt)
+	}
+	m := &Meta{
+		Seq:       binary.LittleEndian.Uint64(payload[5:13]),
+		Watermark: binary.LittleEndian.Uint64(payload[13:21]),
+		Groups:    binary.LittleEndian.Uint64(payload[21:29]),
+		Bits:      int(payload[29]),
+		Holistic:  payload[30] == 1,
+	}
+	if m.Bits < 1 || m.Bits > 16 {
+		return nil, fmt.Errorf("checkpoint: META bits %d: %w", m.Bits, wal.ErrWALCorrupt)
+	}
+	return m, nil
+}
+
+func loadPartition(fs wal.FS, dir string, q int, holistic bool) ([]Group, error) {
+	payload, err := readFramedFile(fs, filepath.Join(dir, partName(q)))
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 8 || int(binary.LittleEndian.Uint32(payload[0:4])) != q {
+		return nil, fmt.Errorf("checkpoint: bad run header %s: %w", partName(q), wal.ErrWALCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(payload[4:8]))
+	body := payload[8:]
+	groups := make([]Group, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 40 {
+			return nil, fmt.Errorf("checkpoint: short run %s: %w", partName(q), wal.ErrWALCorrupt)
+		}
+		g := Group{
+			Key:   binary.LittleEndian.Uint64(body[0:8]),
+			Count: binary.LittleEndian.Uint64(body[8:16]),
+			Sum:   binary.LittleEndian.Uint64(body[16:24]),
+			Min:   binary.LittleEndian.Uint64(body[24:32]),
+			Max:   binary.LittleEndian.Uint64(body[32:40]),
+		}
+		body = body[40:]
+		if holistic {
+			if len(body) < 4 {
+				return nil, fmt.Errorf("checkpoint: short run %s: %w", partName(q), wal.ErrWALCorrupt)
+			}
+			nv := int(binary.LittleEndian.Uint32(body[0:4]))
+			body = body[4:]
+			if len(body) < 8*nv {
+				return nil, fmt.Errorf("checkpoint: short run %s: %w", partName(q), wal.ErrWALCorrupt)
+			}
+			g.Vals = make([]uint64, nv)
+			for j := range g.Vals {
+				g.Vals[j] = binary.LittleEndian.Uint64(body[8*j:])
+			}
+			body = body[8*nv:]
+		}
+		groups = append(groups, g)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("checkpoint: trailing bytes in %s: %w", partName(q), wal.ErrWALCorrupt)
+	}
+	return groups, nil
+}
+
+// readFramedFile reads a whole single-frame file, validating its CRC.
+func readFramedFile(fs wal.FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %v: %w", path, err, wal.ErrWALCorrupt)
+	}
+	defer f.Close()
+	payload, _, err := wal.ReadFrame(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return payload, nil
+}

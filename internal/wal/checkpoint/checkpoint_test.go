@@ -1,0 +1,200 @@
+package checkpoint
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"memagg/internal/wal"
+)
+
+// writeCheckpoint writes a full checkpoint with deterministic content:
+// partition q holds groups with keys q*100+i for i in [0, q+1).
+func writeCheckpoint(t *testing.T, fs wal.FS, root string, meta Meta) {
+	t.Helper()
+	w, err := NewWriter(fs, root, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < meta.Parts(); q++ {
+		q := q
+		err := w.WritePartition(q, func(yield func(Group)) {
+			for i := 0; i <= q; i++ {
+				g := Group{
+					Key:   uint64(q*100 + i),
+					Count: uint64(i + 1),
+					Sum:   uint64(10 * (i + 1)),
+					Min:   uint64(i),
+					Max:   uint64(i + 9),
+				}
+				if meta.Holistic {
+					g.Vals = []uint64{uint64(i), uint64(i + 1), uint64(i + 2)}
+				}
+				yield(g)
+			}
+		})
+		if err != nil {
+			t.Fatalf("partition %d: %v", q, err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkLoaded(t *testing.T, meta *Meta, parts [][]Group, want Meta) {
+	t.Helper()
+	if meta == nil {
+		t.Fatal("no checkpoint loaded")
+	}
+	if meta.Seq != want.Seq || meta.Watermark != want.Watermark ||
+		meta.Bits != want.Bits || meta.Holistic != want.Holistic {
+		t.Fatalf("meta %+v, want %+v", *meta, want)
+	}
+	if len(parts) != want.Parts() {
+		t.Fatalf("%d partitions, want %d", len(parts), want.Parts())
+	}
+	for q, groups := range parts {
+		if len(groups) != q+1 {
+			t.Fatalf("partition %d: %d groups, want %d", q, len(groups), q+1)
+		}
+		for i, g := range groups {
+			if g.Key != uint64(q*100+i) || g.Count != uint64(i+1) || g.Sum != uint64(10*(i+1)) {
+				t.Fatalf("partition %d group %d: %+v", q, i, g)
+			}
+			if want.Holistic {
+				if len(g.Vals) != 3 || g.Vals[0] != uint64(i) {
+					t.Fatalf("partition %d group %d vals: %v", q, i, g.Vals)
+				}
+			} else if g.Vals != nil {
+				t.Fatalf("non-holistic checkpoint carried vals: %v", g.Vals)
+			}
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	for _, holistic := range []bool{false, true} {
+		fs := wal.NewMemFS()
+		meta := Meta{Seq: 3, Watermark: 12345, Bits: 2, Holistic: holistic}
+		writeCheckpoint(t, fs, "ck", meta)
+		got, parts, err := Load(fs, "ck")
+		if err != nil {
+			t.Fatalf("holistic=%v: %v", holistic, err)
+		}
+		checkLoaded(t, got, parts, meta)
+	}
+}
+
+func TestLoadEmptyRoot(t *testing.T) {
+	meta, parts, err := Load(wal.NewMemFS(), "nothing")
+	if meta != nil || parts != nil || err != nil {
+		t.Fatalf("empty root: %v %v %v, want all nil", meta, parts, err)
+	}
+}
+
+func TestCommitSupersedesPrevious(t *testing.T) {
+	fs := wal.NewMemFS()
+	writeCheckpoint(t, fs, "ck", Meta{Seq: 1, Watermark: 100, Bits: 1})
+	writeCheckpoint(t, fs, "ck", Meta{Seq: 2, Watermark: 200, Bits: 1})
+	meta, parts, err := Load(fs, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLoaded(t, meta, parts, Meta{Seq: 2, Watermark: 200, Bits: 1})
+	// The superseded directory is gone.
+	if names, _ := fs.ReadDir("ck"); len(names) != 0 {
+		for _, n := range names {
+			if n == ckptDirName(1) {
+				t.Fatalf("stale checkpoint dir survived: %v", names)
+			}
+		}
+	}
+}
+
+func TestUncommittedCheckpointInvisible(t *testing.T) {
+	fs := wal.NewMemFS()
+	writeCheckpoint(t, fs, "ck", Meta{Seq: 1, Watermark: 100, Bits: 1})
+	// A second checkpoint that crashes before Commit: runs written, no
+	// CURRENT swap.
+	w, err := NewWriter(fs, "ck", Meta{Seq: 2, Watermark: 200, Bits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 2; q++ {
+		if err := w.WritePartition(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Commit. Load still sees checkpoint 1.
+	meta, parts, err := Load(fs, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLoaded(t, meta, parts, Meta{Seq: 1, Watermark: 100, Bits: 1})
+}
+
+func TestCorruptRunDetected(t *testing.T) {
+	fs := wal.NewMemFS()
+	meta := Meta{Seq: 1, Watermark: 50, Bits: 2}
+	writeCheckpoint(t, fs, "ck", meta)
+	name := filepath.Join("ck", ckptDirName(1), partName(2))
+	data := fs.Bytes(name)
+	if data == nil {
+		t.Fatal("run file missing")
+	}
+	data[len(data)-1] ^= 0x01
+	fs.SetBytes(name, data)
+	if _, _, err := Load(fs, "ck"); !errors.Is(err, wal.ErrWALCorrupt) {
+		t.Fatalf("load of corrupt run: %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestCorruptMetaDetected(t *testing.T) {
+	fs := wal.NewMemFS()
+	writeCheckpoint(t, fs, "ck", Meta{Seq: 1, Watermark: 50, Bits: 1})
+	name := filepath.Join("ck", ckptDirName(1), metaName)
+	data := fs.Bytes(name)
+	data[len(data)-3] ^= 0xff
+	fs.SetBytes(name, data)
+	if _, _, err := Load(fs, "ck"); !errors.Is(err, wal.ErrWALCorrupt) {
+		t.Fatalf("load of corrupt META: %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestMissingRunDetected(t *testing.T) {
+	fs := wal.NewMemFS()
+	writeCheckpoint(t, fs, "ck", Meta{Seq: 1, Watermark: 50, Bits: 2})
+	if err := fs.Remove(filepath.Join("ck", ckptDirName(1), partName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(fs, "ck"); !errors.Is(err, wal.ErrWALCorrupt) {
+		t.Fatalf("load with missing run: %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestFaultDuringCommitKeepsPrevious(t *testing.T) {
+	mem := wal.NewMemFS()
+	writeCheckpoint(t, mem, "ck", Meta{Seq: 1, Watermark: 100, Bits: 1})
+	// Checkpoint 2 dies on the CURRENT rename — the commit point itself.
+	efs := wal.NewErrFS(mem)
+	efs.FailAfter(wal.OpRename, 1)
+	w, err := NewWriter(efs, "ck", Meta{Seq: 2, Watermark: 200, Bits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 2; q++ {
+		if err := w.WritePartition(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("commit across fault: %v, want ErrInjected", err)
+	}
+	// Reload on the inner FS: checkpoint 1 intact.
+	meta, parts, err := Load(mem, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLoaded(t, meta, parts, Meta{Seq: 1, Watermark: 100, Bits: 1})
+}

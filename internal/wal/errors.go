@@ -1,0 +1,17 @@
+package wal
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrWALCorrupt reports on-disk state that fails validation: a bad CRC, an
+// impossible frame length, a record that breaks watermark continuity, or
+// checkpoint files that do not decode. Recovery treats a corrupt *tail* as
+// a clean end of log (truncate and continue with the valid prefix); it is
+// only surfaced as an error when the corruption makes the recovered state
+// unusable (a corrupt checkpoint, a manifest that cannot be parsed).
+var ErrWALCorrupt = errors.New("wal: corrupt record")
+
+// errNotExist mirrors os.ErrNotExist so MemFS errors branch identically.
+var errNotExist = os.ErrNotExist

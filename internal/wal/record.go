@@ -1,0 +1,151 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"slices"
+)
+
+// Frame layout — every durable write in the subsystem (log records,
+// checkpoint runs, checkpoint META) uses the same self-validating frame:
+//
+//	offset  size  field
+//	0       4     payload length n, little-endian uint32
+//	4       4     CRC32C (Castagnoli) of the payload
+//	8       n     payload
+//
+// A frame is valid iff the full n bytes are present and their CRC32C
+// matches. A short header, a short payload, or a CRC mismatch all mean
+// the same thing to recovery: the log ends at the previous frame.
+const frameHeader = 8
+
+// maxFrame bounds a frame's payload so a corrupt length field cannot ask
+// the reader to allocate gigabytes: 64 MiB is ~100x the largest frame the
+// stream writes (a seal record of SealRows rows).
+const maxFrame = 64 << 20
+
+// castagnoli is the CRC32C polynomial table — the variant with hardware
+// support on both x86 (SSE4.2) and arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends the frame for payload to dst and returns it.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one frame from r. It returns the payload and the total
+// bytes consumed. io.EOF with n == 0 is a clean end of input; any torn or
+// invalid frame returns an error wrapping ErrWALCorrupt — callers
+// truncate at the offset where the failed read started.
+func ReadFrame(r *bufio.Reader) (payload []byte, n int, err error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF // clean end: no partial header
+		}
+		return nil, 0, fmt.Errorf("frame header: %v: %w", err, ErrWALCorrupt)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return nil, 0, fmt.Errorf("torn frame header: %w", ErrWALCorrupt)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length == 0 || length > maxFrame {
+		return nil, 0, fmt.Errorf("frame length %d: %w", length, ErrWALCorrupt)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("torn frame payload: %w", ErrWALCorrupt)
+	}
+	if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, 0, fmt.Errorf("frame CRC mismatch: %w", ErrWALCorrupt)
+	}
+	return payload, frameHeader + int(length), nil
+}
+
+// Record is one logical log entry: the raw rows of one sealed delta,
+// stamped with the stream watermark after the seal published. Replaying
+// records in order reproduces the exact publication sequence, so the
+// watermark doubles as the log sequence number — record k's EndWatermark
+// is the total row count once records 1..k are applied.
+type Record struct {
+	// EndWatermark is the stream watermark after this record's rows are
+	// visible: previous record's EndWatermark + len(Keys).
+	EndWatermark uint64
+	// Keys and Vals are the record's rows; equal length.
+	Keys, Vals []uint64
+}
+
+// Rows returns the number of rows the record carries.
+func (r Record) Rows() int { return len(r.Keys) }
+
+// Record payload layout (inside a frame):
+//
+//	offset  size  field
+//	0       1     kind (recordRows)
+//	1       8     end watermark, little-endian uint64
+//	9       4     row count n, little-endian uint32
+//	13      8n    keys, little-endian uint64 each
+//	13+8n   8n    vals, little-endian uint64 each
+const (
+	recordRows       = 1
+	recordHeaderSize = 13
+)
+
+// encodeRecord appends r's framed encoding to dst. It builds the frame
+// in place — payload first, header backfilled — so a caller reusing dst
+// across appends (Log.Append does) allocates nothing on the hot path.
+func encodeRecord(dst []byte, r Record) []byte {
+	n := len(r.Keys)
+	payloadLen := recordHeaderSize + 16*n
+	start := len(dst)
+	dst = slices.Grow(dst, frameHeader+payloadLen)[:start+frameHeader+payloadLen]
+	payload := dst[start+frameHeader:]
+	payload[0] = recordRows
+	binary.LittleEndian.PutUint64(payload[1:9], r.EndWatermark)
+	binary.LittleEndian.PutUint32(payload[9:13], uint32(n))
+	off := recordHeaderSize
+	for _, k := range r.Keys {
+		binary.LittleEndian.PutUint64(payload[off:], k)
+		off += 8
+	}
+	for _, v := range r.Vals {
+		binary.LittleEndian.PutUint64(payload[off:], v)
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// decodeRecord parses a frame payload into a Record.
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < recordHeaderSize || payload[0] != recordRows {
+		return Record{}, fmt.Errorf("record header: %w", ErrWALCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(payload[9:13]))
+	if len(payload) != recordHeaderSize+16*n {
+		return Record{}, fmt.Errorf("record size %d for %d rows: %w", len(payload), n, ErrWALCorrupt)
+	}
+	r := Record{
+		EndWatermark: binary.LittleEndian.Uint64(payload[1:9]),
+		Keys:         make([]uint64, n),
+		Vals:         make([]uint64, n),
+	}
+	off := recordHeaderSize
+	for i := range r.Keys {
+		r.Keys[i] = binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+	}
+	for i := range r.Vals {
+		r.Vals[i] = binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+	}
+	return r, nil
+}

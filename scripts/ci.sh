@@ -29,3 +29,18 @@ go test -run 'TestQ3AllocBudget' -count=1 ./internal/agg
 # test self-skips without the env var so plain `go test ./...` stays
 # deterministic.
 MEMAGG_OBS_GUARD=1 go test -run 'TestObsOverheadGuard' -count=1 -v ./internal/stream
+
+# Durability subsystem: the WAL and checkpoint packages are exercised by
+# concurrent writers (group commit under the view lock, background
+# checkpointer, fault-injection trips from any goroutine), so their whole
+# suite runs under the race detector, and the kill-and-replay equivalence
+# gate — hard-kill via fault injection at arbitrary points, reopen,
+# Q1-Q7 must match a never-crashed reference at the recovered watermark —
+# is pinned by name so a test rename can't silently drop it.
+go test -race ./internal/wal/...
+go test -race -run 'TestCrashRecoveryEquivalence|TestCorruptTailRecoversPrefix|FuzzWALRecovery' -count=1 -v ./internal/stream
+
+# WAL overhead guard: with SyncPolicy=none the durable ingest path (raw-row
+# mirror, record encode, CRC32C, buffered write) must stay within 15% of a
+# fully volatile stream. Same env-gate discipline as the obs guard.
+MEMAGG_WAL_GUARD=1 go test -run 'TestWALOverheadGuard' -count=1 -v ./internal/stream

@@ -1,9 +1,12 @@
 package memagg
 
 import (
+	"time"
+
 	"memagg/internal/agg"
 	"memagg/internal/obs"
 	"memagg/internal/stream"
+	"memagg/internal/wal"
 )
 
 // StreamOptions configures a Stream. The zero value is usable: it serves
@@ -38,6 +41,37 @@ type StreamOptions struct {
 	// MedianByKey/QuantileByKey/ModeByKey on snapshots. Also implied by
 	// Workload.Function == Holistic.
 	Holistic bool
+
+	// Durability enables the write-ahead log and checkpoints. A durable
+	// stream must be built with OpenStream (there may be state on disk to
+	// recover); NewStream panics when Durability.Dir is set.
+	Durability StreamDurability
+}
+
+// StreamDurability configures a stream's durability layer. The zero value
+// (empty Dir) disables it.
+type StreamDurability struct {
+	// Dir is the durability root: the WAL lives under Dir/wal, checkpoints
+	// under Dir/checkpoint. Empty disables durability.
+	Dir string
+
+	// SyncPolicy is the WAL fsync discipline: "none" (page cache decides),
+	// "interval" (amortized, the default), or "always" (every seal durable
+	// on acknowledgment).
+	SyncPolicy string
+
+	// SyncInterval is the "interval" policy's amortization period; <= 0
+	// means 100ms.
+	SyncInterval time.Duration
+
+	// SegmentBytes is the WAL segment rotation size; <= 0 means 16 MiB.
+	SegmentBytes int
+
+	// CheckpointEvery is the checkpoint cadence in rows (how far the base
+	// generation may outgrow the last checkpoint before a new one is
+	// written). 0 means 1<<20 rows; negative disables checkpoints (WAL-only
+	// durability).
+	CheckpointEvery int
 }
 
 // streamMergeBits sizes the base generation's radix fan-out from the
@@ -62,8 +96,29 @@ type Stream struct {
 	advice Advice
 }
 
-// NewStream starts a streaming aggregation sized by opts.
+// NewStream starts a volatile streaming aggregation sized by opts. It
+// panics if opts enable durability: recovering on-disk state can fail, so
+// durable streams go through OpenStream, which returns an error.
 func NewStream(opts StreamOptions) *Stream {
+	if opts.Durability.Dir != "" {
+		panic("memagg: StreamOptions enable durability; use OpenStream, not NewStream")
+	}
+	s, err := OpenStream(opts)
+	if err != nil {
+		// Unreachable: only the durability path can fail.
+		panic(err)
+	}
+	return s
+}
+
+// OpenStream starts a streaming aggregation sized by opts, recovering
+// durable state first when opts.Durability.Dir is set: the latest
+// checkpoint loads as the base generation and the WAL suffix past its
+// watermark replays, so the stream resumes at exactly the watermark the
+// previous process made durable. A torn or corrupt WAL tail is truncated
+// (longest valid prefix); a corrupt checkpoint fails with an error
+// wrapping ErrWALCorrupt.
+func OpenStream(opts StreamOptions) (*Stream, error) {
 	holistic := opts.Holistic || opts.Workload.Function == Holistic
 	shards := opts.Shards
 	if shards <= 0 && !opts.Workload.Multithreaded {
@@ -77,8 +132,30 @@ func NewStream(opts StreamOptions) *Stream {
 		MergeWorkers: opts.MergeWorkers,
 		Holistic:     holistic,
 	}
-	return &Stream{s: stream.New(cfg), advice: Recommend(opts.Workload)}
+	if d := opts.Durability; d.Dir != "" {
+		policy, err := wal.ParseSyncPolicy(d.SyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Durability = stream.Durability{
+			Dir:             d.Dir,
+			SyncPolicy:      policy,
+			SyncInterval:    d.SyncInterval,
+			SegmentBytes:    d.SegmentBytes,
+			CheckpointEvery: d.CheckpointEvery,
+		}
+	}
+	s, err := stream.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{s: s, advice: Recommend(opts.Workload)}, nil
 }
+
+// ReadOnly reports whether the stream's durability layer failed and ingest
+// is refused (Append/Flush return errors wrapping ErrDurability); queries
+// keep serving. Always false for volatile streams.
+func (s *Stream) ReadOnly() bool { return s.s.ReadOnly() }
 
 // Advice reports what Recommend selects for this stream's workload — the
 // batch backend the paper's experiments favour for the same queries,
@@ -143,6 +220,19 @@ type StreamStats struct {
 	Merges          uint64
 	MergeTotalNanos int64
 	MergeLastNanos  int64
+
+	// Durable reports whether the stream runs with a WAL; ReadOnly whether
+	// its durability layer failed and ingest is refused. The remaining
+	// fields are zero for volatile streams: WAL activity counters and the
+	// row count covered by the last durable checkpoint.
+	Durable             bool
+	ReadOnly            bool
+	WALAppends          uint64
+	WALFsyncs           uint64
+	WALSegmentRotations uint64
+	WALSizeBytes        int64
+	Checkpoints         uint64
+	CheckpointWatermark uint64
 }
 
 // Stats reports the stream's current state, read from the same obs-backed
@@ -151,21 +241,29 @@ type StreamStats struct {
 func (s *Stream) Stats() StreamStats {
 	st := s.s.Stats()
 	return StreamStats{
-		Shards:          st.Shards,
-		Holistic:        st.Holistic,
-		Ingested:        st.Ingested,
-		Watermark:       st.Watermark,
-		Staleness:       st.Staleness,
-		Batches:         st.Batches,
-		Seals:           st.Seals,
-		Snapshots:       st.Snapshots,
-		BlockedNanos:    int64(st.Blocked),
-		SealedPending:   st.SealedPending,
-		Generation:      st.Generation,
-		Groups:          st.Groups,
-		Merges:          st.Merges,
-		MergeTotalNanos: int64(st.MergeTotal),
-		MergeLastNanos:  int64(st.MergeLast),
+		Shards:              st.Shards,
+		Holistic:            st.Holistic,
+		Ingested:            st.Ingested,
+		Watermark:           st.Watermark,
+		Staleness:           st.Staleness,
+		Batches:             st.Batches,
+		Seals:               st.Seals,
+		Snapshots:           st.Snapshots,
+		BlockedNanos:        int64(st.Blocked),
+		SealedPending:       st.SealedPending,
+		Generation:          st.Generation,
+		Groups:              st.Groups,
+		Merges:              st.Merges,
+		MergeTotalNanos:     int64(st.MergeTotal),
+		MergeLastNanos:      int64(st.MergeLast),
+		Durable:             st.Durable,
+		ReadOnly:            st.ReadOnly,
+		WALAppends:          st.WALAppends,
+		WALFsyncs:           st.WALFsyncs,
+		WALSegmentRotations: st.WALSegmentRotations,
+		WALSizeBytes:        st.WALSizeBytes,
+		Checkpoints:         st.Checkpoints,
+		CheckpointWatermark: st.CheckpointWatermark,
 	}
 }
 
