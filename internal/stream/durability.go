@@ -180,6 +180,18 @@ func Open(cfg Config) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A checkpoint ahead of the recovered log means a crash lost the WAL's
+	// unsynced tail (possible under sync=none/interval) while the fsync'd
+	// checkpoint survived. The stream adopts the checkpoint watermark, so
+	// the log must restart from the same baseline: appending past the gap
+	// would trip the next recovery's continuity check and truncate rows
+	// acknowledged after this boot.
+	if ckptWM > log.LastWatermark() {
+		if err := log.ResetBaseline(ckptWM); err != nil {
+			_ = log.Close()
+			return nil, fmt.Errorf("stream: align WAL to checkpoint watermark: %w", err)
+		}
+	}
 	s.dur.log = log
 
 	wm := ckptWM

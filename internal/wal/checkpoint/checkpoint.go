@@ -11,21 +11,27 @@
 //	root/
 //	  CURRENT           names the durable checkpoint dir, swapped atomically
 //	  ckpt-00000003/
-//	    part-0000.run   one framed run per radix partition
+//	    part-0000.run   one run per radix partition, one or more frames
 //	    part-0001.run   ...
 //	    META            framed: seq, watermark, groups, bits, holistic
 //
-// Every file reuses the WAL's [length | CRC32C | payload] frame, so a
-// half-written checkpoint can never be mistaken for a valid one: the
-// CURRENT swap happens only after every run and META are written and
-// synced, and a load validates every frame before handing state back.
+// Every file reuses the WAL's [length | CRC32C | payload] frame. A run is
+// a sequence of frames, each carrying the partition index and a slice of
+// its groups: large partitions chunk across frames so no frame approaches
+// wal.MaxFrame (which ReadFrame rejects as corrupt). A half-written
+// checkpoint can never be mistaken for a valid one: the CURRENT swap
+// happens only after every run and META are written and synced (files and
+// directories both), and a load validates every frame before handing
+// state back.
 package checkpoint
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 
@@ -93,40 +99,120 @@ func NewWriter(fs wal.FS, root string, meta Meta) (*Writer, error) {
 	return w, nil
 }
 
-// WritePartition writes partition q's run. groups yields each group once,
-// in any order; a nil groups writes an empty run (partitions with no
-// groups still get a file, so a load can distinguish "empty" from
-// "missing"). Vals are encoded only for holistic checkpoints.
+// partChunkBytes is the flush threshold for a run's frames: once the
+// pending payload crosses it, the frame is written and a new one started,
+// so a run of any size stays far below wal.MaxFrame per frame.
+const partChunkBytes = 4 << 20
+
+// WritePartition writes partition q's run as one or more frames. groups
+// yields each group once, in any order; a nil groups writes an empty run
+// (partitions with no groups still get a file, so a load can distinguish
+// "empty" from "missing"). Vals are encoded only for holistic
+// checkpoints. A single group too large to fit one frame (over
+// wal.MaxFrame of encoded values) fails the write — the caller skips the
+// checkpoint and the WAL keeps covering the data.
 func (w *Writer) WritePartition(q int, groups func(yield func(Group))) error {
-	n := uint32(0)
-	payload := make([]byte, 8, 1024)
-	binary.LittleEndian.PutUint32(payload[0:4], uint32(q))
-	if groups != nil {
-		groups(func(g Group) {
-			n++
-			var rec [40]byte
-			binary.LittleEndian.PutUint64(rec[0:8], g.Key)
-			binary.LittleEndian.PutUint64(rec[8:16], g.Count)
-			binary.LittleEndian.PutUint64(rec[16:24], g.Sum)
-			binary.LittleEndian.PutUint64(rec[24:32], g.Min)
-			binary.LittleEndian.PutUint64(rec[32:40], g.Max)
-			payload = append(payload, rec[:]...)
-			if w.meta.Holistic {
-				var nv [4]byte
-				binary.LittleEndian.PutUint32(nv[:], uint32(len(g.Vals)))
-				payload = append(payload, nv[:]...)
-				for _, v := range g.Vals {
-					var b [8]byte
-					binary.LittleEndian.PutUint64(b[:], v)
-					payload = append(payload, b[:]...)
-				}
-			}
-		})
+	f, err := w.fs.Create(filepath.Join(w.dir, partName(q)))
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", partName(q), err)
 	}
-	binary.LittleEndian.PutUint32(payload[4:8], n)
-	w.groups += uint64(n)
-	w.buf = wal.AppendFrame(w.buf[:0], payload)
-	return w.writeFile(partName(q), w.buf)
+	p := &partWriter{w: w, f: f, q: q, payload: make([]byte, frameRunHeader, 1024)}
+	if groups != nil {
+		groups(p.add)
+	}
+	// The trailing flush also writes the run's only frame when the
+	// partition is empty.
+	if p.err == nil && (p.n > 0 || p.frames == 0) {
+		p.flush()
+	}
+	if p.err != nil {
+		f.Close()
+		return p.err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", partName(q), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", partName(q), err)
+	}
+	return nil
+}
+
+// frameRunHeader is each run frame's payload header: partition index,
+// then the count of groups in this frame.
+const frameRunHeader = 8
+
+// partWriter streams one partition run, chunking groups into frames.
+type partWriter struct {
+	w       *Writer
+	f       wal.File
+	q       int
+	n       uint32 // groups in the pending frame
+	frames  int
+	payload []byte
+	err     error
+}
+
+func (p *partWriter) add(g Group) {
+	if p.err != nil {
+		return
+	}
+	size := 40
+	if p.w.meta.Holistic {
+		size += 4 + 8*len(g.Vals)
+	}
+	// A group that would push the frame past the hard limit goes into a
+	// frame of its own; only a group alone too big for any frame fails (in
+	// flush).
+	if p.n > 0 && len(p.payload)+size > wal.MaxFrame {
+		if p.flush(); p.err != nil {
+			return
+		}
+	}
+	var rec [40]byte
+	binary.LittleEndian.PutUint64(rec[0:8], g.Key)
+	binary.LittleEndian.PutUint64(rec[8:16], g.Count)
+	binary.LittleEndian.PutUint64(rec[16:24], g.Sum)
+	binary.LittleEndian.PutUint64(rec[24:32], g.Min)
+	binary.LittleEndian.PutUint64(rec[32:40], g.Max)
+	p.payload = append(p.payload, rec[:]...)
+	if p.w.meta.Holistic {
+		var nv [4]byte
+		binary.LittleEndian.PutUint32(nv[:], uint32(len(g.Vals)))
+		p.payload = append(p.payload, nv[:]...)
+		for _, v := range g.Vals {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], v)
+			p.payload = append(p.payload, b[:]...)
+		}
+	}
+	p.n++
+	p.w.groups++
+	if len(p.payload) >= partChunkBytes {
+		p.flush()
+	}
+}
+
+func (p *partWriter) flush() {
+	if len(p.payload) > wal.MaxFrame {
+		// Only a single monster group can get here (the chunk threshold is
+		// far below MaxFrame): it cannot be framed readably, so the
+		// checkpoint must not commit.
+		p.err = fmt.Errorf("checkpoint: partition %d: group of %d bytes exceeds max frame %d",
+			p.q, len(p.payload), wal.MaxFrame)
+		return
+	}
+	binary.LittleEndian.PutUint32(p.payload[0:4], uint32(p.q))
+	binary.LittleEndian.PutUint32(p.payload[4:8], p.n)
+	p.w.buf = wal.AppendFrame(p.w.buf[:0], p.payload)
+	if _, err := p.f.Write(p.w.buf); err != nil {
+		p.err = fmt.Errorf("checkpoint: write %s: %w", partName(p.q), err)
+		return
+	}
+	p.frames++
+	p.n = 0
+	p.payload = p.payload[:frameRunHeader]
 }
 
 // writeFile creates name under the checkpoint dir, writes data, syncs and
@@ -171,6 +257,15 @@ func (w *Writer) Commit() error {
 	if err := w.writeFile(metaName, wal.AppendFrame(nil, payload)); err != nil {
 		return err
 	}
+	// Before CURRENT can reference the checkpoint, its directory entries
+	// (runs, META) and the root's entry for the directory itself must be
+	// durable — the files' own fsyncs pin their bytes, not their names.
+	if err := w.fs.SyncDir(w.dir); err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	if err := w.fs.SyncDir(w.root); err != nil {
+		return fmt.Errorf("checkpoint: sync root: %w", err)
+	}
 
 	tmp := filepath.Join(w.root, currentName+".tmp")
 	if err := w.writeFileAt(tmp, []byte(ckptDirName(w.meta.Seq)+"\n")); err != nil {
@@ -178,6 +273,11 @@ func (w *Writer) Commit() error {
 	}
 	if err := w.fs.Rename(tmp, filepath.Join(w.root, currentName)); err != nil {
 		return fmt.Errorf("checkpoint: swap CURRENT: %w", err)
+	}
+	// The rename is the commit point in memory; this sync makes it the
+	// commit point on disk.
+	if err := w.fs.SyncDir(w.root); err != nil {
+		return fmt.Errorf("checkpoint: sync root: %w", err)
 	}
 	removeStale(w.fs, w.root, ckptDirName(w.meta.Seq))
 	return nil
@@ -230,13 +330,19 @@ func removeDir(fs wal.FS, dir string) {
 }
 
 // Load reads the durable checkpoint under root. It returns (nil, nil,
-// nil) when no checkpoint exists; a checkpoint that fails validation
-// returns an error wrapping wal.ErrWALCorrupt — the caller decides
-// whether to fail recovery or start empty.
+// nil) only when no checkpoint exists (CURRENT absent); a checkpoint that
+// fails validation returns an error wrapping wal.ErrWALCorrupt — the
+// caller decides whether to fail recovery or start empty. Any other
+// CURRENT open error fails the load: treating a transient I/O or
+// permission error as "no checkpoint" would boot an empty stream while
+// the WAL below the checkpoint watermark is already truncated.
 func Load(fs wal.FS, root string) (*Meta, [][]Group, error) {
 	f, err := fs.Open(filepath.Join(root, currentName))
 	if err != nil {
-		return nil, nil, nil // no checkpoint yet
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil, nil // no checkpoint yet
+		}
+		return nil, nil, fmt.Errorf("checkpoint: open CURRENT: %w", err)
 	}
 	data, err := io.ReadAll(f)
 	f.Close()
@@ -282,16 +388,43 @@ func loadMeta(fs wal.FS, dir string) (*Meta, error) {
 }
 
 func loadPartition(fs wal.FS, dir string, q int, holistic bool) ([]Group, error) {
-	payload, err := readFramedFile(fs, filepath.Join(dir, partName(q)))
+	f, err := fs.Open(filepath.Join(dir, partName(q)))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("checkpoint: open %s: %v: %w", partName(q), err, wal.ErrWALCorrupt)
 	}
-	if len(payload) < 8 || int(binary.LittleEndian.Uint32(payload[0:4])) != q {
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var groups []Group
+	frames := 0
+	for {
+		payload, _, err := wal.ReadFrame(r)
+		if err == io.EOF {
+			if frames == 0 {
+				return nil, fmt.Errorf("checkpoint: empty run %s: %w", partName(q), wal.ErrWALCorrupt)
+			}
+			return groups, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %s: %w", partName(q), err)
+		}
+		frames++
+		groups, err = decodeRunFrame(groups, payload, q, holistic)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// decodeRunFrame parses one run frame's groups, appending to groups.
+func decodeRunFrame(groups []Group, payload []byte, q int, holistic bool) ([]Group, error) {
+	if len(payload) < frameRunHeader || int(binary.LittleEndian.Uint32(payload[0:4])) != q {
 		return nil, fmt.Errorf("checkpoint: bad run header %s: %w", partName(q), wal.ErrWALCorrupt)
 	}
 	n := int(binary.LittleEndian.Uint32(payload[4:8]))
-	body := payload[8:]
-	groups := make([]Group, 0, n)
+	body := payload[frameRunHeader:]
+	if groups == nil {
+		groups = make([]Group, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		if len(body) < 40 {
 			return nil, fmt.Errorf("checkpoint: short run %s: %w", partName(q), wal.ErrWALCorrupt)

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"encoding/binary"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -197,4 +198,84 @@ func TestFaultDuringCommitKeepsPrevious(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkLoaded(t, meta, parts, Meta{Seq: 1, Watermark: 100, Bits: 1})
+}
+
+func TestLoadFailsOnCurrentOpenError(t *testing.T) {
+	// A CURRENT that exists but cannot be opened is NOT "no checkpoint":
+	// booting empty would silently drop every checkpointed row (the WAL
+	// below the watermark is already truncated).
+	mem := wal.NewMemFS()
+	writeCheckpoint(t, mem, "ck", Meta{Seq: 1, Watermark: 100, Bits: 1})
+	efs := wal.NewErrFS(mem)
+	efs.FailAfter(wal.OpOpen, 1)
+	if _, _, err := Load(efs, "ck"); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("Load with failing CURRENT open: %v, want ErrInjected", err)
+	}
+}
+
+func TestLargePartitionChunksAcrossFrames(t *testing.T) {
+	fs := wal.NewMemFS()
+	meta := Meta{Seq: 1, Watermark: 7, Bits: 1}
+	w, err := NewWriter(fs, "ck", meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 150_000 // 150k groups x 40 B = 6 MB: crosses partChunkBytes
+	err = w.WritePartition(0, func(yield func(Group)) {
+		for i := 0; i < n; i++ {
+			yield(Group{Key: uint64(i), Count: 1, Sum: uint64(2 * i), Min: uint64(i), Max: uint64(i)})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePartition(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The run really is chunked: its first frame ends before the file does.
+	data := fs.Bytes(filepath.Join("ck", ckptDirName(1), partName(0)))
+	first := 8 + int(binary.LittleEndian.Uint32(data[0:4]))
+	if first >= len(data) {
+		t.Fatalf("run fit one frame (%d of %d bytes): chunking not exercised", first, len(data))
+	}
+	got, parts, err := Load(fs, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || got.Groups != n {
+		t.Fatalf("meta %+v, want seq 1 with %d groups", *got, n)
+	}
+	if len(parts[0]) != n || len(parts[1]) != 0 {
+		t.Fatalf("partition sizes %d/%d, want %d/0", len(parts[0]), len(parts[1]), n)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		g := parts[0][i]
+		if g.Key != uint64(i) || g.Count != 1 || g.Sum != uint64(2*i) || g.Min != uint64(i) {
+			t.Fatalf("group %d: %+v", i, g)
+		}
+	}
+}
+
+func TestOversizedGroupFailsCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates ~130 MB")
+	}
+	// A single group whose encoding cannot fit one frame must fail the
+	// write (so the checkpoint is skipped and the WAL keeps the data),
+	// never commit a run that ReadFrame will reject as corrupt.
+	fs := wal.NewMemFS()
+	w, err := NewWriter(fs, "ck", Meta{Seq: 1, Watermark: 1, Bits: 1, Holistic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, wal.MaxFrame/8+1)
+	err = w.WritePartition(0, func(yield func(Group)) {
+		yield(Group{Key: 1, Count: uint64(len(vals)), Vals: vals})
+	})
+	if err == nil {
+		t.Fatal("oversized group framed without error")
+	}
 }

@@ -150,6 +150,15 @@ func (e *ErrFS) Rename(oldname, newname string) error {
 	return e.inner.Rename(oldname, newname)
 }
 
+// SyncDir shares OpSync's countdown: a directory fsync is a sync as far
+// as a dying disk is concerned.
+func (e *ErrFS) SyncDir(dir string) error {
+	if fail, _ := e.step(OpSync); fail {
+		return ErrInjected
+	}
+	return e.inner.SyncDir(dir)
+}
+
 func (e *ErrFS) Remove(name string) error {
 	if fail, _ := e.step(OpRemove); fail {
 		return ErrInjected

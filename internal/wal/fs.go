@@ -47,6 +47,11 @@ type FS interface {
 	// Rename atomically replaces newname with oldname — the commit point
 	// of every manifest and checkpoint swap.
 	Rename(oldname, newname string) error
+	// SyncDir fsyncs dir itself. A rename or create only updates the
+	// directory's entry list in memory; the entry survives power loss only
+	// once the directory is synced, so every commit path (manifest swap,
+	// checkpoint CURRENT swap) follows its rename with a SyncDir.
+	SyncDir(dir string) error
 	// Remove deletes name.
 	Remove(name string) error
 	// ReadDir lists the names in dir, sorted.
@@ -82,6 +87,18 @@ func (OSFS) OpenAppend(name string) (File, error) {
 }
 
 func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func (OSFS) Remove(name string) error { return os.Remove(name) }
 

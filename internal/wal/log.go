@@ -422,6 +422,12 @@ func (l *Log) writeManifest() error {
 	if err := l.fs.Rename(tmp, join(l.dir, manifestName)); err != nil {
 		return fmt.Errorf("wal: manifest swap: %w", err)
 	}
+	// The rename committed the manifest in memory; the directory fsync
+	// makes the commit — and any segment files created alongside it —
+	// survive power loss.
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: manifest dir sync: %w", err)
+	}
 	return nil
 }
 
@@ -552,6 +558,60 @@ func (l *Log) TruncateBelow(wm uint64) error {
 	}
 	if m := l.opts.Metrics; m != nil {
 		add(m.SegsDropped, uint64(len(drop)))
+	}
+	return nil
+}
+
+// ResetBaseline discards every segment and starts a fresh one whose
+// appends begin at watermark wm. Recovery calls it when a durable
+// checkpoint is ahead of the recovered log (under SyncPolicy none or
+// interval, a crash can lose the log's unsynced tail while the fsync'd
+// checkpoint survives): every surviving record is already folded into the
+// checkpoint, and appending past the watermark gap would read as
+// corruption to the next recovery's continuity check — which would
+// truncate rows acknowledged after this recovery. A wm at or below the
+// log's last watermark is a no-op.
+func (l *Log) ResetBaseline(wm uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: closed")
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	if wm <= l.lastWM {
+		return nil
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	old := make([]string, len(l.segs))
+	for i, sg := range l.segs {
+		old[i] = sg.name
+	}
+	l.seq++
+	name := segName(l.seq)
+	f, err := l.fs.Create(join(l.dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	l.segs = []segment{{name: name}}
+	l.active = f
+	l.activeSize = 0
+	l.lastWM = wm
+	// Same crash discipline as rotation and truncation: the manifest swap
+	// commits the new list, then the superseded files become removable
+	// orphans (records at or below wm are durable in the checkpoint either
+	// way).
+	if err := l.writeManifest(); err != nil {
+		return err
+	}
+	for _, n := range old {
+		_ = l.fs.Remove(join(l.dir, n))
+	}
+	if m := l.opts.Metrics; m != nil {
+		add(m.SegsDropped, uint64(len(old)))
 	}
 	return nil
 }

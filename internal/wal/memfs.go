@@ -86,6 +86,9 @@ func (m *MemFS) Rename(oldname, newname string) error {
 	return nil
 }
 
+// SyncDir is a no-op: MemFS directory entries are always "durable".
+func (m *MemFS) SyncDir(string) error { return nil }
+
 func (m *MemFS) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

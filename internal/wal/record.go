@@ -22,10 +22,12 @@ import (
 // the same thing to recovery: the log ends at the previous frame.
 const frameHeader = 8
 
-// maxFrame bounds a frame's payload so a corrupt length field cannot ask
+// MaxFrame bounds a frame's payload so a corrupt length field cannot ask
 // the reader to allocate gigabytes: 64 MiB is ~100x the largest frame the
-// stream writes (a seal record of SealRows rows).
-const maxFrame = 64 << 20
+// stream writes (a seal record of SealRows rows). Writers that frame
+// variable-size payloads (checkpoint partition runs) must chunk below it —
+// ReadFrame rejects anything larger as corrupt.
+const MaxFrame = 64 << 20
 
 // castagnoli is the CRC32C polynomial table — the variant with hardware
 // support on both x86 (SSE4.2) and arm64.
@@ -56,7 +58,7 @@ func ReadFrame(r *bufio.Reader) (payload []byte, n int, err error) {
 		return nil, 0, fmt.Errorf("torn frame header: %w", ErrWALCorrupt)
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
-	if length == 0 || length > maxFrame {
+	if length == 0 || length > MaxFrame {
 		return nil, 0, fmt.Errorf("frame length %d: %w", length, ErrWALCorrupt)
 	}
 	payload = make([]byte, length)

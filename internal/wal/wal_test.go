@@ -360,3 +360,51 @@ func TestMultiRowRecords(t *testing.T) {
 		}
 	}
 }
+
+func TestResetBaseline(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("wal", Options{FS: fs, SyncPolicy: SyncAlways, SegmentBytes: 256}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRows(t, l, 0, 30) // tiny segments: several rotations
+	if n := l.Segments(); n < 2 {
+		t.Fatalf("expected multiple segments, got %d", n)
+	}
+	// At or below the current watermark: a no-op.
+	if err := l.ResetBaseline(30); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastWatermark(); got != 30 {
+		t.Fatalf("no-op reset moved watermark to %d", got)
+	}
+	// The checkpoint-ahead case: every surviving record is covered by the
+	// checkpoint, so the log restarts empty at the checkpoint watermark.
+	if err := l.ResetBaseline(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastWatermark(); got != 50 {
+		t.Fatalf("reset watermark %d, want 50", got)
+	}
+	if n := l.Segments(); n != 1 {
+		t.Fatalf("reset kept %d segments, want 1", n)
+	}
+	appendRows(t, l, 50, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery accepts the fresh baseline: no watermark-gap truncation.
+	var keys []uint64
+	l2, err := Open("wal", Options{FS: fs, SkipBelow: 50}, collectReplay(&keys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.LastWatermark(); got != 55 {
+		t.Fatalf("recovered watermark %d, want 55", got)
+	}
+	if len(keys) != 5 || keys[0] != 51 || keys[4] != 55 {
+		t.Fatalf("replayed rows %v, want 51..55", keys)
+	}
+	l2.Close()
+}
