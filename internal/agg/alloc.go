@@ -52,8 +52,11 @@ var (
 )
 
 // WithAllocator returns a copy of e configured to allocate with al. The
-// hash, tree, sort and radix (Hash_RX) engines honour the knob, as does
-// Adaptive (it forwards the allocator to the engines it routes between).
+// hash, tree, sort, radix (Hash_RX) and global shared-table (Hash_GLB)
+// engines honour the knob, as does Adaptive (it forwards the allocator to
+// the engines it routes between). Hash_GLB honours it on the holistic path
+// only, where the parallel striped replay degrades to a serial replay into
+// one pooled arena — a single-owner arena cannot take concurrent appends.
 // The shared-table concurrent engines (Hash_LC, Hash_TBBSC) and Hash_PLAT
 // are returned unchanged: their groups are appended by many workers at
 // once, which a single-owner arena cannot serve (DESIGN.md discusses the
@@ -73,6 +76,10 @@ func WithAllocator(e Engine, al Allocator) Engine {
 		c.alloc = al
 		return &c
 	case *radixEngine:
+		c := *eng
+		c.alloc = al
+		return &c
+	case *globalEngine:
 		c := *eng
 		c.alloc = al
 		return &c
@@ -96,6 +103,8 @@ func EngineAllocator(e Engine) Allocator {
 	case *sortEngine:
 		return eng.alloc
 	case *radixEngine:
+		return eng.alloc
+	case *globalEngine:
 		return eng.alloc
 	case *adaptiveEngine:
 		return EngineAllocator(eng.hash)

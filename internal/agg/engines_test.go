@@ -301,8 +301,8 @@ func TestRegistryShape(t *testing.T) {
 	if n := len(Engines()); n != 10 {
 		t.Fatalf("Engines() has %d entries, want the paper's 10", n)
 	}
-	if n := len(ConcurrentEngines(2)); n != 5 {
-		t.Fatalf("ConcurrentEngines() has %d entries, want the Table 8 four plus Hash_RX", n)
+	if n := len(ConcurrentEngines(2)); n != 6 {
+		t.Fatalf("ConcurrentEngines() has %d entries, want the Table 8 four plus Hash_RX and Hash_GLB", n)
 	}
 	names := map[string]bool{}
 	for _, e := range Engines() {

@@ -20,7 +20,7 @@ func equivEngines() []Engine {
 		es = append(es, HashPLAT(p))
 	}
 	es = append(es, Adaptive())
-	for _, e := range append(Engines(), Ttree(), HashRX(4), Adaptive()) {
+	for _, e := range append(Engines(), Ttree(), HashRX(4), HashGLB(4), Adaptive()) {
 		if a := WithAllocator(e, AllocArena); EngineAllocator(a) == AllocArena {
 			es = append(es, a)
 		}
@@ -75,7 +75,7 @@ func TestHolisticEquivalentAcrossAllocators(t *testing.T) {
 		wantMed := sortedQF(AsReducer(ref).VectorHolistic(keys, vals, MedianFunc))
 		wantQ90 := sortedQF(AsReducer(ref).VectorHolistic(keys, vals, q90))
 		for _, base := range []Engine{HashLP(), HashSC(), HashSparse(), HashDense(),
-			ART(), Judy(), Btree(), Introsort(), Spreadsort(), HashRX(4), Adaptive()} {
+			ART(), Judy(), Btree(), Introsort(), Spreadsort(), HashRX(4), HashGLB(4), Adaptive()} {
 			for _, al := range Allocators() {
 				e := WithAllocator(base, al)
 				for round := 0; round < 2; round++ { // twice: exercise pool reuse

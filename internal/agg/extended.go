@@ -323,6 +323,7 @@ var (
 	_ Reducer = (*tbbEngine)(nil)
 	_ Reducer = (*platEngine)(nil)
 	_ Reducer = (*radixEngine)(nil)
+	_ Reducer = (*globalEngine)(nil)
 	_ Reducer = (*adaptiveEngine)(nil)
 )
 

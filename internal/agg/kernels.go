@@ -28,17 +28,14 @@ import (
 // probing. The hash multiplies of the whole block overlap each other and
 // the probes' dependent cache misses instead of serializing row by row.
 
-// hashBatch is the rows-per-block of the batched-hash loops: large enough
-// to hide the multiply latency of Mix, small enough that the hash buffer
-// stays in registers/L1.
-const hashBatch = 32
+// hashBatch is the rows-per-block of the batched-hash loops; the constant
+// and the block-mix helper live in hashtbl (HashBatch/MixBatch) so the
+// streaming hot loops and the concurrent table batch identically.
+const hashBatch = hashtbl.HashBatch
 
 // mixBatch fills h with the hashes of the keys in b (len(b) == hashBatch).
 func mixBatch(h *[hashBatch]uint64, b []uint64) {
-	_ = b[hashBatch-1]
-	for j, k := range b {
-		h[j] = hashtbl.Mix(k)
-	}
+	hashtbl.MixBatch(h, b)
 }
 
 // --- COUNT ---------------------------------------------------------------------

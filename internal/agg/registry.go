@@ -21,8 +21,8 @@ func Engines() []Engine {
 }
 
 // ConcurrentEngines returns the multithreaded algorithms — the four of
-// Table 8 plus the radix-partitioned extension engine — each configured to
-// build with p goroutines.
+// Table 8 plus the radix-partitioned and global shared-table extension
+// engines — each configured to build with p goroutines.
 func ConcurrentEngines(p int) []Engine {
 	return []Engine{
 		HashTBBSC(p),
@@ -30,6 +30,7 @@ func ConcurrentEngines(p int) []Engine {
 		SortBI(p),
 		SortQSLB(p),
 		HashRX(p),
+		HashGLB(p),
 	}
 }
 
@@ -52,7 +53,7 @@ func ScalarEngines() []Engine {
 func ByName(name string) (Engine, error) {
 	all := append(Engines(), Ttree(),
 		HashTBBSC(0), SortBI(0), SortQSLB(0),
-		HashRX(0), HashPLAT(0), Adaptive())
+		HashRX(0), HashGLB(0), HashPLAT(0), Adaptive())
 	for _, e := range all {
 		if e.Name() == name {
 			return e, nil

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+
+	"memagg/internal/agg"
+	"memagg/internal/dataset"
+)
+
+// ExtGLB charts the global shared-table engine (Hash_GLB) against the
+// radix-partitioned engine (Hash_RX) and the lock-striped shared table
+// (Hash_TBBSC) across cores × group-by cardinality × skew — the contest
+// "Global Hash Tables Strike Back!" stages against the partition-first
+// orthodoxy. The expected shape (DESIGN.md §1.2h): while the shared table
+// stays cache-resident, Hash_GLB's one-pass build beats Hash_RX, which
+// spends an entire extra pass scattering rows it could already have
+// aggregated; once the table outgrows cache, every Hash_GLB probe is a
+// shared-memory miss and Hash_RX's cache-sized phase-2 tables win the
+// rematch. The Q1 cardinality sweep locates that crossover per thread
+// count; the skew rows probe the lock-free lanes' worst case (every worker
+// hammering a few hot slots) against Hash_TBBSC's stripe locks and
+// Hash_RX's partition isolation; the Q3 rows run the same contest on a
+// holistic function, where Hash_GLB's buffer-and-replay merge meets
+// Hash_RX's partition-local value lists. Recommend's Hash_GLB/Hash_RX
+// routing and the stream's merge sizing both cite the crossover this
+// experiment measures (results_glb.txt).
+func ExtGLB(cfg Config) error {
+	warm()
+	tw := newTable(cfg.Out, "query", "dataset", "cardinality", "threads", "algorithm", "time_ms")
+
+	engines := func(p int) []agg.Engine {
+		return []agg.Engine{agg.HashGLB(p), agg.HashRX(p), agg.HashTBBSC(p)}
+	}
+
+	// Q1 across cores × cardinality, uniform keys: the crossover grid.
+	for _, p := range cfg.Threads {
+		for card := 1 << 8; card <= cfg.N && card <= 1<<22; card <<= 2 {
+			keys := keysFor(cfg, dataset.RseqShf, card)
+			for _, e := range engines(p) {
+				el := timeIt(func() { e.VectorCount(keys) })
+				fmt.Fprintf(tw, "Q1\t%s\t%d\t%d\t%s\t%s\n",
+					dataset.RseqShf, card, p, e.Name(), ms(el))
+			}
+		}
+	}
+
+	// Q1 under skew at full width: heavy hitters concentrate the atomic
+	// traffic on a few shared slots — the adversarial case for a global
+	// table, the natural case for morsel dispatch.
+	p := maxThreads(cfg)
+	low, high := cfg.lowHighCards()
+	for _, kind := range []dataset.Kind{dataset.HhitShf, dataset.Zipf} {
+		for _, card := range []int{low, high} {
+			keys := keysFor(cfg, kind, card)
+			for _, e := range engines(p) {
+				el := timeIt(func() { e.VectorCount(keys) })
+				fmt.Fprintf(tw, "Q1\t%s\t%d\t%d\t%s\t%s\n", kind, card, p, e.Name(), ms(el))
+			}
+		}
+	}
+
+	// Q3 (holistic) at the low/high pair: buffer-and-replay vs the
+	// partition-local lists of Hash_RX vs the striped lists of Hash_TBBSC.
+	vals := dataset.Values(cfg.N, cfg.Seed)
+	for _, card := range []int{low, high} {
+		keys := keysFor(cfg, dataset.RseqShf, card)
+		for _, e := range engines(p) {
+			el := timeIt(func() { e.VectorMedian(keys, vals) })
+			fmt.Fprintf(tw, "Q3\t%s\t%d\t%d\t%s\t%s\n",
+				dataset.RseqShf, card, p, e.Name(), ms(el))
+		}
+	}
+	return tw.Flush()
+}

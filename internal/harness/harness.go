@@ -114,6 +114,7 @@ func Experiments() []Experiment {
 		{"q2", "Extension: the Q2 (AVG) grid the paper omitted for space", ExtQ2},
 		{"ext", "Extension: Hash_PLAT vs shared structures; Adaptive vs fixed routes", ExtEngines},
 		{"rx", "Extension: parallel designs across cardinality (Hash_RX crossover)", ExtRadix},
+		{"glb", "Extension: global shared table vs radix partitioning (Hash_GLB crossover)", ExtGLB},
 		{"alloc", "Extension: allocator dimension (D6) — go-runtime vs arena", ExtAlloc},
 		{"strings", "Extension: string-key backends on a word-count workload", ExtStrings},
 		{"stream", "Extension: streaming ingest — shard scaling, merge latency, staleness", ExtStream},

@@ -1,0 +1,248 @@
+package hashtbl
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// ctUpsert is the test-side serial upsert helper: one batch per call.
+func ctUpsert(t *Concurrent, key uint64) int {
+	t.BeginBatch()
+	s := t.UpsertSlotH(key, Mix(key))
+	t.EndBatch()
+	return s
+}
+
+// TestConcurrentSerialVsMap builds a COUNT aggregation serially through the
+// concurrent table and checks it against a Go map, including the zero key
+// and enough distinct keys to force several growth doublings.
+func TestConcurrentSerialVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tbl := NewConcurrent(16, 1, nil, 1)
+	ref := make(map[uint64]uint64)
+	for i := 0; i < 60_000; i++ {
+		k := uint64(rng.Intn(5000)) // zero key included
+		vals := tbl.BeginBatch()
+		s := tbl.UpsertSlotH(k, Mix(k))
+		vals[s]++
+		tbl.EndBatch()
+		ref[k]++
+	}
+	if tbl.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), len(ref))
+	}
+	got := make(map[uint64]uint64, tbl.Len())
+	vals := tbl.Vals()
+	tbl.Iterate(func(slot int, key uint64) bool {
+		got[key] = vals[slot]
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("iterated %d groups, want %d", len(got), len(ref))
+	}
+	for k, v := range ref {
+		if got[k] != v {
+			t.Fatalf("key %d: count %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestConcurrentParallelUpsertRace is the dedicated N-writer race test:
+// workers hammer overlapping key ranges with batched COUNT updates (atomic
+// adds on the count lane) while growth fires repeatedly, then the table is
+// iterated after the build joins. Run under -race this exercises the
+// claim-CAS, the lost-race re-check, batch-boundary growth, and the
+// quiescent readout together.
+func TestConcurrentParallelUpsertRace(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 40_000
+		keys    = 3000 // heavy overlap across workers
+		batch   = 512
+	)
+	// Deliberately undersized so several growths happen mid-build.
+	tbl := NewConcurrent(64, 1, nil, workers*batch)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			ks := make([]uint64, batch)
+			for done := 0; done < perW; {
+				n := batch
+				if perW-done < n {
+					n = perW - done
+				}
+				for i := 0; i < n; i++ {
+					ks[i] = uint64(rng.Intn(keys))
+				}
+				vals := tbl.BeginBatch()
+				for _, k := range ks[:n] {
+					s := tbl.UpsertSlotH(k, Mix(k))
+					atomic.AddUint64(&vals[s], 1)
+				}
+				tbl.EndBatch()
+				done += n
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total uint64
+	seen := make(map[uint64]bool)
+	vals := tbl.Vals()
+	tbl.Iterate(func(slot int, key uint64) bool {
+		if seen[key] {
+			t.Fatalf("key %d iterated twice", key)
+		}
+		seen[key] = true
+		total += vals[slot]
+		return true
+	})
+	if want := uint64(workers * perW); total != want {
+		t.Fatalf("total count = %d, want %d (lost updates)", total, want)
+	}
+	if len(seen) > keys {
+		t.Fatalf("%d distinct keys iterated, key space is %d", len(seen), keys)
+	}
+}
+
+// TestConcurrentMinSentinel checks the laneInit path: a MIN lane seeded
+// with ^0 folds correctly regardless of claim/update interleaving, and the
+// sentinel survives growth (re-applied to fresh slots, values re-homed).
+func TestConcurrentMinSentinel(t *testing.T) {
+	const workers = 4
+	tbl := NewConcurrent(8, 1, []uint64{^uint64(0)}, 64)
+	rng := rand.New(rand.NewSource(42))
+	type kv struct{ k, v uint64 }
+	rows := make([]kv, 20_000)
+	ref := make(map[uint64]uint64)
+	for i := range rows {
+		k, v := uint64(rng.Intn(700)), uint64(rng.Intn(1<<30))+1
+		rows[i] = kv{k, v}
+		if old, ok := ref[k]; !ok || v < old {
+			ref[k] = v
+		}
+	}
+	var wg sync.WaitGroup
+	per := len(rows) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == workers-1 {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(part []kv) {
+			defer wg.Done()
+			for off := 0; off < len(part); off += 256 {
+				end := off + 256
+				if end > len(part) {
+					end = len(part)
+				}
+				vals := tbl.BeginBatch()
+				for _, r := range part[off:end] {
+					s := tbl.UpsertSlotH(r.k, Mix(r.k))
+					for {
+						cur := atomic.LoadUint64(&vals[s])
+						if r.v >= cur || atomic.CompareAndSwapUint64(&vals[s], cur, r.v) {
+							break
+						}
+					}
+				}
+				tbl.EndBatch()
+			}
+		}(rows[lo:hi])
+	}
+	wg.Wait()
+
+	vals := tbl.Vals()
+	got := make(map[uint64]uint64)
+	tbl.Iterate(func(slot int, key uint64) bool {
+		got[key] = vals[slot]
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("%d groups, want %d", len(got), len(ref))
+	}
+	for k, want := range ref {
+		if got[k] != want {
+			t.Fatalf("key %d: min %d, want %d", k, got[k], want)
+		}
+	}
+}
+
+// TestConcurrentDoLockedStriping checks the striped fallback serializes
+// same-slot calls: concurrent unsynchronized increments through DoLocked
+// must not lose updates.
+func TestConcurrentDoLockedStriping(t *testing.T) {
+	tbl := NewConcurrent(16, 0, nil, 1)
+	slots := []int{3, 3 + NumStripes, 7, 900} // two share a stripe
+	counts := make(map[int]*int)
+	for _, s := range slots {
+		counts[s] = new(int)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				s := slots[(w+i)%len(slots)]
+				tbl.DoLocked(s, func() { *counts[s]++ })
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += *c
+	}
+	if total != 8*10_000 {
+		t.Fatalf("total = %d, want %d (lost locked updates)", total, 8*10_000)
+	}
+}
+
+// TestConcurrentZeroLanes covers the claim-only configuration (lanes == 0)
+// used by paths that keep values outside the table.
+func TestConcurrentZeroLanes(t *testing.T) {
+	tbl := NewConcurrent(4, 0, nil, 1)
+	if tbl.Vals() != nil {
+		t.Fatal("lanes=0 table allocated a lane array")
+	}
+	for k := uint64(0); k < 3000; k++ {
+		ctUpsert(tbl, k)
+	}
+	if tbl.Len() != 3000 {
+		t.Fatalf("Len = %d, want 3000", tbl.Len())
+	}
+	if s := tbl.GetSlot(0); s != tbl.Cap() {
+		t.Fatalf("zero key slot = %d, want zero cell %d", s, tbl.Cap())
+	}
+	if s := tbl.GetSlot(999_999); s != -1 {
+		t.Fatalf("absent key slot = %d, want -1", s)
+	}
+}
+
+// TestConcurrentGetSlotAfterGrowth checks GetSlot agrees with UpsertSlotH
+// once the build is quiescent, across growth relocations.
+func TestConcurrentGetSlotAfterGrowth(t *testing.T) {
+	tbl := NewConcurrent(4, 1, nil, 1)
+	for k := uint64(1); k <= 5000; k++ {
+		vals := tbl.BeginBatch()
+		vals[tbl.UpsertSlotH(k, Mix(k))] = k * 10
+		tbl.EndBatch()
+	}
+	vals := tbl.Vals()
+	for k := uint64(1); k <= 5000; k++ {
+		s := tbl.GetSlot(k)
+		if s < 0 {
+			t.Fatalf("key %d lost after growth", k)
+		}
+		if vals[s] != k*10 {
+			t.Fatalf("key %d: val %d, want %d", k, vals[s], k*10)
+		}
+	}
+}

@@ -47,6 +47,24 @@ func Mix2(x uint64) uint64 {
 	return x
 }
 
+// HashBatch is the rows-per-block of the batched-hash build loops shared
+// by the aggregation kernels (internal/agg), the streaming hot loops
+// (internal/stream) and the concurrent table: large enough to hide the
+// multiply latency of Mix, small enough that the hash buffer stays in
+// registers/L1.
+const HashBatch = 32
+
+// MixBatch fills h with the Mix hashes of the keys in b, which must hold
+// exactly HashBatch keys. Filling the buffer first, then probing, lets the
+// hash multiply chains of a whole block overlap each other and the probes'
+// dependent cache misses instead of serializing row by row.
+func MixBatch(h *[HashBatch]uint64, b []uint64) {
+	_ = b[HashBatch-1]
+	for j, k := range b {
+		h[j] = Mix(k)
+	}
+}
+
 // NextPow2 returns the smallest power of two >= n (minimum 1).
 func NextPow2(n int) int {
 	if n <= 1 {

@@ -127,9 +127,26 @@ func (s *Stream) buildGeneration(base *generation, ds []*delta) *generation {
 		if bp.t != nil {
 			mergeTable(nt, bp, holistic)
 		}
-		for j, k := range pk {
+		// The delta groups land via the same blocked-hash loop as the
+		// batch kernels: pk is a plain column, so the blocks need no
+		// staging.
+		var h [hashtbl.HashBatch]uint64
+		j := 0
+		for ; j+hashtbl.HashBatch <= len(pk); j += hashtbl.HashBatch {
+			bk := pk[j : j+hashtbl.HashBatch : j+hashtbl.HashBatch]
+			hashtbl.MixBatch(&h, bk)
+			for jj, k := range bk {
+				r := refs[pi[j+jj]]
+				np := nt.t.UpsertH(k, h[jj])
+				np.Merge(r.p)
+				if holistic {
+					np.MergeValues(nt.ar, r.p, r.ar)
+				}
+			}
+		}
+		for ; j < len(pk); j++ {
 			r := refs[pi[j]]
-			np := nt.t.Upsert(k)
+			np := nt.t.Upsert(pk[j])
 			np.Merge(r.p)
 			if holistic {
 				np.MergeValues(nt.ar, r.p, r.ar)

@@ -17,16 +17,40 @@ type table struct {
 
 // mergeTable folds every group of src into dst — the table-granularity form
 // of agg.Partial.Merge, used by the merger (base partition → new partition)
-// and by snapshots (combining a view's sources).
+// and by snapshots (combining a view's sources). Iteration delivers one
+// group per callback, so the batched-hash discipline of the lpBuild*
+// kernels takes a staging buffer here: groups accumulate in blocks of
+// hashtbl.HashBatch, each full block is Mix-hashed at once and probed with
+// UpsertH, and the final short block hashes row by row.
 func mergeTable(dst, src table, holistic bool) {
-	src.t.Iterate(func(k uint64, p *agg.Partial) bool {
-		np := dst.t.Upsert(k)
+	var (
+		h  [hashtbl.HashBatch]uint64
+		ks [hashtbl.HashBatch]uint64
+		ps [hashtbl.HashBatch]*agg.Partial
+	)
+	n := 0
+	fold := func(k, hk uint64, p *agg.Partial) {
+		np := dst.t.UpsertH(k, hk)
 		np.Merge(p)
 		if holistic {
 			np.MergeValues(dst.ar, p, src.ar)
 		}
+	}
+	src.t.Iterate(func(k uint64, p *agg.Partial) bool {
+		ks[n], ps[n] = k, p
+		n++
+		if n == hashtbl.HashBatch {
+			hashtbl.MixBatch(&h, ks[:])
+			for j, bk := range ks {
+				fold(bk, h[j], ps[j])
+			}
+			n = 0
+		}
 		return true
 	})
+	for j := 0; j < n; j++ {
+		fold(ks[j], hashtbl.Mix(ks[j]), ps[j])
+	}
 }
 
 // delta is one shard's in-progress (then sealed) table plus its row count.
@@ -40,10 +64,31 @@ type delta struct {
 	keys, vals []uint64
 }
 
-// deltaTableCap seeds a fresh delta's table small; LinearProbe doubles as
-// groups arrive, so a low-cardinality delta stays tiny while a
-// high-cardinality one amortizes its growth.
+// deltaTableCap seeds a fresh delta's table when the stream has no
+// cardinality estimate; LinearProbe doubles as groups arrive, so a
+// low-cardinality delta stays tiny while a high-cardinality one amortizes
+// its growth. With Config.EstimatedGroups set, deltaSeed sizes the table
+// up front instead — a high-cardinality delta otherwise pays ~log2(groups/
+// 1024) rehash passes before its first seal (BenchmarkStreamIngest
+// documents the before/after).
 const deltaTableCap = 1 << 10
+
+// deltaSeed returns the capacity a fresh delta table is created with:
+// the configured estimate, capped by SealRows (a delta cannot hold more
+// groups than rows before it seals).
+func (sh *shard) deltaSeed() int {
+	est := sh.s.cfg.EstimatedGroups
+	if est <= 0 {
+		return deltaTableCap
+	}
+	if est > sh.s.cfg.SealRows {
+		est = sh.s.cfg.SealRows
+	}
+	if est < deltaTableCap {
+		return deltaTableCap
+	}
+	return est
+}
 
 // shard is one writer: a goroutine draining a bounded batch queue into a
 // private delta, sealing it into the shared view when it reaches the
@@ -78,12 +123,15 @@ func (sh *shard) run() {
 }
 
 // absorb folds one batch into the current delta. The holistic check is
-// hoisted out of the row loop, kernels-style: the hot path is one Upsert
-// plus one eager fold per row.
+// hoisted out of the row loop, kernels-style, and both loops run in
+// hashtbl.HashBatch-blocked form — fill a block of Mix hashes first, then
+// probe with UpsertH — exactly like the batch engines' lpBuild* kernels:
+// the hash multiplies of a block overlap each other and the probes'
+// dependent cache misses instead of serializing row by row.
 func (sh *shard) absorb(b batch) {
 	if sh.cur == nil {
 		sh.cur = &delta{table: table{
-			t:  hashtbl.NewLinearProbe[agg.Partial](deltaTableCap),
+			t:  hashtbl.NewLinearProbe[agg.Partial](sh.deltaSeed()),
 			ar: arena.New(),
 		}}
 		if sh.s.dur != nil {
@@ -92,16 +140,36 @@ func (sh *shard) absorb(b batch) {
 		}
 	}
 	t := sh.cur.t
+	var h [hashtbl.HashBatch]uint64
+	i := 0
 	if sh.s.cfg.Holistic {
 		ar := sh.cur.ar
-		for i, k := range b.keys {
-			p := t.Upsert(k)
+		for ; i+hashtbl.HashBatch <= len(b.keys); i += hashtbl.HashBatch {
+			bk := b.keys[i : i+hashtbl.HashBatch : i+hashtbl.HashBatch]
+			bv := b.vals[i : i+hashtbl.HashBatch : i+hashtbl.HashBatch]
+			hashtbl.MixBatch(&h, bk)
+			for j, k := range bk {
+				p := t.UpsertH(k, h[j])
+				p.Observe(bv[j])
+				p.Buffer(ar, bv[j])
+			}
+		}
+		for ; i < len(b.keys); i++ {
+			p := t.Upsert(b.keys[i])
 			p.Observe(b.vals[i])
 			p.Buffer(ar, b.vals[i])
 		}
 	} else {
-		for i, k := range b.keys {
-			t.Upsert(k).Observe(b.vals[i])
+		for ; i+hashtbl.HashBatch <= len(b.keys); i += hashtbl.HashBatch {
+			bk := b.keys[i : i+hashtbl.HashBatch : i+hashtbl.HashBatch]
+			bv := b.vals[i : i+hashtbl.HashBatch : i+hashtbl.HashBatch]
+			hashtbl.MixBatch(&h, bk)
+			for j, k := range bk {
+				t.UpsertH(k, h[j]).Observe(bv[j])
+			}
+		}
+		for ; i < len(b.keys); i++ {
+			t.Upsert(b.keys[i]).Observe(b.vals[i])
 		}
 	}
 	sh.cur.rows += uint64(len(b.keys))

@@ -80,6 +80,14 @@ type Config struct {
 	// and the per-partition folds). <= 0 uses GOMAXPROCS.
 	MergeWorkers int
 
+	// EstimatedGroups is the expected group-by cardinality of the stream
+	// (Section 3.2's "cardinality is unknown up front" knob, surfaced).
+	// It seeds each shard's delta table — capped at SealRows, since a
+	// delta can never hold more groups than rows — so a well-estimated
+	// stream's deltas skip their doubling cascade. <= 0 keeps the small
+	// default seed (growth amortizes it for low-cardinality streams).
+	EstimatedGroups int
+
 	// Holistic retains every group's value multiset (arena-backed lists),
 	// enabling median/quantile/mode snapshot queries at the memory cost
 	// holistic functions always carry. Off, holistic queries return

@@ -59,6 +59,7 @@ const (
 const (
 	HashPLAT Backend = "Hash_PLAT" // thread-local tables + partitioned merge
 	HashRX   Backend = "Hash_RX"   // radix-partitioned two-phase aggregation
+	HashGLB  Backend = "Hash_GLB"  // morsel-driven global shared table
 	Adaptive Backend = "Adaptive"  // samples input, routes to Hash_LP or Spreadsort
 )
 
@@ -67,7 +68,7 @@ func Backends() []Backend {
 	return []Backend{
 		ART, Judy, Btree, HashSC, HashLP, HashSparse, HashDense, HashLC,
 		Introsort, Spreadsort, Ttree, HashTBBSC, SortBI, SortQSLB,
-		HashPLAT, HashRX, Adaptive,
+		HashPLAT, HashRX, HashGLB, Adaptive,
 	}
 }
 
@@ -84,10 +85,12 @@ const (
 	// AllocArena routes hot-path allocations through a pooled bump
 	// allocator: holistic per-group value buffers become chunked arena
 	// lists and the sort backends' working copies are recycled across
-	// queries. Honoured by the hash, tree, sort and Hash_RX backends (and
-	// Adaptive); the shared-table concurrent backends (Hash_LC,
-	// Hash_TBBSC, Hash_PLAT) ignore it — their groups are appended by many
-	// workers at once, which a single-owner arena cannot serve.
+	// queries. Honoured by the hash, tree, sort, Hash_RX and Hash_GLB
+	// backends (and Adaptive); the shared-table concurrent backends
+	// (Hash_LC, Hash_TBBSC, Hash_PLAT) ignore it — their groups are
+	// appended by many workers at once, which a single-owner arena cannot
+	// serve. Hash_GLB takes a serial holistic merge under this allocator
+	// for the same reason.
 	AllocArena Allocator = "arena"
 )
 
@@ -97,8 +100,8 @@ func Allocators() []Allocator { return []Allocator{AllocGoRuntime, AllocArena} }
 // Options configures an Aggregator.
 type Options struct {
 	// Threads sets the build parallelism of the concurrent backends
-	// (Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB, Hash_PLAT, Hash_RX).
-	// <= 0 means GOMAXPROCS. Serial backends ignore it.
+	// (Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB, Hash_PLAT, Hash_RX,
+	// Hash_GLB). <= 0 means GOMAXPROCS. Serial backends ignore it.
 	Threads int
 
 	// Allocator selects the allocation strategy (Dimension 6). The zero
@@ -155,6 +158,8 @@ func engineFor(b Backend, opts Options) (agg.Engine, error) {
 		return agg.HashPLAT(opts.Threads), nil
 	case HashRX:
 		return agg.HashRX(opts.Threads), nil
+	case HashGLB:
+		return agg.HashGLB(opts.Threads), nil
 	case Adaptive:
 		return agg.Adaptive(), nil
 	case HashLC:

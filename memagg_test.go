@@ -63,6 +63,7 @@ func TestMedianAndRangeSupportMatrix(t *testing.T) {
 	hashBackends := map[Backend]bool{
 		HashSC: true, HashLP: true, HashSparse: true, HashDense: true,
 		HashLC: true, HashTBBSC: true, HashPLAT: true, HashRX: true,
+		HashGLB: true,
 	}
 	for _, b := range Backends() {
 		a, _ := New(b, Options{})
@@ -148,11 +149,14 @@ func TestRecommendFlowChart(t *testing.T) {
 		{Workload{Output: Vector}, HashLP},
 		{Workload{Output: Vector, Function: Algebraic}, HashLP},
 		{Workload{Output: Vector, Multithreaded: true}, HashTBBSC},
-		// High estimated cardinality flips the multithreaded vector branch
-		// to the radix-partitioned engine; low or unknown does not.
+		// A known estimated cardinality splits the multithreaded vector
+		// branch at the measured ~64Ki-group crossover: the global shared
+		// table below it, the radix-partitioned engine at and above it.
+		// Unknown cardinality keeps the paper's Hash_TBBSC route.
 		{Workload{Output: Vector, Multithreaded: true, EstimatedGroups: 1 << 20}, HashRX},
 		{Workload{Output: Vector, Function: Algebraic, Multithreaded: true, EstimatedGroups: 1 << 16}, HashRX},
-		{Workload{Output: Vector, Multithreaded: true, EstimatedGroups: 1 << 10}, HashTBBSC},
+		{Workload{Output: Vector, Multithreaded: true, EstimatedGroups: 1 << 10}, HashGLB},
+		{Workload{Output: Vector, Function: Algebraic, Multithreaded: true, EstimatedGroups: (1 << 16) - 1}, HashGLB},
 		{Workload{Output: Vector, EstimatedGroups: 1 << 20}, HashLP},
 	}
 	for i, c := range cases {

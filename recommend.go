@@ -49,16 +49,24 @@ type Workload struct {
 	Multithreaded bool
 	// EstimatedGroups is the expected group-by cardinality, when known.
 	// Zero means unknown and leaves the paper's flow chart unchanged. A
-	// known high cardinality (>= 64Ki groups) steers multithreaded vector
-	// aggregation to Hash_RX: shared tables serialize on contention and
-	// PLAT's merge re-scans p overflowing local tables, while Hash_RX's
-	// radix partitioning keeps every phase-2 table cache-sized (DESIGN.md).
+	// known cardinality splits the multithreaded vector branch at the
+	// measured crossover (~64Ki groups, `-exp glb`): below it the global
+	// shared-table engine Hash_GLB wins — one pass, table cache-resident —
+	// while above it Hash_RX's radix partitioning keeps every phase-2
+	// table cache-sized where a shared table turns each probe into a
+	// shared-memory miss (DESIGN.md §1.2h).
 	EstimatedGroups int
 }
 
-// rxCardinalityCutoff is the estimated group count above which the
-// radix-partitioned engine is recommended for multithreaded vector
-// workloads: past ~64Ki groups the competing designs' tables leave cache.
+// rxCardinalityCutoff is the estimated group count at which the measured
+// Hash_GLB/Hash_RX crossover falls for multithreaded vector workloads
+// (`-exp glb`, results_glb.txt; 1M rows, p=4): below it the global shared
+// table wins (1024 groups: Hash_GLB 9.0 ms vs Hash_RX 30.6 ms — the
+// partitioning pass buys nothing while the table is cache-resident), at
+// 65536 groups they tie (59.5 vs 48.8 ms), and above it the cache-sized
+// phase-2 tables of Hash_RX win (262144 groups: 92.4 vs 61.8 ms). The
+// cutoff is where a 16 B/group table outgrows the 256 KiB L2 budget the
+// radix engine partitions for.
 const rxCardinalityCutoff = 1 << 16
 
 // Advice is a Recommend result.
@@ -98,7 +106,11 @@ func Recommend(w Workload) Advice {
 	if w.Multithreaded {
 		if w.EstimatedGroups >= rxCardinalityCutoff {
 			return Advice{HashRX,
-				"vector distributive, multithreaded, high cardinality: radix partitioning keeps every per-partition table cache-sized where shared tables contend and PLAT's merge overflows cache (DESIGN.md)"}
+				"vector distributive, multithreaded, high cardinality: radix partitioning keeps every per-partition table cache-sized where shared tables turn every probe into a shared-memory miss (measured crossover ~64Ki groups, -exp glb)"}
+		}
+		if w.EstimatedGroups > 0 {
+			return Advice{HashGLB,
+				"vector distributive, multithreaded, cache-resident cardinality: the morsel-driven global shared table aggregates in one pass where Hash_RX spends an extra scatter pass and Hash_TBBSC serializes on stripe locks (2-3x faster below the ~64Ki-group crossover, -exp glb)"}
 		}
 		return Advice{HashTBBSC,
 			"vector distributive, multithreaded: Hash_TBBSC outperforms the other concurrent algorithms on Q1 (Figure 11)"}

@@ -9,7 +9,15 @@ go build ./...
 go vet ./...
 go test ./...
 
-go test -race ./internal/agg/... ./internal/radix/...
+go test -race ./internal/agg/... ./internal/radix/... ./internal/morsel/... ./internal/hashtbl/...
+
+# The global shared-table engine's whole correctness story is concurrent:
+# CAS-claimed slots, atomic lane folds, growth at batch boundaries. The
+# dedicated contended-upsert test and the parallel-vs-serial equivalence
+# gate are pinned by name so a rename can't silently drop them from the
+# race pass above.
+go test -race -run 'TestConcurrentParallelUpsertRace' -count=1 -v ./internal/hashtbl
+go test -race -run 'TestGLBParallelReduceMatchesSerial|TestGLBParallelShortValsAndZeroKey' -count=1 -v ./internal/agg
 
 # The streaming subsystem's whole design is concurrent (sharded writers,
 # background merger, lock-free snapshot pinning), so its entire suite —
@@ -19,9 +27,10 @@ go test -race ./internal/stream/...
 
 # Allocs-regression smoke check: the arena-backed holistic Q3 must stay
 # within its recorded allocs/op budget (and keep its >=10x margin over the
-# go-runtime allocator). Catches per-row/per-group allocations creeping
-# back into the monomorphized build kernels.
-go test -run 'TestQ3AllocBudget' -count=1 ./internal/agg
+# go-runtime allocator) — for the serial engines and for Hash_GLB's
+# buffer-and-replay holistic path. Catches per-row/per-group allocations
+# creeping back into the monomorphized build kernels.
+go test -run 'TestQ3AllocBudget|TestGLBAllocBudget' -count=1 ./internal/agg
 
 # Observability overhead guard: the always-on instrumentation in the
 # stream ingest hot path must cost <5% vs the timing-disabled baseline

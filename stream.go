@@ -75,10 +75,18 @@ type StreamDurability struct {
 }
 
 // streamMergeBits sizes the base generation's radix fan-out from the
-// expected group count, targeting ~4Ki groups per partition (the
-// cache-sized-table discipline Hash_RX uses); 0 lets the stream default
-// apply. The stream clamps to the partitioner's maximum.
+// expected group count, applying the measured Hash_GLB/Hash_RX crossover
+// (`-exp glb`, results_glb.txt): below rxCardinalityCutoff (~64Ki groups)
+// the merged table is cache-resident whole and cardinality-driven
+// partitioning buys nothing — the same result that routes batch queries
+// to Hash_GLB there — so bits 0 defers to the stream's default fan-out
+// (sized for merge parallelism, not cache). At and above the crossover
+// it targets ~4Ki groups per partition, the cache-sized-table discipline
+// Hash_RX uses. The stream clamps to the partitioner's maximum.
 func streamMergeBits(estimatedGroups int) int {
+	if estimatedGroups < rxCardinalityCutoff {
+		return 0
+	}
 	bits := 0
 	for g := estimatedGroups; g > 4096; g >>= 1 {
 		bits++
@@ -125,12 +133,13 @@ func OpenStream(opts StreamOptions) (*Stream, error) {
 		shards = 1
 	}
 	cfg := stream.Config{
-		Shards:       shards, // <= 0 (multithreaded workload): GOMAXPROCS
-		QueueDepth:   opts.QueueDepth,
-		SealRows:     opts.SealRows,
-		MergeBits:    streamMergeBits(opts.Workload.EstimatedGroups),
-		MergeWorkers: opts.MergeWorkers,
-		Holistic:     holistic,
+		Shards:          shards, // <= 0 (multithreaded workload): GOMAXPROCS
+		QueueDepth:      opts.QueueDepth,
+		SealRows:        opts.SealRows,
+		MergeBits:       streamMergeBits(opts.Workload.EstimatedGroups),
+		MergeWorkers:    opts.MergeWorkers,
+		EstimatedGroups: opts.Workload.EstimatedGroups,
+		Holistic:        holistic,
 	}
 	if d := opts.Durability; d.Dir != "" {
 		policy, err := wal.ParseSyncPolicy(d.SyncPolicy)
