@@ -24,7 +24,12 @@
 // Query aliases: q1=count_by_key q2=avg_by_key q3=median_by_key q4=count
 // q5=avg q6=median q7=range (with lo= and hi=); quantile takes p=0.9.
 // Every query runs over a snapshot: a consistent state tagged with the
-// row-count watermark it covers, taken without pausing ingest.
+// row-count watermark it covers, taken without pausing ingest. Responses
+// carry `ETag: "<watermark>"`; a request whose If-None-Match matches the
+// current watermark gets 304 Not Modified before any query work runs.
+// -query-workers sets snapshot query parallelism and -query-cache sizes
+// the per-view materialized-result cache (repeated dashboard queries
+// against an unchanged view are served from it).
 //
 // /metrics serves three metric groups in one scrape: the process-global
 // instruments (engine phase timings, arena accounting), the stream's
@@ -52,6 +57,8 @@ func main() {
 	shards := flag.Int("shards", 0, "writer shards (0 = one per CPU)")
 	holistic := flag.Bool("holistic", false, "retain value multisets (median/quantile/mode queries)")
 	seal := flag.Int("seal", 0, "rows per delta before it becomes visible (0 = default)")
+	queryWorkers := flag.Int("query-workers", 0, "snapshot query parallelism: delta folds and partition scans (0 = one per CPU)")
+	queryCache := flag.Int("query-cache", 0, "per-view result cache entries (0 = default 128, negative = disabled)")
 	dataDir := flag.String("data-dir", "", "durability root (WAL + checkpoints); empty = volatile")
 	syncPolicy := flag.String("sync", "interval", "WAL fsync policy: none | interval | always")
 	checkpointEvery := flag.Int("checkpoint-every", 0,
@@ -59,10 +66,12 @@ func main() {
 	flag.Parse()
 
 	opts := memagg.StreamOptions{
-		Workload: memagg.Workload{Output: memagg.Vector, Multithreaded: true},
-		Shards:   *shards,
-		SealRows: *seal,
-		Holistic: *holistic,
+		Workload:          memagg.Workload{Output: memagg.Vector, Multithreaded: true},
+		Shards:            *shards,
+		SealRows:          *seal,
+		QueryWorkers:      *queryWorkers,
+		QueryCacheEntries: *queryCache,
+		Holistic:          *holistic,
 	}
 	if *dataDir != "" {
 		opts.Durability = memagg.StreamDurability{

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 
 	"memagg"
 	"memagg/internal/obs"
@@ -161,6 +162,16 @@ func (srv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := srv.stream.Snapshot()
+	// A query result is fully determined by the snapshot watermark (per
+	// URL, which carries the query id and parameters), so the watermark is
+	// the entity tag. A client that cached the body at this watermark gets
+	// a 304 before any query work runs — the cheapest cache hit there is.
+	etag := `"` + strconv.FormatUint(sn.Watermark(), 10) + `"`
+	if match := r.Header.Get("If-None-Match"); etagMatches(match, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	done := make(chan outcome, 1)
 	go func() { done <- runQuery(sn, q, r.URL.Query()) }()
 	select {
@@ -174,8 +185,30 @@ func (srv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			httpError(w, o.status, o.errMsg)
 			return
 		}
+		w.Header().Set("ETag", etag)
 		writeJSON(w, queryResponse{Query: q, Watermark: sn.Watermark(), Result: o.result})
 	}
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// given entity tag: "*" matches anything, and the comma-separated list is
+// compared tag by tag. Weak validators (W/ prefix) compare by opaque tag —
+// the weak comparison RFC 9110 prescribes for If-None-Match.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, tag := range strings.Split(header, ",") {
+		tag = strings.TrimSpace(tag)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // runQuery executes one named query over a pinned snapshot.

@@ -339,3 +339,64 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestQueryETagConditional covers the watermark-as-ETag contract: every
+// query response carries `ETag: "<watermark>"`, a matching If-None-Match
+// short-circuits to 304 with no body, and once the watermark advances the
+// stale validator misses and a full response returns with the new tag.
+func TestQueryETagConditional(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if w := do(t, srv, http.MethodPost, "/ingest", `{"keys":[1,2,1,3],"vals":[10,20,30,40]}`); w.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, srv, http.MethodPost, "/flush", ""); w.Code != http.StatusOK {
+		t.Fatalf("flush = %d: %s", w.Code, w.Body)
+	}
+
+	w := do(t, srv, http.MethodGet, "/query?q=q1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("query = %d: %s", w.Code, w.Body)
+	}
+	etag := w.Header().Get("ETag")
+	if etag != `"4"` {
+		t.Fatalf("ETag = %q, want %q", etag, `"4"`)
+	}
+
+	cond := func(inm string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodGet, "/query?q=q1", nil)
+		r.Header.Set("If-None-Match", inm)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, r)
+		return w
+	}
+	for _, inm := range []string{etag, "W/" + etag, `"7", ` + etag, "*"} {
+		w := cond(inm)
+		if w.Code != http.StatusNotModified {
+			t.Errorf("If-None-Match %q = %d, want 304", inm, w.Code)
+		}
+		if w.Header().Get("ETag") != etag {
+			t.Errorf("304 for %q lost the ETag header: %q", inm, w.Header().Get("ETag"))
+		}
+		if w.Body.Len() != 0 {
+			t.Errorf("304 for %q carried a body: %s", inm, w.Body)
+		}
+	}
+	if w := cond(`"3"`); w.Code != http.StatusOK {
+		t.Errorf("stale If-None-Match = %d, want 200", w.Code)
+	}
+
+	// Advance the watermark; the old validator must stop matching.
+	if w := do(t, srv, http.MethodPost, "/ingest", `{"keys":[9],"vals":[90]}`); w.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, srv, http.MethodPost, "/flush", ""); w.Code != http.StatusOK {
+		t.Fatalf("flush = %d: %s", w.Code, w.Body)
+	}
+	w = cond(etag)
+	if w.Code != http.StatusOK {
+		t.Fatalf("advanced watermark with old validator = %d, want 200", w.Code)
+	}
+	if got := w.Header().Get("ETag"); got != `"5"` {
+		t.Errorf("advanced ETag = %q, want %q", got, `"5"`)
+	}
+}

@@ -120,6 +120,7 @@ func Experiments() []Experiment {
 		{"stream", "Extension: streaming ingest — shard scaling, merge latency, staleness", ExtStream},
 		{"obs", "Extension: observability — recorded phase splits vs external timing", ExtObs},
 		{"wal", "Extension: durability — WAL sync-policy cost and recovery time vs log size", ExtWAL},
+		{"query", "Extension: snapshot queries — delta folds, parallel kernels, result cache", ExtQuery},
 	}
 }
 

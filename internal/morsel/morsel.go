@@ -63,6 +63,23 @@ func (d *Dispatcher) Next() (lo, hi int, ok bool) {
 // Size returns the configured morsel size.
 func (d *Dispatcher) Size() int { return d.size }
 
+// Parts runs body(worker, part) for every partition index in [0, parts)
+// across workers — the partition-granular form of Drive, with one claimed
+// "morsel" per partition. It is the schedule shared by the stream merger's
+// generation builds and the snapshot query kernels: radix partitions are
+// few (2^MergeBits) and key-disjoint, so dynamic whole-partition dispatch
+// absorbs skew (one heavy partition occupies one worker while the rest
+// drain the cursor) without any cross-worker synchronization on results.
+// The worker index is stable for the worker's lifetime, for per-worker
+// accumulators; workers <= 1 runs every partition on the caller.
+func Parts(parts, workers int, body func(worker, part int)) {
+	Drive(parts, workers, 1, func(w, lo, hi int) {
+		for q := lo; q < hi; q++ {
+			body(w, q)
+		}
+	})
+}
+
 // Drive runs body over every morsel of an n-row input across the given
 // number of workers (size <= 0 selects DefaultRows). body receives the
 // worker index — stable for the worker's lifetime, for per-worker local

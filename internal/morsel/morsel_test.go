@@ -86,6 +86,39 @@ func TestDriveWorkerIndexesStable(t *testing.T) {
 	})
 }
 
+// TestPartsCoversEveryPartOnce checks the partition-granular form: every
+// partition index visited exactly once with an in-range worker id, across
+// serial, balanced, and over-provisioned worker counts.
+func TestPartsCoversEveryPartOnce(t *testing.T) {
+	for _, tc := range []struct{ parts, workers int }{
+		{0, 4},  // no partitions: body never called
+		{7, 1},  // serial path
+		{32, 4}, // fan-out
+		{3, 16}, // more workers than partitions
+	} {
+		visited := make([]atomic.Int32, tc.parts)
+		Parts(tc.parts, tc.workers, func(w, q int) {
+			if w < 0 || (tc.workers > 0 && w >= tc.workers) {
+				t.Errorf("parts=%d workers=%d: worker index %d out of range",
+					tc.parts, tc.workers, w)
+				return
+			}
+			if q < 0 || q >= tc.parts {
+				t.Errorf("parts=%d workers=%d: partition index %d out of range",
+					tc.parts, tc.workers, q)
+				return
+			}
+			visited[q].Add(1)
+		})
+		for q := range visited {
+			if got := visited[q].Load(); got != 1 {
+				t.Fatalf("parts=%d workers=%d: partition %d visited %d times",
+					tc.parts, tc.workers, q, got)
+			}
+		}
+	}
+}
+
 func TestDispatcherDefaults(t *testing.T) {
 	if got := New(10, 0).Size(); got != DefaultRows {
 		t.Fatalf("default size = %d, want %d", got, DefaultRows)

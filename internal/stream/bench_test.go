@@ -84,6 +84,89 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotQuery measures the snapshot query path on a 1M-row /
+// 64Ki-group layered view (half merged into the base, half pinned as
+// sealed deltas). Variants cover the axes the tentpole added:
+//
+//	fold=cold  — every iteration builds a fresh identical stream, so the
+//	             per-iteration cost includes the partition-wise delta fold
+//	fold=warm  — one stream, fold memoized on the view, cache disabled:
+//	             the pure scan cost
+//	cached     — one stream with the result cache on: post-first
+//	             iterations are cache hits
+//
+// serial forces the pre-PR path (cutoff above every group count); par=N
+// runs the partition-parallel kernels at N workers.
+//
+//	go test ./internal/stream/ -bench SnapshotQuery -benchtime 20x
+func BenchmarkSnapshotQuery(b *testing.B) {
+	defer func(c int) { serialQueryCutoff = c }(serialQueryCutoff)
+	spec := dataset.Spec{Kind: dataset.RseqShf, N: 1_000_000, Cardinality: 1 << 16, Seed: 73}
+	keys := spec.Keys()
+	vals := dataset.Values(len(keys), spec.Seed)
+	base := Config{SealRows: 1 << 14, MergeBits: 6}
+
+	q1 := func(b *testing.B, s *Stream) {
+		if r := s.Snapshot().CountByKey(); len(r) != 1<<16 {
+			b.Fatalf("Q1 rows = %d", len(r))
+		}
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+		cutoff  int
+		cache   int
+	}{
+		{"serial", 1, 1 << 30, -1},
+		{"par=2", 2, 0, -1},
+		{"par=8", 8, 0, -1},
+	} {
+		cfg := base
+		cfg.QueryWorkers = bc.workers
+		cfg.QueryCacheEntries = bc.cache
+		serialQueryCutoff = bc.cutoff
+		b.Run("fold=cold/"+bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := layeredStream(b, cfg, keys, vals, len(keys)/2)
+				b.StartTimer()
+				q1(b, s)
+				b.StopTimer()
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("fold=warm/"+bc.name, func(b *testing.B) {
+			s := layeredStream(b, cfg, keys, vals, len(keys)/2)
+			q1(b, s) // fold + first scan outside the timer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q1(b, s)
+			}
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+	serialQueryCutoff = 0
+	cfg := base
+	cfg.QueryWorkers = 8
+	b.Run("cached/par=8", func(b *testing.B) {
+		s := layeredStream(b, cfg, keys, vals, len(keys)/2)
+		q1(b, s) // miss: fold + scan + insert
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q1(b, s)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
 func benchName(shards int, seeded bool) string {
 	name := "shards=" + string(rune('0'+shards))
 	if seeded {

@@ -198,7 +198,7 @@ func Open(cfg Config) (*Stream, error) {
 	for _, d := range sealed {
 		wm += d.rows
 	}
-	s.view.Store(&view{base: base, sealed: sealed, watermark: wm})
+	s.view.Store(s.newView(base, sealed, wm))
 
 	s.start()
 	if len(sealed) > 0 {

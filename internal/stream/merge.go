@@ -1,15 +1,6 @@
 package stream
 
-import (
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"memagg/internal/agg"
-	"memagg/internal/arena"
-	"memagg/internal/hashtbl"
-	"memagg/internal/radix"
-)
+import "time"
 
 // generation is one immutable base: the fold of every delta sealed before
 // it was built, radix-partitioned into 2^bits disjoint tables (partition q
@@ -28,9 +19,16 @@ type generation struct {
 // mergerLoop is the background folder: each doorbell ring merges every
 // sealed delta pending at that moment into a new base generation. After
 // Close drains the shards, the final loop folds whatever remains, so a
-// closed stream's view is a single base generation.
+// closed stream's view is a single base generation. With the merger
+// disabled the loop only drains the doorbell; sealed deltas stay in the
+// view (snapshot queries fold them per view) until an explicit MergeNow.
 func (s *Stream) mergerLoop() {
 	defer s.mergerWG.Done()
+	if s.cfg.DisableMerger {
+		for range s.wake {
+		}
+		return
+	}
 	for range s.wake {
 		s.mergeOnce()
 	}
@@ -38,10 +36,22 @@ func (s *Stream) mergerLoop() {
 	}
 }
 
+// MergeNow synchronously folds every currently sealed delta into a new
+// base generation — explicit compaction for merger-disabled streams (and
+// a deterministic layering tool for benchmarks). Safe to call at any
+// time; it serializes with the background merger. Returns false when
+// there was nothing to merge.
+func (s *Stream) MergeNow() bool { return s.mergeOnce() }
+
 // mergeOnce folds the currently sealed deltas (a prefix of the view's
 // sealed list — seals only append) into a new generation and installs the
-// updated view. Returns false when there was nothing to merge.
+// updated view. Returns false when there was nothing to merge. mergeMu
+// serializes whole cycles: the load-build-install sequence assumes the
+// sealed prefix it folded is still the view's prefix at install time,
+// which concurrent cycles (background merger racing MergeNow) would break.
 func (s *Stream) mergeOnce() bool {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
 	v := s.view.Load()
 	n := len(v.sealed)
 	if n == 0 {
@@ -57,7 +67,7 @@ func (s *Stream) mergeOnce() bool {
 	// seals append), so the unmerged suffix is everything past the prefix
 	// we just folded. The watermark is unchanged: merging moves rows
 	// between layers of the view, it does not add any.
-	s.install(&view{base: g, sealed: cur.sealed[n:], watermark: cur.watermark})
+	s.install(s.newView(g, cur.sealed[n:], cur.watermark))
 	s.viewMu.Unlock()
 
 	s.m.merges.Inc()
@@ -68,94 +78,13 @@ func (s *Stream) mergeOnce() bool {
 	return true
 }
 
-// srcPartial locates one delta group during a merge: the partial plus the
-// arena its buffered values live in.
-type srcPartial struct {
-	p  *agg.Partial
-	ar *arena.Arena
-}
-
 // buildGeneration folds base plus the sealed deltas ds into a fresh
-// generation. The deltas' groups are flattened into key/index columns and
-// scattered with the Hash_RX partitioner (radix.Partition); each partition
-// is then rebuilt independently — copy of the base partition, then the
-// delta groups that landed there — across MergeWorkers. Partitions that
-// received no delta groups are shared with the previous generation
-// unchanged (both are immutable, so structural sharing is free).
+// generation via the shared partition-wise fold (foldParts) at the
+// merger's parallelism, then derives the generation bookkeeping.
 func (s *Stream) buildGeneration(base *generation, ds []*delta) *generation {
-	bits := s.cfg.MergeBits
-	holistic := s.cfg.Holistic
+	parts := s.foldParts(base, ds, s.cfg.MergeWorkers)
 
-	total := 0
-	for _, d := range ds {
-		total += d.t.Len()
-	}
-	keys := make([]uint64, 0, total)
-	idxs := make([]uint64, 0, total)
-	refs := make([]srcPartial, 0, total)
-	for _, d := range ds {
-		ar := d.ar
-		d.t.Iterate(func(k uint64, p *agg.Partial) bool {
-			keys = append(keys, k)
-			idxs = append(idxs, uint64(len(refs)))
-			refs = append(refs, srcPartial{p: p, ar: ar})
-			return true
-		})
-	}
-
-	pt := radix.Partition(keys, idxs, bits, s.cfg.MergeWorkers)
-	p := pt.NumPartitions()
-	parts := make([]table, p)
-	eachPartition(s.cfg.MergeWorkers, p, func(q int) {
-		var bp table
-		baseLen := 0
-		if base != nil {
-			bp = base.parts[q]
-			if bp.t != nil {
-				baseLen = bp.t.Len()
-			}
-		}
-		pk, pi := pt.PartKeys(q), pt.PartVals(q)
-		if len(pk) == 0 {
-			parts[q] = bp // untouched: share with the previous generation
-			return
-		}
-		nt := table{
-			t:  hashtbl.NewLinearProbe[agg.Partial](baseLen + len(pk)),
-			ar: arena.New(),
-		}
-		if bp.t != nil {
-			mergeTable(nt, bp, holistic)
-		}
-		// The delta groups land via the same blocked-hash loop as the
-		// batch kernels: pk is a plain column, so the blocks need no
-		// staging.
-		var h [hashtbl.HashBatch]uint64
-		j := 0
-		for ; j+hashtbl.HashBatch <= len(pk); j += hashtbl.HashBatch {
-			bk := pk[j : j+hashtbl.HashBatch : j+hashtbl.HashBatch]
-			hashtbl.MixBatch(&h, bk)
-			for jj, k := range bk {
-				r := refs[pi[j+jj]]
-				np := nt.t.UpsertH(k, h[jj])
-				np.Merge(r.p)
-				if holistic {
-					np.MergeValues(nt.ar, r.p, r.ar)
-				}
-			}
-		}
-		for ; j < len(pk); j++ {
-			r := refs[pi[j]]
-			np := nt.t.Upsert(pk[j])
-			np.Merge(r.p)
-			if holistic {
-				np.MergeValues(nt.ar, r.p, r.ar)
-			}
-		}
-		parts[q] = nt
-	})
-
-	g := &generation{parts: parts, bits: bits, seq: 1}
+	g := &generation{parts: parts, bits: s.cfg.MergeBits, seq: 1}
 	if base != nil {
 		g.rows = base.rows
 		g.seq = base.seq + 1
@@ -169,36 +98,4 @@ func (s *Stream) buildGeneration(base *generation, ds []*delta) *generation {
 		}
 	}
 	return g
-}
-
-// eachPartition runs f(q) for every partition q in [0, p) across workers
-// with dynamic assignment (an atomic cursor), so a heavy partition occupies
-// one worker while the rest drain the queue — the same skew-absorbing
-// schedule Hash_RX uses for its phase-2 builds.
-func eachPartition(workers, p int, f func(q int)) {
-	if workers > p {
-		workers = p
-	}
-	if workers <= 1 {
-		for q := 0; q < p; q++ {
-			f(q)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				q := int(next.Add(1)) - 1
-				if q >= p {
-					return
-				}
-				f(q)
-			}
-		}()
-	}
-	wg.Wait()
 }

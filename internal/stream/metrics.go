@@ -26,6 +26,19 @@ type metrics struct {
 	appendLat *obs.Histogram // Append call latency
 	mergeLat  *obs.Histogram // merge cycle duration
 
+	// Query-path instruments: the per-view result cache's outcome counters
+	// and the three phases a snapshot query decomposes into — fold (sealed
+	// deltas into per-partition sources, once per view), scan (the
+	// partition-parallel kernel walk), and merge (the serial tail: scalar
+	// partial merges, ordered sorts).
+	qcacheHits   *obs.Counter
+	qcacheMisses *obs.Counter
+	qcacheEvicts *obs.Counter
+
+	queryFoldLat  *obs.Histogram
+	queryScanLat  *obs.Histogram
+	queryMergeLat *obs.Histogram
+
 	// Durability instruments. Registered unconditionally (a volatile stream
 	// just leaves them at zero) so the scrape shape is stable; the wal
 	// package records into them via the Metrics view walMetrics builds.
@@ -66,6 +79,18 @@ func newMetrics(s *Stream) *metrics {
 			"Append call latency (copy, hand-off, and any backpressure wait)."),
 		mergeLat: reg.NewHistogram("memagg_stream_merge_seconds",
 			"Merge cycle duration (delta flatten, scatter, partition folds)."),
+		qcacheHits: reg.NewCounter("memagg_stream_query_cache_hits_total",
+			"Snapshot queries answered from a view's result cache."),
+		qcacheMisses: reg.NewCounter("memagg_stream_query_cache_misses_total",
+			"Snapshot queries that computed and populated a view's result cache."),
+		qcacheEvicts: reg.NewCounter("memagg_stream_query_cache_evictions_total",
+			"Result-cache entries evicted by the per-view capacity bound."),
+		queryFoldLat: reg.NewHistogram("memagg_stream_query_fold_seconds",
+			"Partition-wise fold of sealed deltas into a view's query sources (once per view)."),
+		queryScanLat: reg.NewHistogram("memagg_stream_query_scan_seconds",
+			"Partition scan phase of a snapshot query kernel."),
+		queryMergeLat: reg.NewHistogram("memagg_stream_query_merge_seconds",
+			"Serial tail of a snapshot query: scalar partial merges and ordered sorts."),
 		walAppends: reg.NewCounter("memagg_wal_appends_total",
 			"WAL records appended (one group-committed record per seal)."),
 		walAppendBytes: reg.NewCounter("memagg_wal_append_bytes_total",

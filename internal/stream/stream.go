@@ -88,11 +88,44 @@ type Config struct {
 	// default seed (growth amortizes it for low-cardinality streams).
 	EstimatedGroups int
 
+	// QueryWorkers is the parallelism of snapshot queries: the
+	// partition-wise fold of sealed deltas into a view's sources and the
+	// partition scans of the query kernels. Snapshots whose group count
+	// falls below the serial cutoff scan on the calling goroutine
+	// regardless, so tiny views never pay goroutine overhead. <= 0 uses
+	// GOMAXPROCS.
+	QueryWorkers int
+
+	// QueryCacheEntries bounds the per-view result cache: snapshots of one
+	// view are immutable, so materialized query results are cached on the
+	// view keyed by query id and parameters, with single-flight so
+	// concurrent identical queries compute once. A new view (any seal or
+	// merge moves the watermark) starts a fresh cache; superseded caches
+	// die with their views. 0 means 128 entries; < 0 disables caching.
+	// Cached vector results are shared slices — treat them as read-only
+	// (the memagg facade copies on conversion).
+	QueryCacheEntries int
+
+	// QuerySerialCutoff overrides the group count below which query
+	// kernels scan serially on the calling goroutine. 0 keeps the
+	// measured default (see serialQueryCutoff); < 0 forces the parallel
+	// path at every size; a huge value forces the serial path. Mainly a
+	// measurement knob — the harness uses it to locate the crossover.
+	QuerySerialCutoff int
+
 	// Holistic retains every group's value multiset (arena-backed lists),
 	// enabling median/quantile/mode snapshot queries at the memory cost
 	// holistic functions always carry. Off, holistic queries return
 	// agg.ErrUnsupported.
 	Holistic bool
+
+	// DisableMerger turns the background merger off: sealed deltas
+	// accumulate in the view and snapshot queries fold them partition-wise
+	// per view instead. Compaction then happens only through explicit
+	// MergeNow calls — the manual-compaction mode the query benchmarks and
+	// read-replica deployments use. Not meant for durable streams
+	// (checkpoints ride on merge cycles).
+	DisableMerger bool
 
 	// Durability enables the write-ahead log and checkpoints (see the
 	// Durability type). Streams with durability enabled must be built with
@@ -124,6 +157,12 @@ func (c Config) withDefaults() Config {
 	if c.MergeWorkers <= 0 {
 		c.MergeWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueryCacheEntries == 0 {
+		c.QueryCacheEntries = 128
+	}
 	return c
 }
 
@@ -143,7 +182,8 @@ type Stream struct {
 	view   atomic.Pointer[view]
 	viewMu sync.Mutex
 
-	wake chan struct{} // merger doorbell (capacity 1)
+	wake    chan struct{} // merger doorbell (capacity 1)
+	mergeMu sync.Mutex    // serializes merge cycles (background merger vs MergeNow)
 
 	rr     atomic.Uint64 // round-robin shard cursor
 	closed atomic.Bool
@@ -161,10 +201,49 @@ type Stream struct {
 // view is one immutable queryable state. watermark is the number of rows
 // the view covers: base.rows plus the sealed deltas' rows. Rows still in
 // shard queues or unsealed deltas are not yet visible.
+//
+// Query state hangs off the view rather than the Snapshot: everything a
+// view references is immutable, so the partition-wise fold of its sealed
+// deltas (srcs) and the materialized results keyed by its watermark
+// (cache) are computed once and shared by every snapshot that pins the
+// view, no matter how many are taken. Both die with the view.
 type view struct {
 	base      *generation
 	sealed    []*delta
 	watermark uint64
+
+	// groupBound is a cheap upper bound on the view's distinct-key count:
+	// base groups plus every sealed delta's group count, without deduping
+	// across layers. Pre-sizing reads it so sizing a result slice never
+	// forces the delta fold.
+	groupBound int
+
+	// fold guards srcs: the view's key-disjoint source tables. With no
+	// sealed deltas the base partitions serve directly (zero copy, set
+	// eagerly); otherwise the first query folds base + deltas partition by
+	// partition (see foldParts).
+	fold sync.Once
+	srcs []table
+
+	// cache is the watermark-keyed result cache (nil when disabled).
+	cache *queryCache
+}
+
+// newView builds a view over the given layers, deriving the group bound
+// and attaching a fresh result cache. Every view the stream installs goes
+// through here.
+func (s *Stream) newView(base *generation, sealed []*delta, watermark uint64) *view {
+	v := &view{base: base, sealed: sealed, watermark: watermark}
+	if base != nil {
+		v.groupBound = base.groups
+	}
+	for _, d := range sealed {
+		v.groupBound += d.t.Len()
+	}
+	if n := s.cfg.QueryCacheEntries; n > 0 {
+		v.cache = newQueryCache(n)
+	}
+	return v
 }
 
 // batch is one ingest unit: either rows (keys/vals, equal length) or a
@@ -192,7 +271,7 @@ func New(cfg Config) *Stream {
 func newStream(cfg Config) *Stream {
 	s := &Stream{cfg: cfg, wake: make(chan struct{}, 1)}
 	s.m = newMetrics(s)
-	s.view.Store(&view{})
+	s.view.Store(s.newView(nil, nil, 0))
 	return s
 }
 
@@ -328,7 +407,7 @@ func (s *Stream) publish(d *delta) (spareKeys, spareVals []uint64) {
 	sealed := make([]*delta, len(v.sealed)+1)
 	copy(sealed, v.sealed)
 	sealed[len(v.sealed)] = d
-	s.install(&view{base: v.base, sealed: sealed, watermark: v.watermark + d.rows})
+	s.install(s.newView(v.base, sealed, v.watermark+d.rows))
 	s.viewMu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
@@ -370,6 +449,13 @@ type Stats struct {
 	MergeTotal time.Duration
 	MergeLast  time.Duration
 
+	// Result-cache outcomes across every view: queries answered from a
+	// view's materialized results, queries that computed them, and entries
+	// evicted by the per-view capacity bound.
+	QueryCacheHits      uint64
+	QueryCacheMisses    uint64
+	QueryCacheEvictions uint64
+
 	// Durable reports whether the stream runs with a WAL; ReadOnly whether
 	// the durability layer failed and ingest is refused. The remaining
 	// fields are zero for volatile streams. CheckpointWatermark is the row
@@ -403,6 +489,10 @@ func (s *Stream) Stats() Stats {
 		Merges:        s.m.merges.Value(),
 		MergeTotal:    time.Duration(s.m.mergeNs.Value()),
 		MergeLast:     time.Duration(s.m.lastMerge.Value()),
+
+		QueryCacheHits:      s.m.qcacheHits.Value(),
+		QueryCacheMisses:    s.m.qcacheMisses.Value(),
+		QueryCacheEvictions: s.m.qcacheEvicts.Value(),
 	}
 	if ing > v.watermark {
 		st.Staleness = ing - v.watermark

@@ -53,3 +53,16 @@ go test -race -run 'TestCrashRecoveryEquivalence|TestCorruptTailRecoversPrefix|F
 # mirror, record encode, CRC32C, buffered write) must stay within 15% of a
 # fully volatile stream. Same env-gate discipline as the obs guard.
 MEMAGG_WAL_GUARD=1 go test -run 'TestWALOverheadGuard' -count=1 -v ./internal/stream
+
+# Snapshot query path: the parallel-vs-serial equivalence gate (Q1-Q7 plus
+# quantile/mode byte-equal across worker counts and fold cutoffs against a
+# serial reference) and the result-cache contracts (single-flight,
+# watermark isolation, eviction) are pinned by name under the race
+# detector — the fold single-flight, offset-writing kernels, and cache all
+# run concurrently in production.
+go test -race -run 'TestQueryParallelSerialEquivalence|TestQueryConcurrentSnapshots|TestQueryCache' -count=1 -v ./internal/stream
+
+# Query overhead guard: the partition-parallel query path at 1 worker must
+# stay within 20% of the plain serial path — the morsel dispatch and
+# offset bookkeeping may not tax the default single-worker configuration.
+MEMAGG_QUERY_GUARD=1 go test -run 'TestQueryOverheadGuard' -count=1 -v ./internal/stream

@@ -1,6 +1,7 @@
 package memagg
 
 import (
+	"errors"
 	"time"
 
 	"memagg/internal/agg"
@@ -37,10 +38,32 @@ type StreamOptions struct {
 	// means GOMAXPROCS.
 	MergeWorkers int
 
+	// QueryWorkers is the parallelism of snapshot queries: the
+	// partition-wise fold of sealed deltas into a view's sources and the
+	// partition scans of the Q1–Q7 kernels. Snapshots below the serial
+	// group-count cutoff scan on the calling goroutine regardless. <= 0
+	// means GOMAXPROCS.
+	QueryWorkers int
+
+	// QueryCacheEntries bounds the per-view result cache. Snapshots of an
+	// unchanged view are immutable, so materialized results are cached on
+	// the view keyed by query id and parameters, with single-flight
+	// deduplication of concurrent identical queries; any seal or merge
+	// starts a fresh cache at the new watermark. 0 means 128 entries;
+	// < 0 disables caching.
+	QueryCacheEntries int
+
 	// Holistic retains every group's value multiset, enabling
 	// MedianByKey/QuantileByKey/ModeByKey on snapshots. Also implied by
 	// Workload.Function == Holistic.
 	Holistic bool
+
+	// DisableMerger turns background compaction off: sealed deltas stay in
+	// the queryable view (snapshot queries fold them partition-wise, once
+	// per view) until an explicit MergeNow. For read replicas that want
+	// exact control over when fold work happens; not valid with
+	// durability, whose checkpoints ride on merge cycles.
+	DisableMerger bool
 
 	// Durability enables the write-ahead log and checkpoints. A durable
 	// stream must be built with OpenStream (there may be state on disk to
@@ -133,15 +156,21 @@ func OpenStream(opts StreamOptions) (*Stream, error) {
 		shards = 1
 	}
 	cfg := stream.Config{
-		Shards:          shards, // <= 0 (multithreaded workload): GOMAXPROCS
-		QueueDepth:      opts.QueueDepth,
-		SealRows:        opts.SealRows,
-		MergeBits:       streamMergeBits(opts.Workload.EstimatedGroups),
-		MergeWorkers:    opts.MergeWorkers,
-		EstimatedGroups: opts.Workload.EstimatedGroups,
-		Holistic:        holistic,
+		Shards:            shards, // <= 0 (multithreaded workload): GOMAXPROCS
+		QueueDepth:        opts.QueueDepth,
+		SealRows:          opts.SealRows,
+		MergeBits:         streamMergeBits(opts.Workload.EstimatedGroups),
+		MergeWorkers:      opts.MergeWorkers,
+		QueryWorkers:      opts.QueryWorkers,
+		QueryCacheEntries: opts.QueryCacheEntries,
+		EstimatedGroups:   opts.Workload.EstimatedGroups,
+		Holistic:          holistic,
+		DisableMerger:     opts.DisableMerger,
 	}
 	if d := opts.Durability; d.Dir != "" {
+		if opts.DisableMerger {
+			return nil, errors.New("memagg: DisableMerger is not valid with durability (checkpoints ride on merge cycles)")
+		}
 		policy, err := wal.ParseSyncPolicy(d.SyncPolicy)
 		if err != nil {
 			return nil, err
@@ -182,6 +211,11 @@ func (s *Stream) Append(keys, values []uint64) error { return s.s.Append(keys, v
 // Flush makes every row this caller appended before the call visible to
 // subsequent snapshots.
 func (s *Stream) Flush() error { return s.s.Flush() }
+
+// MergeNow synchronously folds every currently sealed delta into the base
+// generation — explicit compaction, chiefly for DisableMerger streams.
+// Returns false when there was nothing to merge.
+func (s *Stream) MergeNow() bool { return s.s.MergeNow() }
 
 // Close seals all remaining rows, folds everything into a final base
 // generation, and stops the background goroutines. The stream remains
@@ -230,6 +264,13 @@ type StreamStats struct {
 	MergeTotalNanos int64
 	MergeLastNanos  int64
 
+	// Result-cache outcomes across every view: queries answered from a
+	// view's materialized results, queries that computed and stored them,
+	// and entries evicted by the per-view capacity bound.
+	QueryCacheHits      uint64
+	QueryCacheMisses    uint64
+	QueryCacheEvictions uint64
+
 	// Durable reports whether the stream runs with a WAL; ReadOnly whether
 	// its durability layer failed and ingest is refused. The remaining
 	// fields are zero for volatile streams: WAL activity counters and the
@@ -265,6 +306,9 @@ func (s *Stream) Stats() StreamStats {
 		Merges:              st.Merges,
 		MergeTotalNanos:     int64(st.MergeTotal),
 		MergeLastNanos:      int64(st.MergeLast),
+		QueryCacheHits:      st.QueryCacheHits,
+		QueryCacheMisses:    st.QueryCacheMisses,
+		QueryCacheEvictions: st.QueryCacheEvictions,
 		Durable:             st.Durable,
 		ReadOnly:            st.ReadOnly,
 		WALAppends:          st.WALAppends,
@@ -310,7 +354,7 @@ func (sn *StreamSnapshot) MedianByKey() ([]GroupValue, error) {
 // QuantileByKey returns one (key, q-quantile of values) row per distinct
 // key by the nearest-rank method. Holistic streams only.
 func (sn *StreamSnapshot) QuantileByKey(q float64) ([]GroupValue, error) {
-	rows, err := sn.sn.Holistic(agg.QuantileFunc(q))
+	rows, err := sn.sn.QuantileByKey(q)
 	if err != nil {
 		return nil, err
 	}
@@ -320,7 +364,7 @@ func (sn *StreamSnapshot) QuantileByKey(q float64) ([]GroupValue, error) {
 // ModeByKey returns one (key, most frequent value) row per distinct key.
 // Holistic streams only.
 func (sn *StreamSnapshot) ModeByKey() ([]GroupValue, error) {
-	rows, err := sn.sn.Holistic(agg.ModeFunc)
+	rows, err := sn.sn.ModeByKey()
 	if err != nil {
 		return nil, err
 	}
