@@ -46,10 +46,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"memagg"
+	"memagg/internal/cluster"
 )
 
 func main() {
@@ -63,7 +65,15 @@ func main() {
 	syncPolicy := flag.String("sync", "interval", "WAL fsync policy: none | interval | always")
 	checkpointEvery := flag.Int("checkpoint-every", 0,
 		"rows between checkpoints (0 = default 1Mi, negative = WAL-only)")
+	peers := flag.String("peers", "",
+		"comma-separated worker base URLs; when set, run as a cluster router instead of a node")
+	maxInflight := flag.Int("max-inflight", 0, "router mode: max in-flight requests per peer (0 = default 4)")
 	flag.Parse()
+
+	if *peers != "" {
+		runRouter(*addr, *peers, *maxInflight)
+		return
+	}
 
 	opts := memagg.StreamOptions{
 		Workload:          memagg.Workload{Output: memagg.Vector, Multithreaded: true},
@@ -120,6 +130,48 @@ func main() {
 	}()
 
 	log.Printf("aggserve: listening on %s (shards=%d holistic=%v)", *addr, s.Stats().Shards, *holistic)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// runRouter serves the cluster-router mode: no local stream — ingest is
+// sharded by group-key hash across the peer workers and queries
+// scatter-gather their partial sets (see internal/cluster).
+func runRouter(addr, peerList string, maxInflight int) {
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	rt, err := cluster.NewRouter(cluster.Config{Peers: peers, MaxInflight: maxInflight})
+	if err != nil {
+		log.Fatalf("aggserve: router: %v", err)
+	}
+	log.Printf("aggserve: router waiting for %d peers to be ready", len(peers))
+	if err := rt.WaitReady(30 * time.Second); err != nil {
+		// Start serving anyway: /readyz reports the gap, the breakers
+		// shield the missing peers, and the fleet may simply still be
+		// booting. Exact queries fail typed until the membership is whole.
+		log.Printf("aggserve: router starting degraded: %v", err)
+	}
+	srv := &http.Server{Addr: addr, Handler: newRouterServer(rt)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		log.Print("aggserve: router shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("aggserve: router shutdown: %v", err)
+		}
+	}()
+	log.Printf("aggserve: router listening on %s (%d peers)", addr, len(peers))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

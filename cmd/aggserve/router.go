@@ -1,0 +1,301 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"memagg"
+	"memagg/internal/agg"
+	"memagg/internal/cluster"
+	"memagg/internal/obs"
+)
+
+// routerServer wires a cluster.Router to the same HTTP API a single node
+// serves: clients speak one protocol whether they face one aggserve or a
+// sharded fleet. Ingest batches are split by group-key hash and shipped
+// to the owning workers; queries scatter-gather every worker's partial
+// set and merge exactly; responses carry the composed cluster watermark
+// and its ETag.
+type routerServer struct {
+	rt       *cluster.Router
+	mux      *http.ServeMux
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+}
+
+func newRouterServer(rt *cluster.Router) *routerServer {
+	reg := obs.NewRegistry()
+	srv := &routerServer{
+		rt:  rt,
+		mux: http.NewServeMux(),
+		reg: reg,
+		requests: reg.NewCounterVec("memagg_http_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		latency: reg.NewHistogramVec("memagg_http_request_seconds",
+			"HTTP request latency, by route.", "route"),
+	}
+	srv.handle("/ingest", srv.handleIngest)
+	srv.handle("/flush", srv.handleFlush)
+	srv.handle("/query", srv.handleQuery)
+	srv.handle("/cluster/stats", srv.handleClusterStats)
+	srv.handle("/healthz", srv.handleHealthz)
+	srv.handle("/readyz", srv.handleReadyz)
+	regs := []*obs.Registry{obs.Default, rt.Registry(), reg}
+	srv.mux.Handle("/metrics", obs.Handler(regs...))
+	srv.mux.Handle("/debug/vars", obs.VarsHandler(regs...))
+	return srv
+}
+
+func (srv *routerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	srv.mux.ServeHTTP(w, r)
+}
+
+func (srv *routerServer) handle(route string, h http.HandlerFunc) {
+	lat := srv.latency.With(route)
+	srv.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+		mk := obs.Start()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		mk.Tick(lat)
+		srv.requests.With(route, strconv.Itoa(sw.status)).Inc()
+	})
+}
+
+// clusterStatus maps a router error to its HTTP status: 503 when peers
+// are unreachable (breaker open, retries exhausted, partial gather) —
+// the retryable condition — and 500 for anything else.
+func clusterStatus(err error) int {
+	if errors.Is(err, cluster.ErrPeerUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// clusterError writes a router failure with its typed detail: a partial
+// gather names the unreachable peers so operators see which shard is out
+// rather than a bare 503.
+func clusterError(w http.ResponseWriter, err error) {
+	var pa *cluster.PartialAvailabilityError
+	if errors.As(err, &pa) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error":   "partial availability: exact results need every shard",
+			"missing": pa.Missing,
+		})
+		return
+	}
+	httpError(w, clusterStatus(err), err.Error())
+}
+
+func (srv *routerServer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Vals) > len(req.Keys) {
+		httpError(w, http.StatusBadRequest, "more vals than keys")
+		return
+	}
+	if err := srv.rt.Ingest(req.Keys, req.Vals); err != nil {
+		clusterError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"appended": len(req.Keys), "ingested": srv.rt.IngestRows()})
+}
+
+func (srv *routerServer) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := srv.rt.Flush(); err != nil {
+		clusterError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"flushed": true})
+}
+
+// clusterQueryResponse tags every result with the composed cluster
+// watermark it is consistent with: the vector (one element per peer, in
+// membership order) plus its total — the cluster analog of the
+// single-node watermark field.
+type clusterQueryResponse struct {
+	Query     string            `json:"query"`
+	Watermark cluster.Watermark `json:"watermark"`
+	Rows      uint64            `json:"rows"`
+	Result    any               `json:"result"`
+}
+
+func (srv *routerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	m, err := srv.rt.Gather()
+	if err != nil {
+		clusterError(w, err)
+		return
+	}
+	// The composed watermark vector fully determines every query result
+	// (per URL), so it is the entity tag — the single-node contract,
+	// lifted. The gather itself cannot be skipped (the vector is only
+	// known from the peers' responses), but the merge-side query work and
+	// the response body can.
+	etag := m.Watermark.ETag()
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	o := runClusterQuery(m, q, r.URL.Query())
+	if o.status != 0 {
+		httpError(w, o.status, o.errMsg)
+		return
+	}
+	w.Header().Set("ETag", etag)
+	writeJSON(w, clusterQueryResponse{
+		Query:     q,
+		Watermark: m.Watermark,
+		Rows:      m.Watermark.Total(),
+		Result:    o.result,
+	})
+}
+
+// countsOut/valuesOut/statsOut convert the merged kernels' agg rows to
+// the facade's response types, so router and single-node responses are
+// shape-identical (nil stays nil, matching empty-result encoding).
+func countsOut(a []agg.GroupCount) []memagg.GroupCount {
+	if a == nil {
+		return nil
+	}
+	out := make([]memagg.GroupCount, len(a))
+	for i, g := range a {
+		out[i] = memagg.GroupCount{Key: g.Key, Count: g.Count}
+	}
+	return out
+}
+
+func valuesOut(a []agg.GroupFloat) []memagg.GroupValue {
+	if a == nil {
+		return nil
+	}
+	out := make([]memagg.GroupValue, len(a))
+	for i, g := range a {
+		out[i] = memagg.GroupValue{Key: g.Key, Value: g.Val}
+	}
+	return out
+}
+
+func statsOut(a []agg.GroupUint) []memagg.GroupStat {
+	if a == nil {
+		return nil
+	}
+	out := make([]memagg.GroupStat, len(a))
+	for i, g := range a {
+		out[i] = memagg.GroupStat{Key: g.Key, Value: g.Val}
+	}
+	return out
+}
+
+// runClusterQuery executes one named query over a merged gather — the
+// same vocabulary runQuery speaks, answered from cluster.Merged's exact
+// kernels.
+func runClusterQuery(m *cluster.Merged, q string, params url.Values) outcome {
+	var (
+		result any
+		err    error
+	)
+	switch q {
+	case "q1", "count_by_key":
+		result = countsOut(m.CountByKey())
+	case "q2", "avg_by_key":
+		result = valuesOut(m.AvgByKey())
+	case "q3", "median_by_key":
+		var rows []agg.GroupFloat
+		rows, err = m.MedianByKey()
+		result = valuesOut(rows)
+	case "q4", "count":
+		result = m.Count()
+	case "q5", "avg":
+		result = m.Avg()
+	case "q6", "median":
+		result, err = m.Median()
+	case "q7", "range":
+		lo, lerr := queryUint(params, "lo")
+		hi, herr := queryUint(params, "hi")
+		if lerr != nil {
+			return outcome{status: http.StatusBadRequest, errMsg: lerr.Error()}
+		}
+		if herr != nil {
+			return outcome{status: http.StatusBadRequest, errMsg: herr.Error()}
+		}
+		var rows []agg.GroupCount
+		rows, err = m.CountRange(lo, hi)
+		result = countsOut(rows)
+	case "sum":
+		result = statsOut(m.Reduce(agg.OpSum))
+	case "min":
+		result = statsOut(m.Reduce(agg.OpMin))
+	case "max":
+		result = statsOut(m.Reduce(agg.OpMax))
+	case "quantile":
+		p, perr := strconv.ParseFloat(params.Get("p"), 64)
+		if perr != nil {
+			return outcome{status: http.StatusBadRequest, errMsg: "quantile needs p=0..1"}
+		}
+		var rows []agg.GroupFloat
+		rows, err = m.QuantileByKey(p)
+		result = valuesOut(rows)
+	case "mode":
+		var rows []agg.GroupFloat
+		rows, err = m.ModeByKey()
+		result = valuesOut(rows)
+	default:
+		return outcome{status: http.StatusBadRequest, errMsg: "unknown query " + strconv.Quote(q)}
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, memagg.ErrUnsupportedQuery) {
+			status = http.StatusUnprocessableEntity
+		}
+		return outcome{status: status, errMsg: err.Error()}
+	}
+	return outcome{result: result}
+}
+
+func (srv *routerServer) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"peers":       srv.rt.Stats(),
+		"ingest_rows": srv.rt.IngestRows(),
+	})
+}
+
+func (srv *routerServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// handleReadyz reports whether the whole membership is ready: the router
+// is only useful when every shard owner accepts writes, so its readiness
+// is the conjunction of its peers' /readyz.
+func (srv *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if err := srv.rt.Ready(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true, "peers": len(srv.rt.Peers())})
+}

@@ -47,6 +47,9 @@ func newServer(s *memagg.Stream) *server {
 	srv.handle("/flush", srv.handleFlush)
 	srv.handle("/query", srv.handleQuery)
 	srv.handle("/stats", srv.handleStats)
+	srv.handle("/partials", srv.handlePartials)
+	srv.handle("/healthz", srv.handleHealthz)
+	srv.handle("/readyz", srv.handleReadyz)
 	regs := []*obs.Registry{obs.Default, s.MetricsRegistry(), reg}
 	srv.mux.Handle("/metrics", obs.Handler(regs...))
 	srv.mux.Handle("/debug/vars", obs.VarsHandler(regs...))
@@ -133,6 +136,50 @@ func (srv *server) handleFlush(w http.ResponseWriter, r *http.Request) {
 
 func (srv *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, srv.stream.Stats())
+}
+
+// handlePartials serves this node's full partial-aggregate set in the
+// cluster wire format — the worker half of the router's scatter-gather.
+// The body is framed and CRC-checked end to end (internal/wal frames), so
+// the router detects torn responses; the watermark header names the
+// snapshot served.
+func (srv *server) handlePartials(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sn := srv.stream.Snapshot()
+	buf := sn.EncodePartials(nil)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Memagg-Watermark", strconv.FormatUint(sn.Watermark(), 10))
+	if _, err := w.Write(buf); err != nil {
+		log.Printf("aggserve: partials write: %v", err)
+	}
+}
+
+// handleHealthz is the liveness probe: the process is up and the mux is
+// serving. It deliberately checks nothing else — a read-only or closed
+// stream is still alive and still answers queries, and restarting it
+// would not help.
+func (srv *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// handleReadyz is the readiness probe: the stream accepts writes — open,
+// recovery complete (OpenStream returns only after replay), and not
+// degraded to read-only by a durability fault. The cluster router gates
+// membership on this, so a degraded node stops receiving sharded ingest
+// without being killed.
+func (srv *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !srv.stream.Ready() {
+		reason := "stream closed"
+		if srv.stream.ReadOnly() {
+			reason = "durability degraded, read-only"
+		}
+		httpError(w, http.StatusServiceUnavailable, reason)
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true, "watermark": srv.stream.Stats().Watermark})
 }
 
 // queryResponse tags every result with the snapshot watermark it is

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"memagg"
+	"memagg/internal/cluster"
 )
 
 // newTestServer starts a holistic stream with a tiny seal threshold so
@@ -398,5 +399,170 @@ func TestQueryETagConditional(t *testing.T) {
 	}
 	if got := w.Header().Get("ETag"); got != `"5"` {
 		t.Errorf("advanced ETag = %q, want %q", got, `"5"`)
+	}
+}
+
+// TestHealthzReadyz: liveness always answers while the stream is up;
+// readiness flips to 503 once the stream closes — the router's
+// membership-gating contract.
+func TestHealthzReadyz(t *testing.T) {
+	srv, s := newTestServer(t)
+
+	if w := do(t, srv, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, srv, http.MethodGet, "/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", w.Code, w.Body)
+	}
+
+	_ = s.Close()
+	// Liveness is not readiness: the process still serves (queries keep
+	// working after Close), but it must not receive sharded ingest.
+	if w := do(t, srv, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz after close = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, srv, http.MethodGet, "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after close = %d, want 503: %s", w.Code, w.Body)
+	}
+}
+
+// TestPartialsEndpoint: /partials serves the snapshot's partial set in
+// the cluster wire format, tagged with the watermark it covers.
+func TestPartialsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+	do(t, srv, http.MethodPost, "/ingest", `{"keys":[1,2,1,3],"vals":[10,20,30,40]}`)
+	if w := do(t, srv, http.MethodPost, "/flush", ""); w.Code != http.StatusOK {
+		t.Fatalf("flush = %d", w.Code)
+	}
+
+	w := do(t, srv, http.MethodGet, "/partials", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("partials = %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Memagg-Watermark"); got != "4" {
+		t.Fatalf("watermark header %q, want 4", got)
+	}
+	if w.Body.Len() == 0 {
+		t.Fatal("empty partial set body")
+	}
+	if w := do(t, srv, http.MethodPost, "/partials", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST partials = %d, want 405", w.Code)
+	}
+}
+
+// doRouter drives the router-mode HTTP server in-process.
+func doRouter(t *testing.T, srv *routerServer, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	return w
+}
+
+// newTestCluster spins up n worker nodes (full aggserve servers over
+// httptest) plus the router-mode server over them.
+func newTestCluster(t *testing.T, n int) *routerServer {
+	t.Helper()
+	peers := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := memagg.NewStream(memagg.StreamOptions{Shards: 1, SealRows: 4, Holistic: true})
+		ts := httptest.NewServer(newServer(s))
+		t.Cleanup(func() { ts.Close(); _ = s.Close() })
+		peers[i] = ts.URL
+	}
+	rt, err := cluster.NewRouter(cluster.Config{Peers: peers})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	return newRouterServer(rt)
+}
+
+// TestRouterServerRoundTrip: the router-mode server speaks the node
+// protocol end to end — sharded ingest, gathered exact queries, the
+// composed watermark ETag, membership-wide readiness, and stats.
+func TestRouterServerRoundTrip(t *testing.T) {
+	srv := newTestCluster(t, 3)
+
+	if w := doRouter(t, srv, http.MethodGet, "/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", w.Code, w.Body)
+	}
+	w := doRouter(t, srv, http.MethodPost, "/ingest", `{"keys":[1,2,1,3,9,9],"vals":[10,20,30,40,5,7]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", w.Code, w.Body)
+	}
+	if w := doRouter(t, srv, http.MethodPost, "/flush", ""); w.Code != http.StatusOK {
+		t.Fatalf("flush = %d: %s", w.Code, w.Body)
+	}
+
+	w = doRouter(t, srv, http.MethodGet, "/query?q=q1", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("query q1 = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Watermark []uint64 `json:"watermark"`
+		Rows      uint64   `json:"rows"`
+		Result    []struct {
+			Key   uint64 `json:"Key"`
+			Count uint64 `json:"Count"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("q1 response: %v", err)
+	}
+	if resp.Rows != 6 || len(resp.Watermark) != 3 {
+		t.Fatalf("rows %d, watermark %v; want 6 rows over 3 peers", resp.Rows, resp.Watermark)
+	}
+	counts := map[uint64]uint64{}
+	for _, r := range resp.Result {
+		counts[r.Key] = r.Count
+	}
+	if counts[1] != 2 || counts[2] != 1 || counts[3] != 1 || counts[9] != 2 {
+		t.Fatalf("q1 counts = %v", counts)
+	}
+
+	// Conditional gather: the composed-vector ETag round-trips to a 304.
+	etag := w.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("query response has no ETag")
+	}
+	r := httptest.NewRequest(http.MethodGet, "/query?q=q1", nil)
+	r.Header.Set("If-None-Match", etag)
+	w2 := httptest.NewRecorder()
+	srv.ServeHTTP(w2, r)
+	if w2.Code != http.StatusNotModified {
+		t.Fatalf("conditional query = %d, want 304", w2.Code)
+	}
+
+	// Holistic query through the cluster.
+	if w := doRouter(t, srv, http.MethodGet, "/query?q=q3", ""); w.Code != http.StatusOK {
+		t.Fatalf("query q3 = %d: %s", w.Code, w.Body)
+	}
+
+	// Stats name every peer.
+	w = doRouter(t, srv, http.MethodGet, "/cluster/stats", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("cluster/stats = %d: %s", w.Code, w.Body)
+	}
+	var stats struct {
+		Peers []struct {
+			Peer    string `json:"peer"`
+			Breaker string `json:"breaker"`
+		} `json:"peers"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats response: %v", err)
+	}
+	if len(stats.Peers) != 3 {
+		t.Fatalf("stats over %d peers, want 3", len(stats.Peers))
+	}
+	for _, p := range stats.Peers {
+		if p.Breaker != "closed" {
+			t.Fatalf("peer %s breaker %q, want closed", p.Peer, p.Breaker)
+		}
 	}
 }

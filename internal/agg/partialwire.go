@@ -1,0 +1,124 @@
+package agg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"memagg/internal/arena"
+)
+
+// Partial wire encoding — one group's complete mergeable state as a flat
+// little-endian record, the unit the clustered serving mode ships between
+// nodes (internal/cluster frames sequences of these with the WAL's
+// CRC-checked frame codec; this layer is framing-agnostic):
+//
+//	offset  size  field
+//	0       8     group key
+//	8       8     count
+//	16      8     sum
+//	24      8     min
+//	32      8     max
+//	40      4     buffered value count n, uint32
+//	44      8n    buffered values (the holistic multiset; order-free)
+//
+// The encoding carries exactly what Merge and MergeValues consume, so a
+// decoded partial merges identically to the in-memory one it came from:
+// decode(encode(a)) merged into decode(encode(b)) equals
+// decode(encode(a merged b)) for the eager state, and the value multisets
+// concatenate (holistic functions are order-insensitive, so multiset
+// equality is result equality). FuzzPartialWire pins both properties.
+const partialWireHeader = 44
+
+// ErrPartialWire marks a malformed partial wire record. Decode errors wrap
+// it so transports can distinguish codec corruption from I/O failure.
+var ErrPartialWire = errors.New("agg: malformed partial wire record")
+
+// PartialWireSize returns the encoded size of a partial with the given
+// buffered-value count.
+func PartialWireSize(buffered int) int { return partialWireHeader + 8*buffered }
+
+// AppendPartialWire appends the wire encoding of (key, p) to dst and
+// returns the extended slice. ar must be the arena p's values were
+// buffered into; a distributive partial (nothing buffered) may pass nil.
+func AppendPartialWire(dst []byte, key uint64, p *Partial, ar *arena.Arena) []byte {
+	var hdr [partialWireHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], key)
+	binary.LittleEndian.PutUint64(hdr[8:16], p.count)
+	binary.LittleEndian.PutUint64(hdr[16:24], p.sum)
+	binary.LittleEndian.PutUint64(hdr[24:32], p.min)
+	binary.LittleEndian.PutUint64(hdr[32:40], p.max)
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(p.vals.Len()))
+	dst = append(dst, hdr[:]...)
+	if p.vals.Len() > 0 {
+		var buf [8]byte
+		ar.Each(p.vals, func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			dst = append(dst, buf[:]...)
+		})
+	}
+	return dst
+}
+
+// AppendRestoredWire encodes an already-decoded record (key, eager state,
+// contiguous values) — the re-encode path relays and tests use when the
+// values live in a plain slice rather than an arena.
+func AppendRestoredWire(dst []byte, key uint64, p *Partial, vals []uint64) []byte {
+	var hdr [partialWireHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], key)
+	binary.LittleEndian.PutUint64(hdr[8:16], p.count)
+	binary.LittleEndian.PutUint64(hdr[16:24], p.sum)
+	binary.LittleEndian.PutUint64(hdr[24:32], p.min)
+	binary.LittleEndian.PutUint64(hdr[32:40], p.max)
+	binary.LittleEndian.PutUint32(hdr[40:44], uint32(len(vals)))
+	dst = append(dst, hdr[:]...)
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// DecodePartialWire decodes one record from the front of src, returning
+// the group key, the restored partial (eager state only — buffered values
+// come back as the vals slice, which aliases nothing in src), and the
+// bytes consumed. Errors wrap ErrPartialWire. A partial whose eager state
+// is internally impossible (rows counted but min > max, or values buffered
+// for a group that counted none) is rejected: such a record cannot have
+// come from Observe/Buffer and merging it would corrupt exact results.
+func DecodePartialWire(src []byte) (key uint64, p Partial, vals []uint64, n int, err error) {
+	if len(src) < partialWireHeader {
+		return 0, Partial{}, nil, 0, fmt.Errorf("short header (%d bytes): %w", len(src), ErrPartialWire)
+	}
+	nv := int(binary.LittleEndian.Uint32(src[40:44]))
+	n = PartialWireSize(nv)
+	if len(src) < n {
+		return 0, Partial{}, nil, 0, fmt.Errorf("record wants %d bytes, have %d: %w", n, len(src), ErrPartialWire)
+	}
+	key = binary.LittleEndian.Uint64(src[0:8])
+	p = RestorePartial(
+		binary.LittleEndian.Uint64(src[8:16]),
+		binary.LittleEndian.Uint64(src[16:24]),
+		binary.LittleEndian.Uint64(src[24:32]),
+		binary.LittleEndian.Uint64(src[32:40]),
+	)
+	if p.seen && p.min > p.max {
+		return 0, Partial{}, nil, 0, fmt.Errorf("min %d > max %d: %w", p.min, p.max, ErrPartialWire)
+	}
+	if !p.seen && (p.sum != 0 || p.min != 0 || p.max != 0 || nv != 0) {
+		return 0, Partial{}, nil, 0, fmt.Errorf("state without rows: %w", ErrPartialWire)
+	}
+	if nv > 0 {
+		if uint64(nv) > p.count {
+			return 0, Partial{}, nil, 0, fmt.Errorf("%d values for %d rows: %w", nv, p.count, ErrPartialWire)
+		}
+		vals = make([]uint64, nv)
+		off := partialWireHeader
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint64(src[off:])
+			off += 8
+		}
+	}
+	return key, p, vals, n, nil
+}

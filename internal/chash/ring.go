@@ -1,0 +1,83 @@
+package chash
+
+import (
+	"sort"
+
+	"memagg/internal/hashtbl"
+)
+
+// Ring is a consistent-hash ring mapping keys to one of N nodes — the
+// partition-to-node routing layer of the clustered serving mode
+// (internal/cluster). Each node owns DefaultReplicas virtual points on a
+// uint64 circle; a key belongs to the node owning the first point at or
+// after the key's hash, wrapping at the top.
+//
+// The property the cluster design leans on is bounded movement: growing a
+// ring from N to N+1 nodes reassigns only the key ranges the new node's
+// points claim — an expected K/(N+1) of K keys — while every other key
+// keeps its owner. That is what makes incremental rebalancing (and the
+// ROADMAP's WAL-shipping failover) ship only a 1/N-ish slice of state
+// instead of reshuffling everything, and it is pinned by
+// TestRingMovementOnAdd.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+// Membership changes build a new Ring (static membership in this PR; the
+// routing stays correct across changes because agg.Partial merging is
+// exact even when a group temporarily has state on two nodes).
+type Ring struct {
+	points []ringPoint // sorted ascending by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	h    uint64
+	node int
+}
+
+// DefaultReplicas is the virtual points per node used when NewRing is
+// given replicas <= 0. 128 points keeps the ownership imbalance across
+// nodes within ~±20% while lookup stays a short binary search.
+const DefaultReplicas = 128
+
+// NewRing builds a ring over nodes 0..nodes-1 with the given virtual
+// points per node (<= 0 selects DefaultReplicas). nodes must be >= 1.
+func NewRing(nodes, replicas int) *Ring {
+	if nodes < 1 {
+		panic("chash: ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		points: make([]ringPoint, 0, nodes*replicas),
+		nodes:  nodes,
+	}
+	for n := 0; n < nodes; n++ {
+		for rep := 0; rep < replicas; rep++ {
+			// Distinct (node, replica) pairs feed the strong Mix finalizer,
+			// so points spread uniformly; Mix2 decorrelates the point stream
+			// from the key hashes, which also go through Mix.
+			h := hashtbl.Mix2(hashtbl.Mix(uint64(n)<<24 | uint64(rep)))
+			r.points = append(r.points, ringPoint{h: h, node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].h < r.points[j].h })
+	return r
+}
+
+// Nodes returns the node count the ring was built over.
+func (r *Ring) Nodes() int { return r.nodes }
+
+// Owner returns the node owning key: the node of the first ring point at
+// or after Mix(key), wrapping past the top of the circle.
+func (r *Ring) Owner(key uint64) int {
+	return r.ownerHash(hashtbl.Mix(key))
+}
+
+func (r *Ring) ownerHash(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

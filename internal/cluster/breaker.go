@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a per-peer circuit breaker. Consecutive transient failures
+// beyond the threshold open the circuit; while open, requests are
+// rejected locally (fail fast — no goroutine parks on a dead peer's
+// connect timeout). After the cooldown one probe request is admitted
+// (half-open); its outcome closes or re-opens the circuit.
+//
+// The router owns one breaker per peer and consults it before every
+// attempt. Mutex-guarded: breaker decisions are a handful of loads per
+// request, noise next to the request itself.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+
+	mu       sync.Mutex
+	failures int       // consecutive transient failures while closed
+	openedAt time.Time // zero when closed
+	probing  bool      // a half-open probe is in flight
+}
+
+// Breaker states as reported by state() and the breaker-state gauge.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may be attempted now. In the open
+// state it admits exactly one probe once the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openedAt.IsZero() {
+		return true
+	}
+	if b.probing || b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// success records a completed request: any success fully closes the
+// circuit and clears the failure run.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.openedAt = time.Time{}
+	b.probing = false
+}
+
+// failure records a transient failure. Returns true when this failure
+// tripped the circuit open (closed->open or a failed half-open probe).
+func (b *breaker) failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openedAt.IsZero() {
+		// Failed probe (or a straggler request racing the trip): restart
+		// the cooldown. Only a probe's failure counts as a (re-)trip.
+		tripped := b.probing
+		b.openedAt = b.now()
+		b.probing = false
+		return tripped
+	}
+	b.failures++
+	if b.failures < b.threshold {
+		return false
+	}
+	b.openedAt = b.now()
+	b.failures = 0
+	return true
+}
+
+// state returns the breaker's current state constant.
+func (b *breaker) state() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openedAt.IsZero():
+		return breakerClosed
+	case b.probing || b.now().Sub(b.openedAt) >= b.cooldown:
+		return breakerHalfOpen
+	default:
+		return breakerOpen
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is the breaker test clock: advanced by hand, never wall time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return newBreaker(threshold, cooldown, clk.now), clk
+}
+
+// TestBreakerTripsAtThreshold: consecutive failures below the threshold
+// keep the circuit closed; the threshold-th trips it open.
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if tripped := b.failure(); tripped {
+			t.Fatalf("failure %d tripped early", i+1)
+		}
+		if !b.allow() {
+			t.Fatalf("closed breaker rejected after %d failures", i+1)
+		}
+	}
+	if !b.failure() {
+		t.Fatal("threshold failure did not trip")
+	}
+	if b.state() != breakerOpen {
+		t.Fatalf("state %d, want open", b.state())
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+// TestBreakerSuccessResetsRun: a success clears the consecutive-failure
+// count, so intermittent failures never trip.
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 10; i++ {
+		b.failure()
+		b.failure()
+		b.success()
+	}
+	if b.state() != breakerClosed {
+		t.Fatalf("state %d, want closed", b.state())
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe is
+// admitted; its success closes the circuit, its failure re-opens it for
+// another full cooldown.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.failure() // trips immediately at threshold 1
+	if b.allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.advance(time.Second)
+	if b.state() != breakerHalfOpen {
+		t.Fatalf("state %d, want half-open", b.state())
+	}
+	if !b.allow() {
+		t.Fatal("probe rejected after cooldown")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Failed probe: back to open, cooldown restarts.
+	if !b.failure() {
+		t.Fatal("failed probe did not count as a re-trip")
+	}
+	if b.allow() {
+		t.Fatal("admitted right after failed probe")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe rejected after second cooldown")
+	}
+
+	// Successful probe: fully closed again.
+	b.success()
+	if b.state() != breakerClosed {
+		t.Fatalf("state %d, want closed", b.state())
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected")
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"memagg/internal/stream"
+)
+
+// NodeHandler serves one worker node's cluster surface over a Stream:
+//
+//	POST /ingest    JSON {"keys":[...],"vals":[...]} — append a batch
+//	POST /flush     seal shard buffers into a sealed delta
+//	GET  /partials  the node's full partial set (EncodeSnapshot wire)
+//	GET  /healthz   liveness: the process is up and serving
+//	GET  /readyz    readiness: open and not durability-degraded
+//
+// The request/response shapes match cmd/aggserve, so a Router fronts
+// stock aggserve worker processes and these in-process handlers (tests,
+// the harness) interchangeably.
+func NodeHandler(s *stream.Stream) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			nodeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req ingestBody
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			nodeError(w, http.StatusBadRequest, "bad ingest body: "+err.Error())
+			return
+		}
+		if len(req.Vals) > len(req.Keys) {
+			nodeError(w, http.StatusBadRequest, "more vals than keys")
+			return
+		}
+		if err := s.Append(req.Keys, req.Vals); err != nil {
+			nodeError(w, nodeStatus(err), err.Error())
+			return
+		}
+		nodeJSON(w, map[string]any{"appended": len(req.Keys)})
+	})
+	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			nodeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if err := s.Flush(); err != nil {
+			nodeError(w, nodeStatus(err), err.Error())
+			return
+		}
+		nodeJSON(w, map[string]any{"flushed": true})
+	})
+	mux.HandleFunc("/partials", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			nodeError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		sn := s.Snapshot()
+		// Encode fully before writing: the status line must not precede a
+		// failure, and the watermark header documents the snapshot served.
+		buf := EncodeSnapshot(nil, sn)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Memagg-Watermark", strconv.FormatUint(sn.Watermark(), 10))
+		w.Write(buf)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		nodeJSON(w, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Closed() {
+			nodeError(w, http.StatusServiceUnavailable, "stream closed")
+			return
+		}
+		if st := s.Stats(); st.ReadOnly {
+			nodeError(w, http.StatusServiceUnavailable, "durability degraded, read-only")
+			return
+		}
+		nodeJSON(w, map[string]any{"ready": true})
+	})
+	return mux
+}
+
+// nodeStatus maps a stream error to its HTTP status: 503 for conditions
+// the router may retry or route around (closed, degraded), 500 otherwise
+// — the same mapping cmd/aggserve uses, so breakers see one vocabulary.
+func nodeStatus(err error) int {
+	if errors.Is(err, stream.ErrClosed) || errors.Is(err, stream.ErrDurability) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func nodeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func nodeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,485 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"memagg/internal/agg"
+	"memagg/internal/chash"
+	"memagg/internal/obs"
+)
+
+// Config parameterizes a Router. Peers is the static membership — base
+// URLs of the worker nodes, in ring order (index = node id). The zero
+// value of every other field selects a sensible default.
+type Config struct {
+	// Peers are the worker base URLs ("http://host:port"). Membership is
+	// static for the life of the router; order defines node ids and the
+	// watermark vector layout.
+	Peers []string
+
+	// Replicas is the consistent-hash virtual node count per peer.
+	// Default chash.DefaultReplicas (128).
+	Replicas int
+
+	// MaxInflight bounds concurrent in-flight requests per peer
+	// (backpressure: a slow peer queues its own work without starving
+	// the others). Default 4.
+	MaxInflight int
+
+	// Retries is how many times a transiently failed request is retried
+	// (total attempts = Retries+1). Default 3.
+	Retries int
+
+	// RetryBackoff is the first retry's delay; it doubles per retry.
+	// Default 25ms.
+	RetryBackoff time.Duration
+
+	// BreakerThreshold is the consecutive transient-failure count that
+	// trips a peer's circuit breaker open. Default 5.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long a tripped breaker rejects requests
+	// before admitting one half-open probe. Default 1s.
+	BreakerCooldown time.Duration
+
+	// Client issues the HTTP requests. Default: a client with a 30s
+	// overall timeout (bounds a hung peer; the breaker handles repeats).
+	Client *http.Client
+
+	// Test seams (in-package tests only).
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Replicas <= 0 {
+		out.Replicas = chash.DefaultReplicas
+	}
+	if out.MaxInflight <= 0 {
+		out.MaxInflight = 4
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	} else if out.Retries == 0 {
+		out.Retries = 3
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 25 * time.Millisecond
+	}
+	if out.BreakerThreshold <= 0 {
+		out.BreakerThreshold = 5
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = time.Second
+	}
+	if out.Client == nil {
+		out.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if out.now == nil {
+		out.now = time.Now
+	}
+	if out.sleep == nil {
+		out.sleep = time.Sleep
+	}
+	return out
+}
+
+// peer is the router's per-node state: the bounded in-flight window and
+// the circuit breaker.
+type peer struct {
+	url      string
+	inflight chan struct{}
+	brk      *breaker
+}
+
+// Router shards ingest across the peer set by consistent group-key hash
+// and answers queries by scatter-gathering partial aggregates. Safe for
+// concurrent use; one Router per cluster.
+type Router struct {
+	cfg   Config
+	ring  *chash.Ring
+	peers []*peer
+	m     *metrics
+}
+
+// NewRouter builds a router over cfg.Peers. Errors when the membership
+// is empty.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: no peers configured")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:  cfg,
+		ring: chash.NewRing(len(cfg.Peers), cfg.Replicas),
+		m:    newMetrics(),
+	}
+	for _, u := range cfg.Peers {
+		p := &peer{
+			url:      u,
+			inflight: make(chan struct{}, cfg.MaxInflight),
+			brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		}
+		rt.peers = append(rt.peers, p)
+		rt.m.brkState.With(u).Set(breakerClosed)
+	}
+	return rt, nil
+}
+
+// Peers returns the membership base URLs in node-id order.
+func (rt *Router) Peers() []string { return rt.cfg.Peers }
+
+// Owner returns the node id owning the given group key.
+func (rt *Router) Owner(key uint64) int { return rt.ring.Owner(key) }
+
+// Registry exposes the router's metrics registry for /metrics serving.
+func (rt *Router) Registry() *obs.Registry { return rt.m.reg }
+
+// errBreakerOpen is the underlying cause inside a PeerError when the
+// peer's breaker rejected the request locally.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// transientStatus reports whether an HTTP status indicates a condition a
+// retry may fix: server-side failures and explicit backpressure. Other
+// non-2xx statuses are permanent — the peer is alive and rejected the
+// request, so retrying (and tripping the breaker) would be wrong.
+func transientStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// recordState refreshes the peer's breaker-state gauge.
+func (rt *Router) recordState(p *peer) {
+	rt.m.brkState.With(p.url).Set(int64(p.brk.state()))
+}
+
+// do runs one logical request against p with the full failure protocol:
+// breaker gate, bounded in-flight window, retry with doubling backoff on
+// transient failures. build must return a fresh request per attempt
+// (bodies are single-use). On success the response (status 2xx) is
+// returned with its body open — the caller owns closing it. On failure
+// the returned error is a *PeerError.
+func (rt *Router) do(p *peer, op string, build func() (*http.Request, error)) (*http.Response, error) {
+	fail := func(err error) (*http.Response, error) {
+		rt.m.errors.With(p.url, op).Inc()
+		return nil, &PeerError{Peer: p.url, Op: op, Err: err}
+	}
+	p.inflight <- struct{}{}
+	defer func() { <-p.inflight }()
+
+	backoff := rt.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			rt.m.retries.With(p.url).Inc()
+			rt.cfg.sleep(backoff)
+			backoff *= 2
+		}
+		if !p.brk.allow() {
+			rt.recordState(p)
+			if lastErr == nil {
+				lastErr = errBreakerOpen
+			}
+			return fail(lastErr)
+		}
+		req, err := build()
+		if err != nil {
+			return fail(err) // programming error, not a peer failure
+		}
+		rt.m.requests.With(p.url, op).Inc()
+		mk := obs.Start()
+		resp, err := rt.cfg.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			if p.brk.failure() {
+				rt.m.brkTrips.With(p.url).Inc()
+			}
+			rt.recordState(p)
+			continue
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			p.brk.success()
+			rt.recordState(p)
+			mk.Tick(rt.m.latency.With(p.url))
+			return resp, nil
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		if !transientStatus(resp.StatusCode) {
+			// The peer is alive and answered; this is our request's
+			// problem. Clear the failure run and stop retrying.
+			p.brk.success()
+			rt.recordState(p)
+			return fail(lastErr)
+		}
+		if p.brk.failure() {
+			rt.m.brkTrips.With(p.url).Inc()
+		}
+		rt.recordState(p)
+	}
+	return fail(lastErr)
+}
+
+// ingestBody is the node /ingest request, matching cmd/aggserve's format
+// so a router can front stock aggserve worker processes.
+type ingestBody struct {
+	Keys []uint64 `json:"keys"`
+	Vals []uint64 `json:"vals"`
+}
+
+// Ingest shards one batch across the peers by group-key hash and ships
+// the per-peer sub-batches concurrently. Returns nil when every owner
+// acknowledged its rows; otherwise the joined *PeerError set — rows for
+// healthy peers are still applied (at-least-once per sub-batch; the
+// stream's append is atomic per call, so a failed peer's rows are
+// simply absent until re-sent).
+func (rt *Router) Ingest(keys, vals []uint64) error {
+	if len(vals) > len(keys) {
+		return errors.New("cluster: more vals than keys")
+	}
+	n := len(rt.peers)
+	parts := make([]ingestBody, n)
+	for i, k := range keys {
+		o := rt.ring.Owner(k)
+		parts[o].Keys = append(parts[o].Keys, k)
+		if i < len(vals) {
+			parts[o].Vals = append(parts[o].Vals, vals[i])
+		}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part.Keys) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part ingestBody) {
+			defer wg.Done()
+			errs[i] = rt.postJSON(rt.peers[i], "ingest", "/ingest", part)
+			if errs[i] == nil {
+				rt.m.rows.Add(uint64(len(part.Keys)))
+				rt.m.batches.Inc()
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Flush broadcasts a flush (seal shard buffers into a sealed delta) to
+// every peer, making all previously acknowledged rows visible to the
+// next Gather.
+func (rt *Router) Flush() error {
+	errs := make([]error, len(rt.peers))
+	var wg sync.WaitGroup
+	for i, p := range rt.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			errs[i] = rt.postJSON(p, "flush", "/flush", nil)
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (rt *Router) postJSON(p *peer, op, path string, body any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	resp, err := rt.do(p, op, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, p.url+path, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
+}
+
+// Gather scatter-gathers every peer's partial set and merges them into
+// one exact cluster-wide Merged state. All peers must answer: partial
+// coverage would silently drop groups, so any unreachable peer fails the
+// whole gather with a *PartialAvailabilityError.
+func (rt *Router) Gather() (*Merged, error) {
+	rt.m.queries.Inc()
+	n := len(rt.peers)
+	sets := make([]*peerSet, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, p := range rt.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			sets[i], errs[i] = rt.fetchPartials(p)
+		}(i, p)
+	}
+	wg.Wait()
+	var pae PartialAvailabilityError
+	for i, err := range errs {
+		if err != nil {
+			pae.Missing = append(pae.Missing, rt.peers[i].url)
+			pae.Errs = append(pae.Errs, err)
+		}
+	}
+	if len(pae.Missing) > 0 {
+		rt.m.queryErrs.Inc()
+		return nil, &pae
+	}
+	merged := newMerged(n)
+	for i, set := range sets {
+		merged.Watermark[i] = set.hdr.Watermark
+		if i == 0 {
+			merged.Holistic = set.hdr.Holistic
+		} else {
+			merged.Holistic = merged.Holistic && set.hdr.Holistic
+		}
+		merged.fold(set)
+	}
+	return merged, nil
+}
+
+// peerSet is one peer's decoded partial set.
+type peerSet struct {
+	hdr    setHeader
+	groups map[uint64]*mgroup
+}
+
+// fetchPartials GETs and decodes one peer's /partials stream. Decode
+// errors are transport-grade failures (a torn or corrupt response) and
+// surface as *PeerError like any other unreachable-peer condition.
+func (rt *Router) fetchPartials(p *peer) (*peerSet, error) {
+	resp, err := rt.do(p, "partials", func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, p.url+"/partials", nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	set := &peerSet{groups: make(map[uint64]*mgroup)}
+	hdr, err := DecodePartialSet(resp.Body, func(key uint64, pr *agg.Partial, vals []uint64) error {
+		g := set.groups[key]
+		if g == nil {
+			g = &mgroup{}
+			set.groups[key] = g
+		}
+		g.p.Merge(pr)
+		g.vals = append(g.vals, vals...)
+		return nil
+	})
+	if err != nil {
+		rt.m.errors.With(p.url, "partials").Inc()
+		return nil, &PeerError{Peer: p.url, Op: "partials", Err: err}
+	}
+	set.hdr = hdr
+	return set, nil
+}
+
+// Ready probes every peer's /readyz. nil means the whole membership is
+// ready (recovery complete, not degraded); otherwise the joined
+// *PeerError set names the stragglers. The router's caller gates cluster
+// traffic on this — /readyz is the membership contract.
+func (rt *Router) Ready() error {
+	errs := make([]error, len(rt.peers))
+	var wg sync.WaitGroup
+	for i, p := range rt.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			resp, err := rt.do(p, "readyz", func() (*http.Request, error) {
+				return http.NewRequest(http.MethodGet, p.url+"/readyz", nil)
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// WaitReady polls Ready until it succeeds or the timeout elapses.
+func (rt *Router) WaitReady(timeout time.Duration) error {
+	deadline := rt.cfg.now().Add(timeout)
+	for {
+		err := rt.Ready()
+		if err == nil {
+			return nil
+		}
+		if rt.cfg.now().After(deadline) {
+			return fmt.Errorf("cluster: not ready after %v: %w", timeout, err)
+		}
+		rt.cfg.sleep(25 * time.Millisecond)
+	}
+}
+
+// PeerStats is one peer's router-side health summary — the /cluster/stats
+// row.
+type PeerStats struct {
+	Peer     string `json:"peer"`
+	Breaker  string `json:"breaker"` // "closed", "open", "half-open"
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Retries  uint64 `json:"retries"`
+	Trips    uint64 `json:"breaker_trips"`
+	Inflight int    `json:"inflight"`
+}
+
+func breakerName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Stats summarizes per-peer request and breaker health.
+func (rt *Router) Stats() []PeerStats {
+	ops := []string{"ingest", "flush", "partials", "readyz"}
+	out := make([]PeerStats, len(rt.peers))
+	for i, p := range rt.peers {
+		st := PeerStats{
+			Peer:     p.url,
+			Breaker:  breakerName(p.brk.state()),
+			Retries:  rt.m.retries.With(p.url).Value(),
+			Trips:    rt.m.brkTrips.With(p.url).Value(),
+			Inflight: len(p.inflight),
+		}
+		for _, op := range ops {
+			st.Requests += rt.m.requests.With(p.url, op).Value()
+			st.Errors += rt.m.errors.With(p.url, op).Value()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// IngestRows returns the total rows successfully sharded — the harness's
+// throughput numerator.
+func (rt *Router) IngestRows() uint64 { return rt.m.rows.Value() }

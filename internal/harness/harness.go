@@ -121,6 +121,7 @@ func Experiments() []Experiment {
 		{"obs", "Extension: observability — recorded phase splits vs external timing", ExtObs},
 		{"wal", "Extension: durability — WAL sync-policy cost and recovery time vs log size", ExtWAL},
 		{"query", "Extension: snapshot queries — delta folds, parallel kernels, result cache", ExtQuery},
+		{"cluster", "Extension: clustered serving — sharded ingest router, exact scatter-gather", ExtCluster},
 	}
 }
 

@@ -45,6 +45,12 @@ func writeFamily(w io.Writer, m metric) {
 		// moment the vec is registered, series appear as labels are used.
 		header(w, v.name, v.help, "counter")
 		v.each(func(m metric) { writeCounter(w, m.(*Counter)) })
+	case *GaugeVec:
+		header(w, v.name, v.help, "gauge")
+		v.each(func(m metric) {
+			g := m.(*Gauge)
+			fmt.Fprintf(w, "%s%s %d\n", g.name, labelString(g.labels), g.Value())
+		})
 	case *HistogramVec:
 		header(w, v.name, v.help, "histogram")
 		v.each(func(m metric) { writeHistogram(w, m.(*Histogram)) })
@@ -150,6 +156,8 @@ func writeVar(emit func(key, val string), m metric) {
 	case *Histogram:
 		emit(v.name+labelString(v.labels), histVar(v))
 	case *CounterVec:
+		v.each(func(m metric) { writeVar(emit, m) })
+	case *GaugeVec:
 		v.each(func(m metric) { writeVar(emit, m) })
 	case *HistogramVec:
 		v.each(func(m metric) { writeVar(emit, m) })

@@ -155,6 +155,36 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 	return v.child(labelValues, func(m meta) metric { return &Counter{meta: m} }).(*Counter)
 }
 
+// GaugeVec is a family of gauges keyed by label values (e.g. one breaker
+// state per cluster peer).
+type GaugeVec struct{ vec }
+
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	v := &GaugeVec{vec{meta: meta{name: name, help: help}, labelNames: labelNames}}
+	r.register(name, v)
+	return v
+}
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.child(labelValues, func(m meta) metric { return &Gauge{meta: m} }).(*Gauge)
+}
+
+// Each visits every materialized gauge of the family with its label
+// values, in creation order.
+func (v *GaugeVec) Each(fn func(labelValues []string, g *Gauge)) {
+	v.each(func(m metric) {
+		g := m.(*Gauge)
+		vals := make([]string, 0, len(g.labels)/2)
+		for i := 1; i < len(g.labels); i += 2 {
+			vals = append(vals, g.labels[i])
+		}
+		fn(vals, g)
+	})
+}
+
 // HistogramVec is a family of histograms keyed by label values (e.g. one
 // per engine and phase).
 type HistogramVec struct{ vec }

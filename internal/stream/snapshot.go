@@ -114,6 +114,18 @@ func (sn *Snapshot) eachGroup(fn func(k uint64, p *agg.Partial, ar *arena.Arena)
 	}
 }
 
+// EachGroup visits every group exactly once with its fully merged partial
+// and the arena its buffered values live in — the export the cluster
+// transport (internal/cluster) serializes from. The visited partials are
+// the snapshot's live state: read-only, valid while the snapshot is held.
+func (sn *Snapshot) EachGroup(fn func(k uint64, p *agg.Partial, ar *arena.Arena)) {
+	sn.eachGroup(fn)
+}
+
+// HolisticEnabled reports whether this snapshot's stream retains value
+// multisets (median/quantile/mode queries answerable).
+func (sn *Snapshot) HolisticEnabled() bool { return sn.s.cfg.Holistic }
+
 // Groups returns the number of distinct keys the snapshot covers. This is
 // the exact count, which requires the delta fold when unmerged deltas are
 // pinned (keys may repeat across layers); for pre-sizing, GroupBound is

@@ -386,6 +386,12 @@ func (s *Stream) Close() error {
 	return nil
 }
 
+// Closed reports whether Close has begun: the stream refuses ingest but
+// keeps serving snapshots. With ReadOnly it feeds readiness probes
+// (/readyz in cmd/aggserve) — a closed or degraded node should leave the
+// ingest rotation while staying queryable.
+func (s *Stream) Closed() bool { return s.closed.Load() }
+
 // install publishes nv as the current view. Callers hold viewMu. The
 // watermark is append-only state, so it must never move backwards — a
 // regression here would hand snapshots an inconsistent row count.

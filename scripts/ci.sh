@@ -66,3 +66,15 @@ go test -race -run 'TestQueryParallelSerialEquivalence|TestQueryConcurrentSnapsh
 # stay within 20% of the plain serial path — the morsel dispatch and
 # offset bookkeeping may not tax the default single-worker configuration.
 MEMAGG_QUERY_GUARD=1 go test -run 'TestQueryOverheadGuard' -count=1 -v ./internal/stream
+
+# Clustered serving: the router, breaker, wire codec, and scatter-gather
+# merge are exercised by concurrent producers against live HTTP nodes, so
+# the whole package runs under the race detector — and the cluster
+# equivalence gate (3 nodes fed concurrently through the router must
+# answer Q1-Q7 plus quantile/mode identical to one local stream) and the
+# kill-one-worker gate (breaker trips, typed partial-availability errors,
+# no hangs) are pinned by name so a rename can't silently drop them.
+go test -race ./internal/cluster/...
+go test -race -run 'TestClusterEquivalence|TestClusterKillTripsBreaker' -count=1 -v ./internal/cluster
+# Consistent-hash movement bound: adding a node to N must move <= K/N keys.
+go test -race -run 'TestRingMovementOnAdd' -count=1 -v ./internal/chash

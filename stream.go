@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"memagg/internal/agg"
+	"memagg/internal/cluster"
 	"memagg/internal/obs"
 	"memagg/internal/stream"
 	"memagg/internal/wal"
@@ -200,6 +201,12 @@ func (s *Stream) ReadOnly() bool { return s.s.ReadOnly() }
 // useful when deciding between streaming and batch execution.
 func (s *Stream) Advice() Advice { return s.advice }
 
+// Ready reports whether the stream is fit to serve cluster traffic: open
+// and not degraded to read-only. It backs readiness probes (/readyz) —
+// distinct from liveness, which a closed-but-queryable stream still
+// passes.
+func (s *Stream) Ready() bool { return !s.s.Closed() && !s.s.ReadOnly() }
+
 // Append ingests one batch of rows: values[i] belongs to keys[i], and a
 // short values slice treats missing values as zero (the batch operators'
 // convention). The slices are copied; the caller may reuse them. Append
@@ -333,6 +340,15 @@ func (sn *StreamSnapshot) Watermark() uint64 { return sn.sn.Watermark() }
 
 // Groups returns the number of distinct keys this snapshot covers.
 func (sn *StreamSnapshot) Groups() int { return sn.sn.Groups() }
+
+// EncodePartials appends this snapshot's full partial-aggregate set in
+// the cluster wire format (internal/cluster) to dst and returns the
+// extended slice — what a worker node serves on GET /partials for the
+// router's scatter-gather. The set decodes to state Merge-equivalent to
+// the snapshot, value multisets included on holistic streams.
+func (sn *StreamSnapshot) EncodePartials(dst []byte) []byte {
+	return cluster.EncodeSnapshot(dst, sn.sn)
+}
 
 // CountByKey executes Q1: one (key, COUNT(*)) row per distinct key.
 func (sn *StreamSnapshot) CountByKey() []GroupCount { return toCounts(sn.sn.CountByKey()) }
