@@ -1,0 +1,56 @@
+package memagg
+
+import (
+	"bufio"
+
+	"memagg/internal/agg"
+)
+
+// Chunk is the columnar ingest unit: a key column and a value column of
+// equal logical length, Vals[i] belonging to Keys[i]. A value column
+// shorter than the key column zero-extends, matching the row-pair
+// operators' convention; a longer one is invalid (Validate). Chunks are
+// the native currency of the whole ingest path — Stream.AppendChunk and
+// AppendOwnedChunk consume them directly, the aggserve servers accept
+// them on POST /v1/ingest as ChunkContentType bodies, and the cluster
+// router scatters them columnar-wise by ring owner.
+type Chunk = agg.Chunk
+
+// ChunkContentType is the media type of a binary chunk-stream ingest
+// body: zero or more wire-encoded chunks back to back (AppendChunkWire),
+// read until clean EOF.
+const ChunkContentType = agg.ChunkContentType
+
+// ErrChunkWire marks a structurally invalid chunk wire body: bad magic,
+// unknown version, column counts that disagree with the header, or
+// inconsistent columns. Frame-level corruption (torn frame, CRC
+// mismatch) surfaces as ErrWALCorrupt instead; both mean "discard this
+// body".
+var ErrChunkWire = agg.ErrChunkWire
+
+// ChunkWireSize returns the encoded size of a chunk with the given row
+// count, framing included — what a client sizes its body buffer with.
+func ChunkWireSize(rows int) int { return agg.ChunkWireSize(rows) }
+
+// AppendChunkWire appends c's binary wire encoding to dst and returns
+// the extended slice. Chunks encode back to back into one body (a chunk
+// stream); a short value column is zero-extended on the wire. It panics
+// on an invalid chunk (Validate) — encoding one is a programming error.
+//
+// Wire format (DESIGN.md §1.2k): each chunk is a WAL-framed sequence —
+// a "MAGC" header frame carrying version and row count, then the key
+// column's frames and the value column's, each frame at most 4 MiB.
+// Every frame is CRC32C-checksummed, so a torn or corrupt body is
+// detected at the frame where it breaks, never mis-read.
+func AppendChunkWire(dst []byte, c Chunk) []byte { return agg.AppendChunkWire(dst, c) }
+
+// ReadChunk reads one wire chunk from br. Both returned columns are
+// freshly allocated and full length — safe to hand straight to
+// AppendOwnedChunk. io.EOF means a clean end of the chunk stream
+// (nothing read); any torn frame, CRC mismatch, or structural violation
+// returns an error wrapping ErrWALCorrupt or ErrChunkWire.
+func ReadChunk(br *bufio.Reader) (Chunk, error) { return agg.ReadChunk(br) }
+
+// DecodeChunkWire decodes the first wire chunk in src, returning it and
+// the bytes consumed — the buffer-at-once form of ReadChunk.
+func DecodeChunkWire(src []byte) (Chunk, int, error) { return agg.DecodeChunkWire(src) }

@@ -12,14 +12,21 @@
 // cadence in rows. If the log becomes unwritable the server degrades to
 // read-only: /ingest and /flush return 503 while queries keep serving.
 //
-// Endpoints:
+// Endpoints (mounted under /v1/; the unversioned paths stay as aliases):
 //
-//	POST /ingest      {"keys":[1,2,1],"vals":[10,20,30]}   append one batch
-//	POST /flush                                            visibility barrier
-//	GET  /query?q=q1|q2|...|q7|sum|min|max|quantile|mode
-//	GET  /stats                                            ingest/merge state
-//	GET  /metrics                                          Prometheus text format
-//	GET  /debug/vars                                       expvar-style JSON
+//	POST /v1/ingest   append one batch; Content-Type selects the body:
+//	                  application/json  {"keys":[1,2,1],"vals":[10,20,30]}
+//	                  application/x-memagg-chunk  binary chunk stream —
+//	                  the fast path: wire columns decode once and transfer
+//	                  into the stream without row materialization (see
+//	                  memagg.AppendChunkWire and DESIGN.md §1.2k)
+//	POST /v1/flush                                         visibility barrier
+//	GET  /v1/query?q=q1|q2|...|q7|sum|min|max|quantile|mode
+//	GET  /v1/stats                                         ingest/merge state
+//	GET  /v1/metrics                                       Prometheus text format
+//	GET  /v1/debug/vars                                    expvar-style JSON
+//
+// Errors share one JSON envelope: {"error": "...", "code": <status>}.
 //
 // Query aliases: q1=count_by_key q2=avg_by_key q3=median_by_key q4=count
 // q5=avg q6=median q7=range (with lo= and hi=); quantile takes p=0.9.

@@ -45,7 +45,9 @@ func newRouterServer(rt *cluster.Router) *routerServer {
 	srv.handle("/healthz", srv.handleHealthz)
 	srv.handle("/readyz", srv.handleReadyz)
 	regs := []*obs.Registry{obs.Default, rt.Registry(), reg}
+	srv.mux.Handle("/v1/metrics", obs.Handler(regs...))
 	srv.mux.Handle("/metrics", obs.Handler(regs...))
+	srv.mux.Handle("/v1/debug/vars", obs.VarsHandler(regs...))
 	srv.mux.Handle("/debug/vars", obs.VarsHandler(regs...))
 	return srv
 }
@@ -54,15 +56,19 @@ func (srv *routerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	srv.mux.ServeHTTP(w, r)
 }
 
+// handle mirrors server.handle: versioned /v1 mount plus the unversioned
+// alias, one shared route label.
 func (srv *routerServer) handle(route string, h http.HandlerFunc) {
 	lat := srv.latency.With(route)
-	srv.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+	wrapped := func(w http.ResponseWriter, r *http.Request) {
 		mk := obs.Start()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		mk.Tick(lat)
 		srv.requests.With(route, strconv.Itoa(sw.status)).Inc()
-	})
+	}
+	srv.mux.HandleFunc("/v1"+route, wrapped)
+	srv.mux.HandleFunc(route, wrapped)
 }
 
 // clusterStatus maps a router error to its HTTP status: 503 when peers
@@ -75,9 +81,10 @@ func clusterStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// clusterError writes a router failure with its typed detail: a partial
-// gather names the unreachable peers so operators see which shard is out
-// rather than a bare 503.
+// clusterError writes a router failure in the shared error envelope,
+// with its typed detail: a partial gather additionally names the
+// unreachable peers so operators see which shard is out rather than a
+// bare 503.
 func clusterError(w http.ResponseWriter, err error) {
 	var pa *cluster.PartialAvailabilityError
 	if errors.As(err, &pa) {
@@ -85,6 +92,7 @@ func clusterError(w http.ResponseWriter, err error) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(map[string]any{
 			"error":   "partial availability: exact results need every shard",
+			"code":    http.StatusServiceUnavailable,
 			"missing": pa.Missing,
 		})
 		return
@@ -95,6 +103,22 @@ func clusterError(w http.ResponseWriter, err error) {
 func (srv *routerServer) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if isChunkRequest(r) {
+		// Binary chunk stream in, binary chunks out: each decoded chunk
+		// scatters columnar-wise by ring owner — one partition pass, one
+		// outbound wire chunk per peer, no JSON anywhere on the path.
+		rows, err := ingestChunks(r.Body, srv.rt.IngestChunk)
+		if err != nil {
+			if status, msg := chunkStatus(err); status == http.StatusBadRequest {
+				httpError(w, status, msg)
+			} else {
+				clusterError(w, err)
+			}
+			return
+		}
+		writeJSON(w, map[string]any{"appended": rows, "ingested": srv.rt.IngestRows()})
 		return
 	}
 	var req ingestRequest

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"mime"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -51,7 +54,9 @@ func newServer(s *memagg.Stream) *server {
 	srv.handle("/healthz", srv.handleHealthz)
 	srv.handle("/readyz", srv.handleReadyz)
 	regs := []*obs.Registry{obs.Default, s.MetricsRegistry(), reg}
+	srv.mux.Handle("/v1/metrics", obs.Handler(regs...))
 	srv.mux.Handle("/metrics", obs.Handler(regs...))
+	srv.mux.Handle("/v1/debug/vars", obs.VarsHandler(regs...))
 	srv.mux.Handle("/debug/vars", obs.VarsHandler(regs...))
 	return srv
 }
@@ -72,16 +77,21 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// handle registers h under route behind the metrics middleware.
+// handle registers h behind the metrics middleware, mounted at its
+// versioned path /v1<route> with the unversioned route kept as an alias.
+// Both spellings share one route label so the metric cardinality (and
+// existing dashboards) do not split by prefix.
 func (srv *server) handle(route string, h http.HandlerFunc) {
 	lat := srv.latency.With(route)
-	srv.mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+	wrapped := func(w http.ResponseWriter, r *http.Request) {
 		mk := obs.Start()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		mk.Tick(lat)
 		srv.requests.With(route, strconv.Itoa(sw.status)).Inc()
-	})
+	}
+	srv.mux.HandleFunc("/v1"+route, wrapped)
+	srv.mux.HandleFunc(route, wrapped)
 }
 
 type ingestRequest struct {
@@ -92,6 +102,19 @@ type ingestRequest struct {
 func (srv *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if isChunkRequest(r) {
+		// Binary chunk stream: decode each wire chunk and transfer its
+		// freshly allocated columns straight into the stream — the only
+		// copy between socket and delta table is the wire decode itself.
+		rows, err := ingestChunks(r.Body, srv.stream.AppendOwnedChunk)
+		if err != nil {
+			status, msg := chunkStatus(err)
+			httpError(w, status, msg)
+			return
+		}
+		writeJSON(w, map[string]any{"appended": rows, "ingested": srv.stream.Stats().Ingested})
 		return
 	}
 	var req ingestRequest
@@ -108,6 +131,46 @@ func (srv *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"appended": len(req.Keys), "ingested": srv.stream.Stats().Ingested})
+}
+
+// isChunkRequest reports whether the request negotiated the binary chunk
+// content type (parameters ignored). Anything else takes the JSON path.
+func isChunkRequest(r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == memagg.ChunkContentType
+}
+
+// ingestChunks drains one binary chunk-stream body into sink (column
+// ownership transfers with each chunk) and returns the rows appended.
+// Chunks handed off before an error stay applied — per-chunk atomicity,
+// the binary analog of the JSON path's per-request batch.
+func ingestChunks(body io.Reader, sink func(memagg.Chunk) error) (int, error) {
+	br := bufio.NewReaderSize(body, 64<<10)
+	rows := 0
+	for {
+		c, err := memagg.ReadChunk(br)
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, err
+		}
+		n := c.Rows()
+		if err := sink(c); err != nil {
+			return rows, err
+		}
+		rows += n
+	}
+}
+
+// chunkStatus splits a chunk-ingest failure into its HTTP status:
+// wire-grade errors (malformed chunk, torn frame) are the client's 400,
+// stream refusals map through ingestStatus.
+func chunkStatus(err error) (int, string) {
+	if errors.Is(err, memagg.ErrChunkWire) || errors.Is(err, memagg.ErrWALCorrupt) {
+		return http.StatusBadRequest, "bad chunk body: " + err.Error()
+	}
+	return ingestStatus(err), err.Error()
 }
 
 // ingestStatus maps an Append/Flush error to its HTTP status: 503 for the
@@ -329,8 +392,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// httpError writes the API's error envelope: {"error": ..., "code": ...},
+// code echoing the HTTP status. Every failure on both the single-node and
+// router surfaces uses this one shape (clusterError adds detail fields to
+// the same envelope).
 func httpError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "code": status})
 }

@@ -89,9 +89,9 @@ func TestPartialWireRejectsMalformed(t *testing.T) {
 		"short header":    valid[:10],
 		"truncated vals":  valid[:len(valid)-4],
 		"empty":           nil,
-		"min above max":   mutate(valid, 24, 100, 32, 1),   // min=100, max=1
-		"vals beyond cnt": mutate(valid, 8, 1, 40, 2),      // count=1, nvals=2
-		"ghost state":     mutate(valid, 8, 0, 40, 0),      // count=0, sum stays
+		"min above max":   mutate(valid, 24, 100, 32, 1), // min=100, max=1
+		"vals beyond cnt": mutate(valid, 8, 1, 40, 2),    // count=1, nvals=2
+		"ghost state":     mutate(valid, 8, 0, 40, 0),    // count=0, sum stays
 	} {
 		if _, _, _, _, err := DecodePartialWire(corrupt); !errors.Is(err, ErrPartialWire) {
 			t.Errorf("%s: err = %v, want ErrPartialWire", name, err)

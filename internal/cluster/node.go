@@ -1,30 +1,57 @@
 package cluster
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
+	"io"
+	"mime"
 	"net/http"
 	"strconv"
 
+	"memagg/internal/agg"
 	"memagg/internal/stream"
+	"memagg/internal/wal"
 )
 
-// NodeHandler serves one worker node's cluster surface over a Stream:
+// NodeHandler serves one worker node's cluster surface over a Stream,
+// every route mounted under /v1/ with the unversioned path kept as an
+// alias:
 //
-//	POST /ingest    JSON {"keys":[...],"vals":[...]} — append a batch
-//	POST /flush     seal shard buffers into a sealed delta
-//	GET  /partials  the node's full partial set (EncodeSnapshot wire)
-//	GET  /healthz   liveness: the process is up and serving
-//	GET  /readyz    readiness: open and not durability-degraded
+//	POST /v1/ingest    append rows; Content-Type negotiates the body:
+//	                   application/x-memagg-chunk (binary chunk stream,
+//	                   the fast path — decoded columns transfer straight
+//	                   into the stream, zero copies) or JSON
+//	                   {"keys":[...],"vals":[...]}
+//	POST /v1/flush     seal shard buffers into a sealed delta
+//	GET  /v1/partials  the node's full partial set (EncodeSnapshot wire)
+//	GET  /v1/healthz   liveness: the process is up and serving
+//	GET  /v1/readyz    readiness: open and not durability-degraded
 //
 // The request/response shapes match cmd/aggserve, so a Router fronts
 // stock aggserve worker processes and these in-process handlers (tests,
 // the harness) interchangeably.
 func NodeHandler(s *stream.Stream) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(route string, h http.HandlerFunc) {
+		mux.HandleFunc("/v1"+route, h)
+		mux.HandleFunc(route, h) // unversioned alias
+	}
+	handle("/ingest", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			nodeError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if isChunkBody(r) {
+			rows, err := ingestChunkStream(r.Body, func(c agg.Chunk) error {
+				return s.AppendChunk(c, true)
+			})
+			if err != nil {
+				status, msg := chunkIngestStatus(err, nodeStatus)
+				nodeError(w, status, msg)
+				return
+			}
+			nodeJSON(w, map[string]any{"appended": rows})
 			return
 		}
 		var req ingestBody
@@ -42,7 +69,7 @@ func NodeHandler(s *stream.Stream) http.Handler {
 		}
 		nodeJSON(w, map[string]any{"appended": len(req.Keys)})
 	})
-	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+	handle("/flush", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			nodeError(w, http.StatusMethodNotAllowed, "POST only")
 			return
@@ -53,7 +80,7 @@ func NodeHandler(s *stream.Stream) http.Handler {
 		}
 		nodeJSON(w, map[string]any{"flushed": true})
 	})
-	mux.HandleFunc("/partials", func(w http.ResponseWriter, r *http.Request) {
+	handle("/partials", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			nodeError(w, http.StatusMethodNotAllowed, "GET only")
 			return
@@ -66,10 +93,10 @@ func NodeHandler(s *stream.Stream) http.Handler {
 		w.Header().Set("X-Memagg-Watermark", strconv.FormatUint(sn.Watermark(), 10))
 		w.Write(buf)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		nodeJSON(w, map[string]any{"ok": true})
 	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Closed() {
 			nodeError(w, http.StatusServiceUnavailable, "stream closed")
 			return
@@ -81,6 +108,49 @@ func NodeHandler(s *stream.Stream) http.Handler {
 		nodeJSON(w, map[string]any{"ready": true})
 	})
 	return mux
+}
+
+// isChunkBody reports whether the request negotiated the binary chunk
+// content type. Parameters (charset etc.) are ignored; a malformed
+// Content-Type falls through to the JSON path, whose decoder rejects it
+// with a useful message.
+func isChunkBody(r *http.Request) bool {
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return err == nil && mt == agg.ChunkContentType
+}
+
+// ingestChunkStream drains one binary chunk-stream body, handing each
+// decoded chunk to sink (ownership transfers with it), and returns the
+// total rows appended. Chunks already handed off before an error stay
+// applied — the same at-least-once-per-batch semantics the JSON path has
+// per request.
+func ingestChunkStream(body io.Reader, sink func(agg.Chunk) error) (int, error) {
+	br := bufio.NewReaderSize(body, 64<<10)
+	rows := 0
+	for {
+		c, err := agg.ReadChunk(br)
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, err
+		}
+		n := c.Rows()
+		if err := sink(c); err != nil {
+			return rows, err
+		}
+		rows += n
+	}
+}
+
+// chunkIngestStatus splits a chunk-ingest failure into its HTTP status:
+// wire-grade errors (malformed chunk, torn frame) are the client's 400;
+// anything else came from the stream and maps via streamStatus.
+func chunkIngestStatus(err error, streamStatus func(error) int) (int, string) {
+	if errors.Is(err, agg.ErrChunkWire) || errors.Is(err, wal.ErrWALCorrupt) {
+		return http.StatusBadRequest, "bad chunk body: " + err.Error()
+	}
+	return streamStatus(err), err.Error()
 }
 
 // nodeStatus maps a stream error to its HTTP status: 503 for conditions
@@ -98,8 +168,11 @@ func nodeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// nodeError writes the API's error envelope: {"error": ..., "code": ...},
+// code echoing the HTTP status — the same shape cmd/aggserve's httpError
+// writes, so clients parse one envelope across node and router surfaces.
 func nodeError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	json.NewEncoder(w).Encode(map[string]any{"error": msg, "code": code})
 }

@@ -228,50 +228,97 @@ func (rt *Router) do(p *peer, op string, build func() (*http.Request, error)) (*
 	return fail(lastErr)
 }
 
-// ingestBody is the node /ingest request, matching cmd/aggserve's format
-// so a router can front stock aggserve worker processes.
+// ingestBody is the node /ingest JSON request, matching cmd/aggserve's
+// format so a router can front stock aggserve worker processes.
 type ingestBody struct {
 	Keys []uint64 `json:"keys"`
 	Vals []uint64 `json:"vals"`
 }
 
-// Ingest shards one batch across the peers by group-key hash and ships
-// the per-peer sub-batches concurrently. Returns nil when every owner
-// acknowledged its rows; otherwise the joined *PeerError set — rows for
-// healthy peers are still applied (at-least-once per sub-batch; the
-// stream's append is atomic per call, so a failed peer's rows are
-// simply absent until re-sent).
+// Ingest shards one batch of row pairs across the peers — the row-pair
+// spelling of IngestChunk, kept for callers that have not adopted the
+// columnar form.
 func (rt *Router) Ingest(keys, vals []uint64) error {
-	if len(vals) > len(keys) {
-		return errors.New("cluster: more vals than keys")
+	return rt.IngestChunk(agg.Chunk{Keys: keys, Vals: vals})
+}
+
+// IngestChunk scatters one columnar chunk across the peers by group-key
+// hash: one partition pass computes every row's ring owner, the columns
+// split into exactly-sized per-peer chunks, and each peer receives one
+// binary chunk-stream POST (the wire format its /v1/ingest decodes
+// without JSON parsing). Returns nil when every owner acknowledged its
+// rows; otherwise the joined *PeerError set — rows for healthy peers are
+// still applied (at-least-once per sub-chunk; the stream's append is
+// atomic per call, so a failed peer's rows are simply absent until
+// re-sent).
+func (rt *Router) IngestChunk(c agg.Chunk) error {
+	if err := c.Validate(); err != nil {
+		return err
 	}
 	n := len(rt.peers)
-	parts := make([]ingestBody, n)
-	for i, k := range keys {
+	rows := c.Rows()
+	// One Owner pass over the key column; the owner vector then drives an
+	// exactly-presized columnar split — no re-hash, no append growth.
+	owners := make([]uint16, rows)
+	counts := make([]int, n)
+	for i, k := range c.Keys {
 		o := rt.ring.Owner(k)
-		parts[o].Keys = append(parts[o].Keys, k)
-		if i < len(vals) {
-			parts[o].Vals = append(parts[o].Vals, vals[i])
+		owners[i] = uint16(o)
+		counts[o]++
+	}
+	parts := make([]agg.Chunk, n)
+	for o, cnt := range counts {
+		if cnt > 0 {
+			parts[o] = agg.Chunk{Keys: make([]uint64, 0, cnt), Vals: make([]uint64, 0, cnt)}
 		}
+	}
+	for i, o := range owners {
+		p := &parts[o]
+		p.Keys = append(p.Keys, c.Keys[i])
+		v := uint64(0)
+		if i < len(c.Vals) {
+			v = c.Vals[i]
+		}
+		p.Vals = append(p.Vals, v)
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i, part := range parts {
-		if len(part.Keys) == 0 {
+		if part.Rows() == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, part ingestBody) {
+		go func(i int, part agg.Chunk) {
 			defer wg.Done()
-			errs[i] = rt.postJSON(rt.peers[i], "ingest", "/ingest", part)
+			errs[i] = rt.postChunk(rt.peers[i], part)
 			if errs[i] == nil {
-				rt.m.rows.Add(uint64(len(part.Keys)))
+				rt.m.rows.Add(uint64(part.Rows()))
 				rt.m.batches.Inc()
 			}
 		}(i, part)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// postChunk ships one chunk to a peer as a binary chunk-stream body on
+// /v1/ingest. The body is encoded once; retries re-read the same bytes.
+func (rt *Router) postChunk(p *peer, c agg.Chunk) error {
+	payload := agg.AppendChunkWire(make([]byte, 0, agg.ChunkWireSize(c.Rows())), c)
+	resp, err := rt.do(p, "ingest", func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, p.url+"/v1/ingest", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", agg.ChunkContentType)
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return nil
 }
 
 // Flush broadcasts a flush (seal shard buffers into a sealed delta) to

@@ -122,6 +122,7 @@ func Experiments() []Experiment {
 		{"wal", "Extension: durability — WAL sync-policy cost and recovery time vs log size", ExtWAL},
 		{"query", "Extension: snapshot queries — delta folds, parallel kernels, result cache", ExtQuery},
 		{"cluster", "Extension: clustered serving — sharded ingest router, exact scatter-gather", ExtCluster},
+		{"ingestwire", "Extension: columnar chunk ingest — binary wire vs JSON over HTTP", ExtIngestWire},
 	}
 }
 

@@ -115,6 +115,7 @@ func (sh *shard) run() {
 			continue
 		}
 		sh.absorb(b)
+		sh.s.recycleBatch(b) // absorbed: the backing memory is free to reuse
 		if sh.cur.rows >= uint64(sh.s.cfg.SealRows) {
 			sh.seal()
 		}

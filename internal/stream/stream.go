@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memagg/internal/agg"
 	"memagg/internal/obs"
 	"memagg/internal/radix"
 )
@@ -185,6 +186,13 @@ type Stream struct {
 	wake    chan struct{} // merger doorbell (capacity 1)
 	mergeMu sync.Mutex    // serializes merge cycles (background merger vs MergeNow)
 
+	// bufs recycles batch backing arrays between the shards (which retire
+	// a batch once absorbed) and the copying Append path (which needs a
+	// fresh scratch buffer per call) — with a steady producer the copy
+	// path stops allocating. Ownership-transferred chunk columns join the
+	// same pool after absorption.
+	bufs sync.Pool
+
 	rr     atomic.Uint64 // round-robin shard cursor
 	closed atomic.Bool
 
@@ -247,9 +255,16 @@ func (s *Stream) newView(base *generation, sealed []*delta, watermark uint64) *v
 }
 
 // batch is one ingest unit: either rows (keys/vals, equal length) or a
-// flush marker (ack non-nil).
+// flush marker (ack non-nil). After its shard absorbs it the batch's
+// backing memory is dead and recycles into the stream's buffer pool: buf
+// is the single allocation behind a copied batch (keys and vals are its
+// halves — recycle buf, never the halves, or the pool would hand out
+// aliasing buffers), while an ownership-transferred chunk's columns
+// (owned) recycle individually.
 type batch struct {
 	keys, vals []uint64
+	buf        []uint64
+	owned      bool
 	ack        chan<- struct{}
 }
 
@@ -295,11 +310,29 @@ func (s *Stream) start() {
 
 // Append ingests one batch of rows: vals[i] belongs to keys[i], and a short
 // vals slice zero-extends, matching the batch operators. The batch is
-// copied (the caller may reuse its slices) and handed to one shard,
-// round-robin; if that shard's queue is full, Append blocks until the shard
-// drains — rows are never dropped. Rows become visible to snapshots once
-// their delta seals (see Flush).
+// copied (the caller may reuse its slices). It is the row-pair form of
+// AppendChunk — one ingest code path underneath.
 func (s *Stream) Append(keys, vals []uint64) error {
+	return s.AppendChunk(agg.Chunk{Keys: keys, Vals: vals}, false)
+}
+
+// AppendChunk ingests one columnar chunk and hands it to one shard,
+// round-robin; if that shard's queue is full, AppendChunk blocks until
+// the shard drains — rows are never dropped. Rows become visible to
+// snapshots once their delta seals (see Flush).
+//
+// With owned false the columns are copied (the caller may reuse them),
+// into a pooled scratch buffer so a steady producer allocates nothing.
+// With owned true the chunk's slices transfer to the stream — zero copy:
+// the receiving shard folds them straight into its delta table and then
+// recycles them through the same pool the copying path draws from. The
+// caller must not touch either column again, and the columns must not
+// overlap each other (distinct allocations, or disjoint ranges of one).
+// A short value column zero-extends in both modes.
+func (s *Stream) AppendChunk(c agg.Chunk, owned bool) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
@@ -308,15 +341,28 @@ func (s *Stream) Append(keys, vals []uint64) error {
 	if s.dur != nil && s.dur.degraded.Load() {
 		return s.dur.degradedErr()
 	}
-	n := len(keys)
+	n := len(c.Keys)
 	if n == 0 {
 		return nil
 	}
 	mk := obs.Start()
-	buf := make([]uint64, 2*n)
-	bk, bv := buf[:n], buf[n:]
-	copy(bk, keys)
-	copy(bv, vals) // zero-extended: buf starts zeroed
+	b := batch{owned: owned}
+	if owned {
+		b.keys, b.vals = c.Keys, c.Vals
+		if len(b.vals) < n {
+			// Zero-extend the transferred value column; the grown slice is
+			// ours either way.
+			nv := make([]uint64, n)
+			copy(nv, c.Vals)
+			b.vals = nv
+		}
+	} else {
+		buf := s.getBuf(2 * n)
+		b.keys, b.vals, b.buf = buf[:n:n], buf[n:], buf
+		copy(b.keys, c.Keys)
+		m := copy(b.vals, c.Vals)
+		clear(b.vals[m:]) // pooled buffers come back dirty
+	}
 	// Count before the send: a fast shard may seal these rows the moment
 	// they land, and the watermark must never be observed ahead of the
 	// ingested count (rows waiting in a queue are "ingested, not visible").
@@ -324,17 +370,51 @@ func (s *Stream) Append(keys, vals []uint64) error {
 	s.m.batches.Inc()
 	sh := s.shards[int(s.rr.Add(1)-1)%len(s.shards)]
 	select {
-	case sh.ch <- batch{keys: bk, vals: bv}:
+	case sh.ch <- b:
 	default:
 		// Queue full: the backpressure path. Time the blocking send so the
 		// blocked-nanos counter exposes how long producers stall. The fast
 		// path above pays only a channel try-send for this accounting.
 		start := time.Now()
-		sh.ch <- batch{keys: bk, vals: bv}
+		sh.ch <- b
 		s.m.blockedNs.Add(uint64(time.Since(start)))
 	}
 	mk.Tick(s.m.appendLat)
 	return nil
+}
+
+// getBuf returns a scratch buffer of length n from the recycle pool, or
+// a fresh one when the pool is empty or its head is too small.
+func (s *Stream) getBuf(n int) []uint64 {
+	if v := s.bufs.Get(); v != nil {
+		if b := *(v.(*[]uint64)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+// putBuf returns a retired buffer to the recycle pool.
+func (s *Stream) putBuf(b []uint64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	s.bufs.Put(&b)
+}
+
+// recycleBatch retires an absorbed batch's backing memory into the pool.
+// A copied batch recycles its single backing allocation; an
+// ownership-transferred chunk recycles each column.
+func (s *Stream) recycleBatch(b batch) {
+	if b.buf != nil {
+		s.putBuf(b.buf)
+		return
+	}
+	if b.owned {
+		s.putBuf(b.keys)
+		s.putBuf(b.vals)
+	}
 }
 
 // Flush seals every shard's current delta and returns once the rows of all

@@ -33,6 +33,11 @@ const MaxFrame = 64 << 20
 // support on both x86 (SSE4.2) and arm64.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Checksum returns the frame checksum (CRC32C) of payload — exported so
+// writers that build frames in place inside a larger buffer (the chunk
+// and checkpoint codecs) compute the same sum ReadFrame verifies.
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
 // AppendFrame appends the frame for payload to dst and returns it.
 func AppendFrame(dst, payload []byte) []byte {
 	var hdr [frameHeader]byte

@@ -78,3 +78,20 @@ go test -race ./internal/cluster/...
 go test -race -run 'TestClusterEquivalence|TestClusterKillTripsBreaker' -count=1 -v ./internal/cluster
 # Consistent-hash movement bound: adding a node to N must move <= K/N keys.
 go test -race -run 'TestRingMovementOnAdd' -count=1 -v ./internal/chash
+
+# Columnar chunk ingest (binary wire + zero-copy path). The fuzz harness
+# replays its checked-in seed corpus (decode -> re-encode -> identical, or
+# a typed error) as part of the package suite; it is pinned by name here so
+# a rename can't drop the corpus replay. The content-negotiation gates then
+# prove JSON-fed and binary-fed servers answer bit-identical Q1-Q7 (plus
+# quantile/mode) — single node and the 3-node scatter path — under the
+# race detector, with the ownership-transfer pool recycling exercised
+# concurrently.
+go test -race -run 'FuzzChunkWire|TestChunkWire|TestChunkStream' -count=1 -v ./internal/agg
+go test -race -run 'TestAppendChunkOwnedEquivalence|TestAppendChunkPoolRecycling' -count=1 -v ./internal/stream
+go test -race -run 'TestIngestEquivalenceJSONBinary|TestClusterIngestEquivalence|TestIngestBinaryMultiChunkBody|TestIngestBinaryRejectsCorruptBody|TestVersionedPathAliases' -count=1 -v ./cmd/aggserve
+
+# Ingest wire throughput guard: binary chunk ingest must not be slower
+# than JSON ingest for the same rows through the same server (the -exp
+# ingestwire sweep records the actual gap; this only pins the sign).
+MEMAGG_INGEST_GUARD=1 go test -run 'TestIngestThroughputGuard' -count=1 -v ./cmd/aggserve

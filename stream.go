@@ -209,11 +209,32 @@ func (s *Stream) Ready() bool { return !s.s.Closed() && !s.s.ReadOnly() }
 
 // Append ingests one batch of rows: values[i] belongs to keys[i], and a
 // short values slice treats missing values as zero (the batch operators'
-// convention). The slices are copied; the caller may reuse them. Append
-// blocks when the receiving shard's queue is full and returns ErrClosed
+// convention). The slices are copied; the caller may reuse them.
+//
+// Deprecated: Append is the row-pair spelling of AppendChunk, kept as a
+// thin wrapper for compatibility; new code should build a Chunk and call
+// AppendChunk (or AppendOwnedChunk to skip the copy).
+func (s *Stream) Append(keys, values []uint64) error {
+	return s.AppendChunk(Chunk{Keys: keys, Vals: values})
+}
+
+// AppendChunk ingests one columnar chunk: c.Vals[i] belongs to
+// c.Keys[i], and a short value column zero-extends. The columns are
+// copied (into pooled scratch, so a steady producer allocates nothing);
+// the caller may reuse them. AppendChunk blocks when the receiving
+// shard's queue is full (backpressure, not loss) and returns ErrClosed
 // after Close. Rows become visible to snapshots once their delta seals;
 // call Flush for an immediate visibility barrier.
-func (s *Stream) Append(keys, values []uint64) error { return s.s.Append(keys, values) }
+func (s *Stream) AppendChunk(c Chunk) error { return s.s.AppendChunk(c, false) }
+
+// AppendOwnedChunk is AppendChunk in ownership-transfer mode: the
+// chunk's slices pass to the stream without copying, are folded straight
+// into a shard's delta table, and are then recycled through the stream's
+// ingest buffer pool. The caller must not touch either column again
+// after a successful call, and the columns must not share backing memory
+// with anything the caller keeps (ReadChunk's outputs qualify — the
+// servers feed decoded wire chunks through this path).
+func (s *Stream) AppendOwnedChunk(c Chunk) error { return s.s.AppendChunk(c, true) }
 
 // Flush makes every row this caller appended before the call visible to
 // subsequent snapshots.
