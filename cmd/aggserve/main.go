@@ -22,6 +22,9 @@
 //	                  memagg.AppendChunkWire and DESIGN.md §1.2k)
 //	POST /v1/flush                                         visibility barrier
 //	GET  /v1/query?q=q1|q2|...|q7|sum|min|max|quantile|mode
+//	GET  /v1/views                list continuous views; POST registers one
+//	GET  /v1/views/{name}         one view's description; DELETE drops it
+//	GET  /v1/views/{name}/result  evaluate the standing query (ETag/304)
 //	GET  /v1/stats                                         ingest/merge state
 //	GET  /v1/metrics                                       Prometheus text format
 //	GET  /v1/debug/vars                                    expvar-style JSON

@@ -51,6 +51,8 @@ func newServer(s *memagg.Stream) *server {
 	srv.handle("/query", srv.handleQuery)
 	srv.handle("/stats", srv.handleStats)
 	srv.handle("/partials", srv.handlePartials)
+	srv.handle("/views", srv.handleViews)
+	srv.handle("/views/", srv.handleViewItem)
 	srv.handle("/healthz", srv.handleHealthz)
 	srv.handle("/readyz", srv.handleReadyz)
 	regs := []*obs.Registry{obs.Default, s.MetricsRegistry(), reg}
@@ -126,11 +128,14 @@ func (srv *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "more vals than keys")
 		return
 	}
-	if err := srv.stream.Append(req.Keys, req.Vals); err != nil {
+	// The decoder allocated the columns for this request alone, so they
+	// transfer to the stream without the AppendChunk copy.
+	n := len(req.Keys)
+	if err := srv.stream.AppendOwnedChunk(memagg.Chunk{Keys: req.Keys, Vals: req.Vals}); err != nil {
 		httpError(w, ingestStatus(err), err.Error())
 		return
 	}
-	writeJSON(w, map[string]any{"appended": len(req.Keys), "ingested": srv.stream.Stats().Ingested})
+	writeJSON(w, map[string]any{"appended": n, "ingested": srv.stream.Stats().Ingested})
 }
 
 // isChunkRequest reports whether the request negotiated the binary chunk

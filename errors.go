@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"memagg/internal/agg"
+	"memagg/internal/cview"
 	"memagg/internal/stream"
 	"memagg/internal/wal"
 )
@@ -42,6 +43,17 @@ var (
 	// valid prefix) or a damaged checkpoint (OpenStream fails rather than
 	// serve wrong aggregates).
 	ErrWALCorrupt = wal.ErrWALCorrupt
+
+	// ErrViewExists reports a RegisterView with a name already registered.
+	ErrViewExists = cview.ErrExists
+
+	// ErrUnknownView reports a View/ViewStatus of a name never registered
+	// (or since dropped).
+	ErrUnknownView = cview.ErrUnknown
+
+	// ErrBadView reports an invalid ViewSpec (bad name, zero pane width,
+	// pane count out of range, unknown query spelling or parameter).
+	ErrBadView = cview.ErrBadSpec
 )
 
 // QueryError reports a query an Aggregator's backend cannot execute,

@@ -63,11 +63,14 @@ func NodeHandler(s *stream.Stream) http.Handler {
 			nodeError(w, http.StatusBadRequest, "more vals than keys")
 			return
 		}
-		if err := s.Append(req.Keys, req.Vals); err != nil {
+		// The decoder allocated the columns for this request alone, so they
+		// transfer to the stream without the AppendChunk copy.
+		n := len(req.Keys)
+		if err := s.AppendChunk(agg.Chunk{Keys: req.Keys, Vals: req.Vals}, true); err != nil {
 			nodeError(w, nodeStatus(err), err.Error())
 			return
 		}
-		nodeJSON(w, map[string]any{"appended": len(req.Keys)})
+		nodeJSON(w, map[string]any{"appended": n})
 	})
 	handle("/flush", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

@@ -1,0 +1,553 @@
+// Package cview is the continuous-view subsystem: named standing queries
+// over tumbling or sliding windows of a stream, maintained incrementally
+// from the seal-publication path instead of recomputed per read.
+//
+// A view is a ring of panes in watermark order. A pane is an agg.Partial
+// table — the same mergeable state the stream's deltas and generations
+// hold — covering PaneRows rows of the publication watermark: pane p owns
+// the rows whose visibility watermark falls in (p*W, (p+1)*W]. Sealed
+// deltas are folded into panes as they publish (the stream calls OnSeal
+// under its view lock, right after the WAL append, so pane assignment
+// follows watermark order exactly); a whole delta lands in the pane that
+// contains its end watermark — deltas are the stream's atomic unit of
+// visibility, so windows advance delta by delta, never splitting one.
+//
+// Reads merge the live panes with the exact Partial.Merge and run the
+// registered query over the merged table, so a view's result is identical
+// to the batch query over the rows its window covers (the window-vs-batch
+// equivalence gate in internal/stream asserts reflect.DeepEqual,
+// holistics included). Results are cached per view keyed by a version
+// counter — a read of an unchanged view is a pointer load.
+//
+// Retention is evaluated when a seal opens a new pane: a sliding window
+// of N panes keeps [p-N+1, p]; a tumbling window keeps the current
+// N-pane bucket [p - p%N, p] (it accumulates, then drops whole). Evicted
+// panes free their tables and arenas wholesale.
+//
+// Restart recovery is two-layered: view definitions persist on every
+// Register/Drop (DEFS), pane state persists with every stream checkpoint
+// and at close (PANES), and the WAL suffix replays through the same
+// OnSeal hook as live ingest. A view whose replay cannot cover part of
+// its window — the log was truncated past its saved state — reports
+// Truncated until the window slides past the gap, rather than serving a
+// silently short count.
+package cview
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"memagg/internal/agg"
+	"memagg/internal/arena"
+	"memagg/internal/hashtbl"
+	"memagg/internal/obs"
+)
+
+// Sentinel errors, re-exported by the memagg facade.
+var (
+	// ErrExists reports a Register with a name already registered.
+	ErrExists = errors.New("cview: view already registered")
+	// ErrUnknown reports a lookup of a view name never registered (or
+	// dropped).
+	ErrUnknown = errors.New("cview: unknown view")
+	// ErrBadSpec reports an invalid view specification.
+	ErrBadSpec = errors.New("cview: invalid view spec")
+)
+
+// maxPanes bounds a window's pane count: a ring is merged whole on every
+// uncached read, so an absurd count is a config bug, not a bigger window.
+const maxPanes = 1 << 16
+
+// Spec defines one continuous view.
+type Spec struct {
+	// Name identifies the view (Register/Result/Drop key, HTTP path
+	// element). Non-empty, no '/', at most 128 bytes.
+	Name string
+
+	// Query is the standing query evaluated over the window.
+	Query Query
+
+	// PaneRows is the pane width in watermark rows: pane p covers the
+	// rows whose publication watermark lies in (p*PaneRows, (p+1)*PaneRows].
+	PaneRows uint64
+
+	// Panes is the window length in panes.
+	Panes int
+
+	// Sliding selects the window kind: a sliding window always covers the
+	// last Panes panes; a tumbling window accumulates the current
+	// Panes-pane bucket and drops it whole when the next bucket opens.
+	Sliding bool
+}
+
+func (sp Spec) validate(holistic bool) error {
+	if sp.Name == "" || len(sp.Name) > 128 {
+		return fmt.Errorf("%w: name must be 1..128 bytes", ErrBadSpec)
+	}
+	for i := 0; i < len(sp.Name); i++ {
+		if sp.Name[i] == '/' {
+			return fmt.Errorf("%w: name must not contain '/'", ErrBadSpec)
+		}
+	}
+	if sp.PaneRows == 0 {
+		return fmt.Errorf("%w: PaneRows must be >= 1", ErrBadSpec)
+	}
+	if sp.Panes < 1 || sp.Panes > maxPanes {
+		return fmt.Errorf("%w: Panes must be in [1, %d]", ErrBadSpec, maxPanes)
+	}
+	if err := sp.Query.validate(); err != nil {
+		return err
+	}
+	if sp.Query.NeedsValues() && !holistic {
+		return fmt.Errorf("%s view %q: %w", sp.Query, sp.Name, agg.ErrUnsupported)
+	}
+	return nil
+}
+
+// retentionFloor returns the lowest pane index retained while pane pIdx
+// is current.
+func (sp Spec) retentionFloor(pIdx uint64) uint64 {
+	n := uint64(sp.Panes)
+	if sp.Sliding {
+		if pIdx >= n-1 {
+			return pIdx - (n - 1)
+		}
+		return 0
+	}
+	return pIdx - pIdx%n
+}
+
+// Fold merges one sealed delta's groups into a pane table. The stream
+// supplies it per seal (closing over the delta), so cview never sees
+// stream internals; withValues asks for the value multisets too (only
+// ever true for views whose query needs them, on holistic streams).
+type Fold func(t *hashtbl.LinearProbe[agg.Partial], ar *arena.Arena, withValues bool)
+
+// Metrics is the instrument set a Registry records into; any field (or
+// the whole struct) may be nil.
+type Metrics struct {
+	Updates      *obs.Counter // pane folds applied (at settle, one per view per seal)
+	PanesOpened  *obs.Counter
+	PanesEvicted *obs.Counter
+	Reads        *obs.Counter   // Result calls
+	ReadsCached  *obs.Counter   // Result calls answered by the version cache
+	UpdateLat    *obs.Histogram // per-settle latency (a batch of deferred folds)
+}
+
+// Registry holds a stream's registered views. All methods are safe for
+// concurrent use; OnSeal callers must serialize among themselves (the
+// stream calls it under its publication lock, which also makes the
+// watermark Register observes exact).
+type Registry struct {
+	holistic bool
+	m        *Metrics
+
+	// active mirrors len(views) so the per-seal fast path is one atomic
+	// load, not a lock.
+	active atomic.Int32
+
+	mu    sync.RWMutex
+	views map[string]*View
+}
+
+// NewRegistry builds an empty registry. holistic gates value-multiset
+// queries; m may be nil.
+func NewRegistry(holistic bool, m *Metrics) *Registry {
+	return &Registry{holistic: holistic, m: m, views: make(map[string]*View)}
+}
+
+// Active reports whether any view is registered — the seal path's cheap
+// pre-check.
+func (r *Registry) Active() bool { return r.active.Load() > 0 }
+
+// Len returns the number of registered views.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.views)
+}
+
+// Register adds a view starting at watermark startWM: rows already sealed
+// at registration stay out of every window, rows sealed after flow in —
+// no double counting either way.
+func (r *Registry) Register(spec Spec, startWM uint64) error {
+	if err := spec.validate(r.holistic); err != nil {
+		return err
+	}
+	v := &View{
+		spec:       spec,
+		withValues: spec.Query.NeedsValues(),
+		startWM:    startWM,
+		lastWM:     startWM,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.views[spec.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, spec.Name)
+	}
+	r.views[spec.Name] = v
+	r.active.Store(int32(len(r.views)))
+	return nil
+}
+
+// Drop removes a view, reporting whether it existed.
+func (r *Registry) Drop(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.views[name]; !ok {
+		return false
+	}
+	delete(r.views, name)
+	r.active.Store(int32(len(r.views)))
+	return true
+}
+
+// OnSeal feeds one sealed delta to every view: the delta covers rows
+// (prevWM, endWM] of the publication watermark and carries rows of them.
+// Callers serialize OnSeal calls and deliver them in watermark order
+// (live publication and WAL replay both do).
+func (r *Registry) OnSeal(prevWM, endWM, rows uint64, fold Fold) {
+	if !r.Active() {
+		return
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, v := range r.views {
+		v.absorb(r, prevWM, endWM, rows, fold)
+	}
+}
+
+// NeedSeal reports whether any view still wants a delta ending at endWM —
+// the replay path's pre-check, so recovery skips rebuilding deltas no
+// view (and no other consumer) needs.
+func (r *Registry) NeedSeal(endWM uint64) bool {
+	if !r.Active() {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, v := range r.views {
+		v.mu.Lock()
+		want := endWM > v.barrier()
+		v.mu.Unlock()
+		if want {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplayFloor returns the lowest watermark barrier across views and
+// whether any view is registered: recovery must replay WAL records past
+// that floor even when a base checkpoint already covers them, because
+// views track panes the checkpoint cannot reconstruct.
+func (r *Registry) ReplayFloor() (uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var (
+		floor uint64
+		any   bool
+	)
+	for _, v := range r.views {
+		v.mu.Lock()
+		b := v.barrier()
+		v.mu.Unlock()
+		if !any || b < floor {
+			floor = b
+		}
+		any = true
+	}
+	return floor, any
+}
+
+// PanesLive returns the total live pane count across views.
+func (r *Registry) PanesLive() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, v := range r.views {
+		v.mu.Lock()
+		n += len(v.panes)
+		v.mu.Unlock()
+	}
+	return n
+}
+
+// Staleness returns the largest gap between the given ingested row count
+// and any view's last absorbed watermark — rows ingested but not yet
+// reflected in the most lagging view.
+func (r *Registry) Staleness(ingested uint64) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var max uint64
+	for _, v := range r.views {
+		v.mu.Lock()
+		wm := v.lastWM
+		v.mu.Unlock()
+		if ingested > wm && ingested-wm > max {
+			max = ingested - wm
+		}
+	}
+	return max
+}
+
+// Info is a point-in-time description of one view.
+type Info struct {
+	Spec           Spec
+	StartWatermark uint64 // registration watermark: rows at or below stay out
+	Watermark      uint64 // last absorbed seal watermark
+	PanesLive      int
+	PanesEvicted   uint64
+	Version        uint64 // bumps on every fold and eviction
+	Truncated      bool   // window currently overlaps a replay gap
+}
+
+// Info returns one view's description.
+func (r *Registry) Info(name string) (Info, error) {
+	r.mu.RLock()
+	v, ok := r.views[name]
+	r.mu.RUnlock()
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return v.info(), nil
+}
+
+// Infos returns every view's description, sorted by name.
+func (r *Registry) Infos() []Info {
+	r.mu.RLock()
+	views := make([]*View, 0, len(r.views))
+	for _, v := range r.views {
+		views = append(views, v)
+	}
+	r.mu.RUnlock()
+	out := make([]Info, len(views))
+	for i, v := range views {
+		out[i] = v.info()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
+// Result evaluates (or serves cached) one view's standing query over its
+// current window.
+func (r *Registry) Result(name string) (*Result, error) {
+	r.mu.RLock()
+	v, ok := r.views[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	if r.m != nil && r.m.Reads != nil {
+		r.m.Reads.Inc()
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.cached != nil {
+		if r.m != nil && r.m.ReadsCached != nil {
+			r.m.ReadsCached.Inc()
+		}
+		return v.cached, nil
+	}
+	res := v.compute(r.m)
+	v.cached = res
+	return res, nil
+}
+
+// View is one registered continuous view: its spec, its ring of live
+// panes, and the water-level bookkeeping that makes recovery honest.
+type View struct {
+	spec       Spec
+	withValues bool
+	startWM    uint64
+
+	mu      sync.Mutex
+	panes   []*pane // ascending pane index; all >= the current retention floor
+	lastWM  uint64  // watermark of the last absorbed seal (>= startWM)
+	evicted uint64
+	ver     uint64 // bumps on fold/evict; keys the result cache and ETags
+
+	// gapLo/gapHi record rows (gapLo, gapHi] that can never reach this
+	// view: a replayed seal arrived with prevWM past the view's barrier,
+	// so the log no longer covers the stretch between them. Results
+	// report Truncated while the window overlaps the gap.
+	gapLo, gapHi uint64
+
+	cached *Result
+}
+
+// pane is one window slot: the merged partial state of every delta whose
+// end watermark fell inside it. Maintenance is deferred: absorb only
+// queues the seal's fold closure, and the folds run when somebody needs
+// the pane's table — a read, a pane snapshot, or the pending cap. That
+// keeps the seal-publication path O(1) per view, and a pane evicted
+// before it is ever read never pays for its folds at all.
+type pane struct {
+	idx     uint64
+	t       *hashtbl.LinearProbe[agg.Partial]
+	ar      *arena.Arena
+	rows    uint64
+	lastWM  uint64
+	pending []Fold
+}
+
+// paneTableCap seeds a fresh pane's table; it grows like any delta table.
+const paneTableCap = 1 << 8
+
+// maxPendingFolds bounds a pane's deferred-fold queue. Each queued fold
+// pins its sealed delta in memory, so a view that is never read must not
+// accumulate them without bound: past the cap the ingest path settles
+// inline, amortizing the cost it deferred.
+const maxPendingFolds = 32
+
+// settle applies the pane's queued folds. Callers hold the owning view's
+// mu.
+func (p *pane) settle(m *Metrics, withValues bool) {
+	if len(p.pending) == 0 {
+		return
+	}
+	mk := obs.Start()
+	for _, f := range p.pending {
+		f(p.t, p.ar, withValues)
+	}
+	if m != nil {
+		if m.Updates != nil {
+			m.Updates.Add(uint64(len(p.pending)))
+		}
+		if m.UpdateLat != nil {
+			mk.Tick(m.UpdateLat)
+		}
+	}
+	for i := range p.pending {
+		p.pending[i] = nil
+	}
+	p.pending = p.pending[:0]
+}
+
+// settleAll applies every live pane's pending folds. Callers hold v.mu.
+func (v *View) settleAll(m *Metrics) {
+	for _, p := range v.panes {
+		p.settle(m, v.withValues)
+	}
+}
+
+// barrier returns the watermark at or below which seals are already
+// accounted for (absorbed, or excluded by registration time). Callers
+// hold v.mu.
+func (v *View) barrier() uint64 {
+	if v.lastWM > v.startWM {
+		return v.lastWM
+	}
+	return v.startWM
+}
+
+// absorb accounts one sealed delta to the pane containing its end
+// watermark, opening the pane (and evicting expired ones) if needed. The
+// fold itself is deferred: absorb queues it on the pane and bumps the
+// version, so the seal path stays O(1) per view and readers settle on
+// demand.
+func (v *View) absorb(r *Registry, prevWM, endWM, rows uint64, fold Fold) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	bar := v.barrier()
+	if endWM <= bar {
+		return // already absorbed, or sealed before registration
+	}
+	if prevWM > bar {
+		// Replay skipped (bar, prevWM]: the WAL no longer carries those
+		// rows for this view. Record the gap; reads flag Truncated until
+		// the window slides wholly past it.
+		v.gapLo, v.gapHi = bar, prevWM
+	}
+	pIdx := (endWM - 1) / v.spec.PaneRows
+	cur := v.tail()
+	if cur == nil || cur.idx != pIdx {
+		cur = v.open(r, pIdx)
+	}
+	cur.pending = append(cur.pending, fold)
+	if len(cur.pending) >= maxPendingFolds {
+		cur.settle(r.m, v.withValues)
+	}
+	cur.rows += rows
+	cur.lastWM = endWM
+	v.lastWM = endWM
+	v.ver++
+	v.cached = nil
+}
+
+func (v *View) tail() *pane {
+	if len(v.panes) == 0 {
+		return nil
+	}
+	return v.panes[len(v.panes)-1]
+}
+
+// open appends a fresh pane for pIdx and evicts panes below the new
+// retention floor. Callers hold v.mu.
+func (v *View) open(r *Registry, pIdx uint64) *pane {
+	floor := v.spec.retentionFloor(pIdx)
+	drop := 0
+	for drop < len(v.panes) && v.panes[drop].idx < floor {
+		drop++
+	}
+	if drop > 0 {
+		// Evicted panes free wholesale: the table and arena are the only
+		// owners of the pane's state, and any still-pending folds are
+		// dropped unrun — work a never-read pane never has to pay.
+		copy(v.panes, v.panes[drop:])
+		for i := len(v.panes) - drop; i < len(v.panes); i++ {
+			v.panes[i] = nil
+		}
+		v.panes = v.panes[:len(v.panes)-drop]
+		v.evicted += uint64(drop)
+		if r.m != nil && r.m.PanesEvicted != nil {
+			r.m.PanesEvicted.Add(uint64(drop))
+		}
+	}
+	p := &pane{idx: pIdx, t: hashtbl.NewLinearProbe[agg.Partial](paneTableCap), ar: arena.New()}
+	v.panes = append(v.panes, p)
+	if r.m != nil && r.m.PanesOpened != nil {
+		r.m.PanesOpened.Inc()
+	}
+	return p
+}
+
+func (v *View) info() Info {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Info{
+		Spec:           v.spec,
+		StartWatermark: v.startWM,
+		Watermark:      v.lastWM,
+		PanesLive:      len(v.panes),
+		PanesEvicted:   v.evicted,
+		Version:        v.ver,
+		Truncated:      v.truncated(),
+	}
+}
+
+// truncated reports whether the current window still overlaps the
+// recorded replay gap. Callers hold v.mu.
+func (v *View) truncated() bool {
+	if v.gapHi <= v.gapLo {
+		return false
+	}
+	return v.windowStart() < v.gapHi
+}
+
+// windowStart returns the window's exclusive lower watermark bound: the
+// retention floor's left edge, clamped to the registration watermark.
+// Callers hold v.mu.
+func (v *View) windowStart() uint64 {
+	if len(v.panes) == 0 {
+		return v.barrier()
+	}
+	ws := v.spec.retentionFloor(v.panes[len(v.panes)-1].idx) * v.spec.PaneRows
+	if ws < v.startWM {
+		ws = v.startWM
+	}
+	return ws
+}

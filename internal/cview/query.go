@@ -1,0 +1,137 @@
+package cview
+
+import (
+	"fmt"
+
+	"memagg/internal/agg"
+)
+
+// QueryID names a standing query — the same set the stream's snapshots
+// serve (Q1–Q7 plus the generalized reduce, quantile, and mode).
+type QueryID int
+
+const (
+	QCountByKey  QueryID = iota + 1 // Q1: (key, COUNT(*)) per key
+	QAvgByKey                       // Q2: (key, AVG(val)) per key
+	QMedianByKey                    // Q3: (key, MEDIAN(val)) per key; holistic
+	QCount                          // Q4: COUNT(*) over the window
+	QAvg                            // Q5: AVG(val) over the window
+	QMedian                         // Q6: MEDIAN over the key column
+	QRange                          // Q7: Q1 restricted to Lo <= key <= Hi, ascending
+	QReduce                         // (key, Op(val)) per key for a distributive Op
+	QQuantile                       // (key, P-quantile of vals) per key; holistic
+	QMode                           // (key, most frequent val) per key; holistic
+)
+
+// Query is one standing query: the id plus its parameters (Op for
+// QReduce, P for QQuantile, Lo/Hi for QRange; the rest ignore them).
+type Query struct {
+	ID QueryID
+	Op agg.ReduceOp
+	P  float64
+	Lo uint64
+	Hi uint64
+}
+
+// ParseQuery resolves the HTTP/CLI query names (the /v1/query spellings)
+// into a Query: q1..q7 and their aliases, sum/min/max, quantile (with p),
+// mode.
+func ParseQuery(q string, p float64, lo, hi uint64) (Query, error) {
+	switch q {
+	case "q1", "count_by_key":
+		return Query{ID: QCountByKey}, nil
+	case "q2", "avg_by_key":
+		return Query{ID: QAvgByKey}, nil
+	case "q3", "median_by_key":
+		return Query{ID: QMedianByKey}, nil
+	case "q4", "count":
+		return Query{ID: QCount}, nil
+	case "q5", "avg":
+		return Query{ID: QAvg}, nil
+	case "q6", "median":
+		return Query{ID: QMedian}, nil
+	case "q7", "range":
+		return Query{ID: QRange, Lo: lo, Hi: hi}, nil
+	case "sum":
+		return Query{ID: QReduce, Op: agg.OpSum}, nil
+	case "min":
+		return Query{ID: QReduce, Op: agg.OpMin}, nil
+	case "max":
+		return Query{ID: QReduce, Op: agg.OpMax}, nil
+	case "quantile":
+		qq := Query{ID: QQuantile, P: p}
+		return qq, qq.validate()
+	case "mode":
+		return Query{ID: QMode}, nil
+	default:
+		return Query{}, fmt.Errorf("%w: unknown query %q", ErrBadSpec, q)
+	}
+}
+
+func (q Query) validate() error {
+	switch q.ID {
+	case QCountByKey, QAvgByKey, QMedianByKey, QCount, QAvg, QMedian, QRange, QMode:
+		return nil
+	case QReduce:
+		switch q.Op {
+		case agg.OpCount, agg.OpSum, agg.OpMin, agg.OpMax:
+			return nil
+		}
+		return fmt.Errorf("%w: unknown reduce op %d", ErrBadSpec, int(q.Op))
+	case QQuantile:
+		if q.P < 0 || q.P > 1 {
+			return fmt.Errorf("%w: quantile p must be in [0, 1], got %v", ErrBadSpec, q.P)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown query id %d", ErrBadSpec, int(q.ID))
+	}
+}
+
+// NeedsValues reports whether the query consumes value multisets (so the
+// view's panes must buffer them, which requires a holistic stream).
+func (q Query) NeedsValues() bool {
+	switch q.ID {
+	case QMedianByKey, QQuantile, QMode:
+		return true
+	}
+	return false
+}
+
+// String returns the canonical query spelling (the primary /v1/query
+// name), with parameters where they disambiguate.
+func (q Query) String() string {
+	switch q.ID {
+	case QCountByKey:
+		return "q1"
+	case QAvgByKey:
+		return "q2"
+	case QMedianByKey:
+		return "q3"
+	case QCount:
+		return "q4"
+	case QAvg:
+		return "q5"
+	case QMedian:
+		return "q6"
+	case QRange:
+		return fmt.Sprintf("q7[%d,%d]", q.Lo, q.Hi)
+	case QReduce:
+		switch q.Op {
+		case agg.OpSum:
+			return "sum"
+		case agg.OpMin:
+			return "min"
+		case agg.OpMax:
+			return "max"
+		default:
+			return "count"
+		}
+	case QQuantile:
+		return fmt.Sprintf("quantile(%g)", q.P)
+	case QMode:
+		return "mode"
+	default:
+		return fmt.Sprintf("Query(%d)", int(q.ID))
+	}
+}

@@ -1,0 +1,247 @@
+package cview
+
+import (
+	"memagg/internal/agg"
+	"memagg/internal/arena"
+	"memagg/internal/hashtbl"
+	"memagg/internal/xsort"
+)
+
+// Result is one evaluation of a view's standing query over its current
+// window. Results are immutable and shared by every read of an unchanged
+// view (the version cache); treat vector Values as read-only.
+type Result struct {
+	Name  string
+	Query Query
+
+	// WindowStart is the window's exclusive lower watermark bound and
+	// WindowEnd its inclusive upper one: the result covers exactly the
+	// rows whose visibility watermark lies in (WindowStart, WindowEnd].
+	WindowStart uint64
+	WindowEnd   uint64
+
+	PanesLive int
+	Rows      uint64
+	Groups    int
+	Version   uint64
+
+	// Truncated reports the window overlaps a stretch of rows recovery
+	// could not replay (see View gap tracking): the result is exact over
+	// the rows that survived, but short of the full window.
+	Truncated bool
+
+	// Value is the query result: []agg.GroupCount (q1, q7),
+	// []agg.GroupFloat (q2, q3, quantile, mode), []agg.GroupUint
+	// (sum/min/max), uint64 (q4), or float64 (q5, q6).
+	Value any
+}
+
+// compute evaluates the view's query over its live panes: merge the panes
+// into one combined table (exact Partial.Merge — the same fold the
+// stream's merger and snapshots use), then run the kernel. Callers hold
+// v.mu; the panes are only ever mutated under it, so the merged table is
+// consistent by construction.
+func (v *View) compute(m *Metrics) *Result {
+	v.settleAll(m)
+	res := &Result{
+		Name:        v.spec.Name,
+		Query:       v.spec.Query,
+		WindowStart: v.windowStart(),
+		WindowEnd:   v.lastWM,
+		PanesLive:   len(v.panes),
+		Version:     v.ver,
+		Truncated:   v.truncated(),
+	}
+	bound := 0
+	for _, p := range v.panes {
+		res.Rows += p.rows
+		bound += p.t.Len()
+	}
+	merged := mergedWindow{withValues: v.withValues}
+	if len(v.panes) == 1 {
+		// Single live pane: query it directly, no merge copy.
+		merged.t, merged.ar = v.panes[0].t, v.panes[0].ar
+	} else if len(v.panes) > 1 {
+		cap := bound
+		if cap < paneTableCap {
+			cap = paneTableCap
+		}
+		merged.t = hashtbl.NewLinearProbe[agg.Partial](cap)
+		if v.withValues {
+			merged.ar = arena.New()
+		}
+		for _, p := range v.panes {
+			merged.fold(p)
+		}
+	}
+	res.Groups = 0
+	if merged.t != nil {
+		res.Groups = merged.t.Len()
+	}
+	res.Value = merged.run(v.spec.Query, res.Rows)
+	return res
+}
+
+// mergedWindow is the combined table of a window's live panes plus the
+// arena its merged value lists live in (nil unless the query needs them).
+type mergedWindow struct {
+	t          *hashtbl.LinearProbe[agg.Partial]
+	ar         *arena.Arena
+	withValues bool
+}
+
+// fold merges one pane into the combined table, in the blocked-hash form
+// the stream's mergeTable uses: groups stage in blocks of
+// hashtbl.HashBatch, each block Mix-hashes at once, then probes with
+// UpsertH.
+func (m *mergedWindow) fold(p *pane) {
+	var (
+		h  [hashtbl.HashBatch]uint64
+		ks [hashtbl.HashBatch]uint64
+		ps [hashtbl.HashBatch]*agg.Partial
+	)
+	n := 0
+	one := func(k, hk uint64, src *agg.Partial) {
+		np := m.t.UpsertH(k, hk)
+		np.Merge(src)
+		if m.withValues {
+			np.MergeValues(m.ar, src, p.ar)
+		}
+	}
+	p.t.Iterate(func(k uint64, src *agg.Partial) bool {
+		ks[n], ps[n] = k, src
+		n++
+		if n == hashtbl.HashBatch {
+			hashtbl.MixBatch(&h, ks[:])
+			for j, bk := range ks {
+				one(bk, h[j], ps[j])
+			}
+			n = 0
+		}
+		return true
+	})
+	for j := 0; j < n; j++ {
+		one(ks[j], hashtbl.Mix(ks[j]), ps[j])
+	}
+}
+
+// run executes the query kernel over the merged window. The kernels
+// mirror the stream's snapshot kernels row for row — same result types,
+// same empty-result conventions, same float arithmetic — which is what
+// makes the window-vs-batch equivalence gate a reflect.DeepEqual.
+func (m *mergedWindow) run(q Query, rows uint64) any {
+	switch q.ID {
+	case QCountByKey:
+		out := make([]agg.GroupCount, 0, m.len())
+		m.each(func(k uint64, p *agg.Partial) {
+			out = append(out, agg.GroupCount{Key: k, Count: p.Count()})
+		})
+		return out
+	case QAvgByKey:
+		out := make([]agg.GroupFloat, 0, m.len())
+		m.each(func(k uint64, p *agg.Partial) {
+			out = append(out, agg.GroupFloat{Key: k, Val: p.Avg()})
+		})
+		return out
+	case QReduce:
+		out := make([]agg.GroupUint, 0, m.len())
+		m.each(func(k uint64, p *agg.Partial) {
+			out = append(out, agg.GroupUint{Key: k, Val: p.Reduce(q.Op)})
+		})
+		return out
+	case QMedianByKey:
+		return m.holistic(agg.MedianFunc)
+	case QQuantile:
+		return m.holistic(agg.QuantileFunc(q.P))
+	case QMode:
+		return m.holistic(agg.ModeFunc)
+	case QCount:
+		return rows
+	case QAvg:
+		var sum, count uint64
+		m.each(func(_ uint64, p *agg.Partial) {
+			sum += p.Sum()
+			count += p.Count()
+		})
+		if count == 0 {
+			return float64(0)
+		}
+		return float64(sum) / float64(count)
+	case QMedian:
+		groups := make([]xsort.KV, 0, m.len())
+		var n uint64
+		m.each(func(k uint64, p *agg.Partial) {
+			c := p.Count()
+			groups = append(groups, xsort.KV{K: k, V: c})
+			n += c
+		})
+		if n == 0 {
+			return float64(0)
+		}
+		xsort.IntrosortKV(groups)
+		med := float64(keyAtRank(groups, n/2))
+		if n%2 == 0 {
+			med = (float64(keyAtRank(groups, n/2-1)) + med) / 2
+		}
+		return med
+	case QRange:
+		var kv []xsort.KV
+		m.each(func(k uint64, p *agg.Partial) {
+			if q.Lo <= k && k <= q.Hi {
+				kv = append(kv, xsort.KV{K: k, V: p.Count()})
+			}
+		})
+		xsort.IntrosortKV(kv)
+		out := make([]agg.GroupCount, len(kv))
+		for i, r := range kv {
+			out[i] = agg.GroupCount{Key: r.K, Count: r.V}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func (m *mergedWindow) len() int {
+	if m.t == nil {
+		return 0
+	}
+	return m.t.Len()
+}
+
+func (m *mergedWindow) each(fn func(k uint64, p *agg.Partial)) {
+	if m.t == nil {
+		return
+	}
+	m.t.Iterate(func(k uint64, p *agg.Partial) bool {
+		fn(k, p)
+		return true
+	})
+}
+
+// holistic runs fn over every group's merged value multiset. The scratch
+// buffer is reused across groups because the holistic functions may
+// reorder their argument (Median and Quantile select in place).
+func (m *mergedWindow) holistic(fn agg.HolisticFunc) []agg.GroupFloat {
+	out := make([]agg.GroupFloat, 0, m.len())
+	var buf []uint64
+	m.each(func(k uint64, p *agg.Partial) {
+		buf = p.AppendValues(m.ar, buf[:0])
+		out = append(out, agg.GroupFloat{Key: k, Val: fn(buf)})
+	})
+	return out
+}
+
+// keyAtRank returns the key at 0-based rank r of the expansion of the
+// key-sorted (key, count) runs — the same walk the snapshot Q6 kernel
+// performs.
+func keyAtRank(groups []xsort.KV, r uint64) uint64 {
+	var cum uint64
+	for _, g := range groups {
+		cum += g.V
+		if r < cum {
+			return g.K
+		}
+	}
+	return groups[len(groups)-1].K
+}

@@ -123,6 +123,7 @@ func Experiments() []Experiment {
 		{"query", "Extension: snapshot queries — delta folds, parallel kernels, result cache", ExtQuery},
 		{"cluster", "Extension: clustered serving — sharded ingest router, exact scatter-gather", ExtCluster},
 		{"ingestwire", "Extension: columnar chunk ingest — binary wire vs JSON over HTTP", ExtIngestWire},
+		{"cview", "Extension: continuous views — incremental pane reads vs window recompute", ExtCView},
 	}
 }
 

@@ -79,7 +79,7 @@ func ExtObs(cfg Config) error {
 		if j > len(keys) {
 			j = len(keys)
 		}
-		if err := s.Append(keys[i:j], vals[i:j]); err != nil {
+		if err := s.AppendChunk(agg.Chunk{Keys: keys[i:j], Vals: vals[i:j]}, false); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"memagg/internal/agg"
 	"memagg/internal/dataset"
 	"memagg/internal/stream"
 )
@@ -29,7 +30,7 @@ func layeredQueryStream(cfg stream.Config, keys, vals []uint64, deltas, sealRows
 			if end > hi {
 				end = hi
 			}
-			if err := s.Append(keys[off:end], vals[off:end]); err != nil {
+			if err := s.AppendChunk(agg.Chunk{Keys: keys[off:end], Vals: vals[off:end]}, false); err != nil {
 				return err
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"memagg/internal/agg"
 	"memagg/internal/dataset"
 	"memagg/internal/stream"
 )
@@ -68,7 +69,7 @@ func ExtStream(cfg Config) error {
 					if end > hi {
 						end = hi
 					}
-					if err := s.Append(keys[off:end], vals[off:end]); err != nil {
+					if err := s.AppendChunk(agg.Chunk{Keys: keys[off:end], Vals: vals[off:end]}, false); err != nil {
 						panic(err)
 					}
 				}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"memagg/internal/agg"
 	"memagg/internal/dataset"
 	"memagg/internal/stream"
 	"memagg/internal/wal"
@@ -35,7 +36,7 @@ func walIngest(keys, vals []uint64, dir string, policy wal.SyncPolicy, ckptEvery
 		if j > len(keys) {
 			j = len(keys)
 		}
-		if err := s.Append(keys[i:j], vals[i:j]); err != nil {
+		if err := s.AppendChunk(agg.Chunk{Keys: keys[i:j], Vals: vals[i:j]}, false); err != nil {
 			return stream.Stats{}, 0, err
 		}
 	}

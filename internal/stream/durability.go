@@ -10,6 +10,7 @@ import (
 
 	"memagg/internal/agg"
 	"memagg/internal/arena"
+	"memagg/internal/cview"
 	"memagg/internal/hashtbl"
 	"memagg/internal/wal"
 	"memagg/internal/wal/checkpoint"
@@ -158,15 +159,45 @@ func Open(cfg Config) (*Stream, error) {
 		s.dur.ckptSeq.Store(meta.Seq)
 	}
 
+	// Continuous views come back in two layers: the definitions file
+	// re-registers every view at its original start watermark (with any
+	// snapshotted panes), then WAL replay below folds the log suffix through
+	// the same per-seal hook live ingest uses — panes the snapshot already
+	// covers are skipped by the views' own watermark barriers.
+	saved, err := cview.Load(fs, s.cviewDir())
+	if err != nil {
+		return nil, fmt.Errorf("stream: load continuous views: %w", err)
+	}
+	for _, sv := range saved {
+		if err := s.views.Restore(sv); err != nil {
+			return nil, fmt.Errorf("stream: restore continuous view %q: %w", sv.Spec.Name, err)
+		}
+	}
+
 	// Replay the WAL suffix: each surviving record is one sealed delta,
 	// rebuilt exactly as its shard built it the first time. Records at or
-	// below the checkpoint watermark are already folded into the base.
+	// below the checkpoint watermark are already folded into the base, but
+	// still feed any continuous view whose panes lag them. SkipBelow prunes
+	// whole segments only when no view needs their records either.
 	var sealed []*delta
+	skipBelow := ckptWM
+	if wm, need := s.views.ReplayFloor(); need && wm < skipBelow {
+		skipBelow = wm
+	}
 	replay := func(r wal.Record) error {
-		if r.EndWatermark <= ckptWM {
+		end := r.EndWatermark
+		prev := end - uint64(len(r.Keys))
+		feed := s.views.Active() && s.views.NeedSeal(end)
+		if end <= ckptWM && !feed {
 			return nil
 		}
-		sealed = append(sealed, replayDelta(r.Keys, r.Vals, cfg.Holistic))
+		d := replayDelta(r.Keys, r.Vals, cfg.Holistic)
+		if feed {
+			s.foldViews(prev, end, d)
+		}
+		if end > ckptWM {
+			sealed = append(sealed, d)
+		}
 		return nil
 	}
 	log, err := wal.Open(filepath.Join(dcfg.Dir, "wal"), wal.Options{
@@ -174,7 +205,7 @@ func Open(cfg Config) (*Stream, error) {
 		SyncPolicy:   dcfg.SyncPolicy,
 		SyncInterval: dcfg.SyncInterval,
 		SegmentBytes: dcfg.SegmentBytes,
-		SkipBelow:    ckptWM,
+		SkipBelow:    skipBelow,
 		Metrics:      s.m.walMetrics(),
 	}, replay)
 	if err != nil {
@@ -366,6 +397,10 @@ func (s *Stream) checkpointOnce() {
 	d.lastCkptWM.Store(base.rows)
 	s.m.ckpts.Inc()
 	s.m.ckptLat.Observe(time.Since(start))
+	// Snapshot continuous-view pane state before dropping any log segments:
+	// the truncated records are the only other source those panes could
+	// rebuild from.
+	s.saveViewPanes()
 	// Sealed segments fully below the checkpoint are now redundant.
 	_ = d.log.TruncateBelow(base.rows)
 }
@@ -384,6 +419,9 @@ func (s *Stream) closeDurability() {
 	d.ckWG.Wait()
 	if d.ckptEvery != 0 {
 		s.checkpointOnce()
+	}
+	if !d.degraded.Load() {
+		s.saveViewPanes()
 	}
 	_ = d.log.Close()
 }

@@ -1,6 +1,9 @@
 package stream
 
-import "memagg/internal/obs"
+import (
+	"memagg/internal/cview"
+	"memagg/internal/obs"
+)
 
 // metrics is one Stream's instrument set, backed by a private obs.Registry
 // so independent streams (tests, multiple embedded servers) never share a
@@ -53,6 +56,16 @@ type metrics struct {
 	walSyncLat  *obs.Histogram // WAL fsync latency
 	ckptLat     *obs.Histogram // checkpoint write+commit duration
 	recoveryLat *obs.Histogram // Open recovery duration (load + replay)
+
+	// Continuous-view instruments (internal/cview): the counters record
+	// through the cview.Metrics view cviewMetrics builds; the update
+	// histogram times the per-seal fold across all registered views.
+	cviewUpdates      *obs.Counter
+	cviewPanesOpened  *obs.Counter
+	cviewPanesEvicted *obs.Counter
+	cviewReads        *obs.Counter
+	cviewReadsCached  *obs.Counter
+	cviewUpdateLat    *obs.Histogram
 }
 
 func newMetrics(s *Stream) *metrics {
@@ -111,6 +124,18 @@ func newMetrics(s *Stream) *metrics {
 			"Checkpoint duration (partition runs, META, CURRENT swap)."),
 		recoveryLat: reg.NewHistogram("memagg_wal_recovery_seconds",
 			"Recovery duration at Open (checkpoint load plus WAL replay)."),
+		cviewUpdates: reg.NewCounter("memagg_cview_updates_total",
+			"Continuous-view pane folds applied (one per registered view per seal)."),
+		cviewPanesOpened: reg.NewCounter("memagg_cview_panes_opened_total",
+			"Continuous-view panes opened."),
+		cviewPanesEvicted: reg.NewCounter("memagg_cview_panes_evicted_total",
+			"Continuous-view panes evicted by window retention."),
+		cviewReads: reg.NewCounter("memagg_cview_reads_total",
+			"Continuous-view result reads."),
+		cviewReadsCached: reg.NewCounter("memagg_cview_reads_cached_total",
+			"Continuous-view reads answered from the version cache (view unchanged)."),
+		cviewUpdateLat: reg.NewHistogram("memagg_cview_update_seconds",
+			"Per-seal continuous-view update latency (all registered views' pane folds)."),
 	}
 	// View-derived state is served as scrape-time gauges rather than
 	// double-maintained counters: the view pointer already is the truth.
@@ -161,7 +186,44 @@ func newMetrics(s *Stream) *metrics {
 			}
 			return 0
 		})
+	// The view registry is attached right after newMetrics returns, so the
+	// gauge closures nil-check it (a scrape can only race the constructor,
+	// never observe a stream without it afterwards).
+	reg.NewGaugeFunc("memagg_cview_views",
+		"Registered continuous views.", func() int64 {
+			if s.views == nil {
+				return 0
+			}
+			return int64(s.views.Len())
+		})
+	reg.NewGaugeFunc("memagg_cview_panes_live",
+		"Live panes across all continuous views.", func() int64 {
+			if s.views == nil {
+				return 0
+			}
+			return int64(s.views.PanesLive())
+		})
+	reg.NewGaugeFunc("memagg_cview_staleness_rows",
+		"Rows ingested but not yet absorbed by the most lagging continuous view.",
+		func() int64 {
+			if s.views == nil || !s.views.Active() {
+				return 0
+			}
+			return int64(s.views.Staleness(m.rows.Value()))
+		})
 	return m
+}
+
+// cviewMetrics assembles the cview.Metrics view over the stream's
+// registry instruments.
+func (m *metrics) cviewMetrics() *cview.Metrics {
+	return &cview.Metrics{
+		Updates:      m.cviewUpdates,
+		PanesOpened:  m.cviewPanesOpened,
+		PanesEvicted: m.cviewPanesEvicted,
+		Reads:        m.cviewReads,
+		ReadsCached:  m.cviewReadsCached,
+	}
 }
 
 // Registry exposes the stream's private metric registry for serving.

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"memagg/internal/agg"
+	"memagg/internal/cview"
 	"memagg/internal/obs"
 	"memagg/internal/radix"
 )
@@ -175,7 +176,8 @@ type Stream struct {
 	cfg    Config
 	shards []*shard
 	m      *metrics
-	dur    *durable // nil when durability is disabled
+	dur    *durable        // nil when durability is disabled
+	views  *cview.Registry // continuous views, fed from publish
 
 	// view is the queryable state: an immutable (base, sealed deltas,
 	// watermark) triple swapped atomically. viewMu serializes installs
@@ -286,6 +288,7 @@ func New(cfg Config) *Stream {
 func newStream(cfg Config) *Stream {
 	s := &Stream{cfg: cfg, wake: make(chan struct{}, 1)}
 	s.m = newMetrics(s)
+	s.views = cview.NewRegistry(cfg.Holistic, s.m.cviewMetrics())
 	s.view.Store(s.newView(nil, nil, 0))
 	return s
 }
@@ -489,11 +492,18 @@ func (s *Stream) install(nv *view) {
 func (s *Stream) publish(d *delta) (spareKeys, spareVals []uint64) {
 	s.viewMu.Lock()
 	v := s.view.Load()
-	spareKeys, spareVals = s.logSeal(d, v.watermark+d.rows)
+	endWM := v.watermark + d.rows
+	spareKeys, spareVals = s.logSeal(d, endWM)
 	sealed := make([]*delta, len(v.sealed)+1)
 	copy(sealed, v.sealed)
 	sealed[len(v.sealed)] = d
-	s.install(s.newView(v.base, sealed, v.watermark+d.rows))
+	s.install(s.newView(v.base, sealed, endWM))
+	// Continuous views absorb the delta under the same lock: pane
+	// assignment follows publication (= WAL) order exactly, and a view
+	// registered at watermark w sees precisely the seals past w.
+	if s.views.Active() {
+		s.foldViews(v.watermark, endWM, d)
+	}
 	s.viewMu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
@@ -542,6 +552,16 @@ type Stats struct {
 	QueryCacheMisses    uint64
 	QueryCacheEvictions uint64
 
+	// Continuous-view state: registered views, live panes across them,
+	// pane evictions, per-view-per-seal fold updates, and reads (total and
+	// answered from the version cache).
+	Views            int
+	ViewPanesLive    int
+	ViewPanesEvicted uint64
+	ViewUpdates      uint64
+	ViewReads        uint64
+	ViewReadsCached  uint64
+
 	// Durable reports whether the stream runs with a WAL; ReadOnly whether
 	// the durability layer failed and ingest is refused. The remaining
 	// fields are zero for volatile streams. CheckpointWatermark is the row
@@ -579,6 +599,13 @@ func (s *Stream) Stats() Stats {
 		QueryCacheHits:      s.m.qcacheHits.Value(),
 		QueryCacheMisses:    s.m.qcacheMisses.Value(),
 		QueryCacheEvictions: s.m.qcacheEvicts.Value(),
+
+		Views:            s.views.Len(),
+		ViewPanesLive:    s.views.PanesLive(),
+		ViewPanesEvicted: s.m.cviewPanesEvicted.Value(),
+		ViewUpdates:      s.m.cviewUpdates.Value(),
+		ViewReads:        s.m.cviewReads.Value(),
+		ViewReadsCached:  s.m.cviewReadsCached.Value(),
 	}
 	if ing > v.watermark {
 		st.Staleness = ing - v.watermark

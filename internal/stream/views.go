@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"memagg/internal/agg"
+	"memagg/internal/arena"
+	"memagg/internal/cview"
+	"memagg/internal/hashtbl"
+)
+
+// Continuous views (internal/cview) hang off the stream's seal-publication
+// path: publish calls foldViews under viewMu, right after the WAL append,
+// so every view absorbs sealed deltas in exactly watermark order — live
+// ingest and WAL replay drive the same hook. On durable streams the view
+// definitions persist under Dir/cview on every Register/Drop, and the
+// checkpointer snapshots pane state there before each WAL truncation (plus
+// once more at Close), so a restart recovers views from the snapshot and
+// the replayed log suffix.
+
+// RegisterView registers a continuous view starting at the current
+// watermark: rows already sealed stay out of every window, rows sealed
+// after flow in. Taking viewMu makes the start watermark exact — no seal
+// can publish between the watermark read and the registration.
+func (s *Stream) RegisterView(spec cview.Spec) error {
+	s.viewMu.Lock()
+	err := s.views.Register(spec, s.view.Load().watermark)
+	s.viewMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.dur != nil {
+		if err := s.views.SaveDefs(s.dur.fs, s.cviewDir()); err != nil {
+			s.views.Drop(spec.Name)
+			return fmt.Errorf("stream: persist view definitions: %w", err)
+		}
+	}
+	return nil
+}
+
+// DropView removes a continuous view, reporting whether it existed.
+func (s *Stream) DropView(name string) bool {
+	if !s.views.Drop(name) {
+		return false
+	}
+	if s.dur != nil {
+		// Best effort: a stale definition re-registers an empty view on the
+		// next boot, which the caller can drop again.
+		_ = s.views.SaveDefs(s.dur.fs, s.cviewDir())
+	}
+	return true
+}
+
+// Views describes every registered continuous view, sorted by name.
+func (s *Stream) Views() []cview.Info { return s.views.Infos() }
+
+// ViewInfo describes one continuous view.
+func (s *Stream) ViewInfo(name string) (cview.Info, error) { return s.views.Info(name) }
+
+// ViewResult evaluates one continuous view's standing query over its
+// current window (served from the view's version-keyed cache when nothing
+// sealed since the last read).
+func (s *Stream) ViewResult(name string) (*cview.Result, error) { return s.views.Result(name) }
+
+// foldViews feeds one sealed delta to every registered view. Called under
+// viewMu by publish (after logSeal — same ordering the WAL records) and by
+// recovery's replay loop; d covers watermark rows (prevWM, endWM].
+//
+// Views defer the fold (absorb only queues it), so the seal path pays one
+// closure allocation per view here; the digest below makes the eventual
+// folds share one table scan and one hash pass no matter how many views
+// settle this seal.
+func (s *Stream) foldViews(prevWM, endWM uint64, d *delta) {
+	dig := &sealDigest{src: d.table}
+	s.views.OnSeal(prevWM, endWM, d.rows, dig.fold)
+}
+
+// sealDigest lazily extracts one sealed delta's groups into dense arrays —
+// keys, precomputed hashes, partial refs — shared by every view that
+// settles this seal. The delta table's slot scan and the key hashing
+// happen once; each view's settle is then a tight upsert+merge loop.
+// materialize runs under once: views settle under their own locks, so two
+// can race here. The source delta is immutable after sealing (the merger
+// and snapshot folds already read it concurrently), so the extracted
+// partial refs stay valid for the digest's whole life.
+type sealDigest struct {
+	once sync.Once
+	src  table
+	keys []uint64
+	hs   []uint64
+	ps   []*agg.Partial
+}
+
+func (g *sealDigest) materialize() {
+	n := g.src.t.Len()
+	g.keys = make([]uint64, 0, n)
+	g.ps = make([]*agg.Partial, 0, n)
+	g.src.t.Iterate(func(k uint64, p *agg.Partial) bool {
+		g.keys = append(g.keys, k)
+		g.ps = append(g.ps, p)
+		return true
+	})
+	g.hs = make([]uint64, len(g.keys))
+	var h [hashtbl.HashBatch]uint64
+	i := 0
+	for ; i+hashtbl.HashBatch <= len(g.keys); i += hashtbl.HashBatch {
+		hashtbl.MixBatch(&h, g.keys[i:i+hashtbl.HashBatch])
+		copy(g.hs[i:], h[:])
+	}
+	for ; i < len(g.keys); i++ {
+		g.hs[i] = hashtbl.Mix(g.keys[i])
+	}
+}
+
+func (g *sealDigest) fold(t *hashtbl.LinearProbe[agg.Partial], ar *arena.Arena, withValues bool) {
+	g.once.Do(g.materialize)
+	for i, k := range g.keys {
+		np := t.UpsertH(k, g.hs[i])
+		np.Merge(g.ps[i])
+		if withValues {
+			np.MergeValues(ar, g.ps[i], g.src.ar)
+		}
+	}
+}
+
+// cviewDir is the continuous-view persistence root on a durable stream.
+func (s *Stream) cviewDir() string { return filepath.Join(s.cfg.Durability.Dir, "cview") }
+
+// saveViewPanes snapshots pane state on a durable stream; failures are
+// tolerated the same way checkpoint failures are (the WAL still covers
+// every row, and gap tracking reports anything a later truncation costs).
+func (s *Stream) saveViewPanes() {
+	if s.dur == nil || !s.views.Active() {
+		return
+	}
+	_ = s.views.SavePanes(s.dur.fs, s.cviewDir())
+}

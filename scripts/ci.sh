@@ -95,3 +95,22 @@ go test -race -run 'TestIngestEquivalenceJSONBinary|TestClusterIngestEquivalence
 # than JSON ingest for the same rows through the same server (the -exp
 # ingestwire sweep records the actual gap; this only pins the sign).
 MEMAGG_INGEST_GUARD=1 go test -run 'TestIngestThroughputGuard' -count=1 -v ./cmd/aggserve
+
+# Continuous views (internal/cview). The whole package runs under the race
+# detector, then the stream-level gates are pinned by name so a rename
+# can't silently drop them: window-vs-batch equivalence (every query
+# family x window shape must reflect.DeepEqual the batch recompute over
+# exactly the window's rows, holistic quantile/mode included), a seal
+# landing exactly on a pane boundary, sliding reads racing evictions,
+# mid-ingest registration without double-counting, and restart recovery
+# in both death modes (hard kill -> WAL-suffix replay, graceful close ->
+# PANES snapshot), plus the HTTP CRUD/ETag surface.
+go test -race ./internal/cview/...
+go test -race -run 'TestCViewBatchEquivalence|TestCViewPaneBoundary|TestCViewEvictionRace|TestCViewRegisterMidIngest|TestCViewRestartReplay|TestCViewDefinitionsPersist' -count=1 -v ./internal/stream
+go test -race -run 'TestViewCRUD|TestViewResultETag|TestViewHolisticGate' -count=1 -v ./cmd/aggserve
+
+# Continuous-view overhead guard: ingest with 4 registered views must stay
+# within 10% of the same ingest with none — deferred pane maintenance
+# keeps the seal path O(1) per view (the -exp cview sweep records what
+# reads cost; this pins what ingest pays).
+MEMAGG_CVIEW_GUARD=1 go test -run 'TestCViewOverheadGuard' -count=1 -v ./internal/stream

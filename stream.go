@@ -212,8 +212,15 @@ func (s *Stream) Ready() bool { return !s.s.Closed() && !s.s.ReadOnly() }
 // convention). The slices are copied; the caller may reuse them.
 //
 // Deprecated: Append is the row-pair spelling of AppendChunk, kept as a
-// thin wrapper for compatibility; new code should build a Chunk and call
-// AppendChunk (or AppendOwnedChunk to skip the copy).
+// thin wrapper for compatibility. New code should spell the batch as a
+// columnar Chunk:
+//
+//	s.AppendChunk(memagg.Chunk{Keys: keys, Vals: values})
+//
+// or, when the caller owns the slices and will not touch them again
+// (decoded wire chunks qualify), skip the copy entirely:
+//
+//	s.AppendOwnedChunk(memagg.Chunk{Keys: keys, Vals: values})
 func (s *Stream) Append(keys, values []uint64) error {
 	return s.AppendChunk(Chunk{Keys: keys, Vals: values})
 }
@@ -299,6 +306,16 @@ type StreamStats struct {
 	QueryCacheMisses    uint64
 	QueryCacheEvictions uint64
 
+	// Continuous-view state: registered views, live and evicted panes
+	// across them, pane folds applied (one per view per seal), and result
+	// reads (total and answered from the version cache).
+	Views            int
+	ViewPanesLive    int
+	ViewPanesEvicted uint64
+	ViewUpdates      uint64
+	ViewReads        uint64
+	ViewReadsCached  uint64
+
 	// Durable reports whether the stream runs with a WAL; ReadOnly whether
 	// its durability layer failed and ingest is refused. The remaining
 	// fields are zero for volatile streams: WAL activity counters and the
@@ -337,6 +354,12 @@ func (s *Stream) Stats() StreamStats {
 		QueryCacheHits:      st.QueryCacheHits,
 		QueryCacheMisses:    st.QueryCacheMisses,
 		QueryCacheEvictions: st.QueryCacheEvictions,
+		Views:               st.Views,
+		ViewPanesLive:       st.ViewPanesLive,
+		ViewPanesEvicted:    st.ViewPanesEvicted,
+		ViewUpdates:         st.ViewUpdates,
+		ViewReads:           st.ViewReads,
+		ViewReadsCached:     st.ViewReadsCached,
 		Durable:             st.Durable,
 		ReadOnly:            st.ReadOnly,
 		WALAppends:          st.WALAppends,
